@@ -1,0 +1,50 @@
+//! Ablation ABL2: precision versus the number of gPTP domains M.
+//!
+//! The paper runs M = 4 (the minimum satisfying N ≥ 3f + 1 for f = 1
+//! with a spare). More domains add redundancy — and aggregation noise
+//! averaging — at the cost of more traffic. Quality (steady-state
+//! precision) is printed once per variant; runtime is benchmarked.
+
+use clocksync::{scenario, TestbedConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsn_faults::KernelAssignment;
+use tsn_time::Nanos;
+
+fn config(m: usize, seed: u64) -> TestbedConfig {
+    let mut cfg = TestbedConfig::paper_default(seed);
+    cfg.duration = Nanos::from_secs(90);
+    cfg.nodes = m;
+    cfg.aggregation.domains = m;
+    cfg.kernels = KernelAssignment::identical(m);
+    cfg
+}
+
+fn quality_report() {
+    eprintln!("\n== ABL2 quality: precision vs domain count ==");
+    for m in [4usize, 5, 6, 7] {
+        let r = scenario::run(config(m, 11)).result;
+        let stats = r.series.stats().expect("samples");
+        eprintln!(
+            "  M = {m}: avg = {:>7.0} ns  max = {:>10}  Pi = {}",
+            stats.mean,
+            format!("{}", stats.max),
+            r.bounds.pi
+        );
+    }
+    eprintln!();
+}
+
+fn bench(c: &mut Criterion) {
+    quality_report();
+    let mut group = c.benchmark_group("ablation_domains");
+    group.sample_size(10);
+    for m in [4usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("run_90s", m), &m, |b, &m| {
+            b.iter(|| scenario::run(config(m, 11)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

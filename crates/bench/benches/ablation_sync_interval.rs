@@ -1,0 +1,51 @@
+//! Ablation ABL3: precision versus the synchronization interval S.
+//!
+//! The drift offset Γ = 2·r_max·S scales the precision bound linearly
+//! with S; shorter intervals tighten the bound (and the servo) at the
+//! cost of more traffic. The paper fixes S = 125 ms.
+
+use clocksync::{scenario, TestbedConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsn_time::Nanos;
+
+fn config(sync_ms: i64, seed: u64) -> TestbedConfig {
+    let mut cfg = TestbedConfig::paper_default(seed);
+    cfg.duration = Nanos::from_secs(90);
+    cfg.sync_interval = Nanos::from_millis(sync_ms);
+    cfg.aggregation.sync_interval = Nanos::from_millis(sync_ms);
+    // Staleness scales with the interval so slow configurations are not
+    // penalized by the freshness filter instead of by their physics.
+    cfg.aggregation.staleness = Nanos::from_millis(sync_ms * 4);
+    cfg
+}
+
+fn quality_report() {
+    eprintln!("\n== ABL3 quality: precision vs sync interval ==");
+    for s in [62i64, 125, 250, 500] {
+        let r = scenario::run(config(s, 13)).result;
+        let stats = r.series.stats().expect("samples");
+        eprintln!(
+            "  S = {s:>3} ms: avg = {:>7.0} ns  max = {:>10}  Gamma = {}  Pi = {}",
+            stats.mean,
+            format!("{}", stats.max),
+            r.bounds.drift_offset,
+            r.bounds.pi
+        );
+    }
+    eprintln!();
+}
+
+fn bench(c: &mut Criterion) {
+    quality_report();
+    let mut group = c.benchmark_group("ablation_sync_interval");
+    group.sample_size(10);
+    for s in [62i64, 125, 250] {
+        group.bench_with_input(BenchmarkId::new("run_90s", s), &s, |b, &s| {
+            b.iter(|| scenario::run(config(s, 13)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

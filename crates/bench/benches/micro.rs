@@ -1,0 +1,104 @@
+//! Microbenchmarks of the hot paths: FTA aggregation, gPTP codecs, the
+//! PI servo, and the discrete-event queue.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsn_fta::{fault_tolerant_average, AggregationMethod};
+use tsn_gptp::msg::{FollowUpTlv, Header, Message, MessageType};
+use tsn_gptp::{ClockIdentity, PortIdentity, PtpTimestamp};
+use tsn_netsim::EventQueue;
+use tsn_time::{ClockTime, Nanos, PiServo, ServoConfig, SimTime};
+
+fn bench_fta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fta");
+    for n in [4usize, 8, 16, 64] {
+        let offsets: Vec<Nanos> = (0..n)
+            .map(|i| Nanos::from_nanos((i as i64 * 37) % 1000 - 500))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("aggregate", n), &offsets, |b, offs| {
+            b.iter(|| fault_tolerant_average(black_box(offs), 1))
+        });
+    }
+    let offsets: Vec<Nanos> = (0..4).map(|i| Nanos::from_nanos(i * 100)).collect();
+    for (name, method) in [
+        ("mean", AggregationMethod::Mean),
+        ("median", AggregationMethod::Median),
+        ("fta_f1", AggregationMethod::FaultTolerantAverage { f: 1 }),
+    ] {
+        group.bench_function(name, |b| b.iter(|| method.aggregate(black_box(&offsets))));
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let fu = Message::FollowUp {
+        header: Header::new(
+            MessageType::FollowUp,
+            1,
+            PortIdentity::new(ClockIdentity::for_index(1), 1),
+            42,
+            -3,
+        ),
+        precise_origin: PtpTimestamp::from_clock_time(ClockTime::from_nanos(1_234_567_890_123)),
+        tlv: FollowUpTlv {
+            cumulative_scaled_rate_offset: -12345,
+            ..Default::default()
+        },
+    };
+    group.bench_function("encode_follow_up", |b| b.iter(|| black_box(&fu).encode()));
+    let bytes = fu.encode();
+    group.bench_function("decode_follow_up", |b| {
+        b.iter(|| Message::decode(black_box(&bytes)).unwrap())
+    });
+    let sync = Message::Sync {
+        header: Header::new(
+            MessageType::Sync,
+            1,
+            PortIdentity::new(ClockIdentity::for_index(1), 1),
+            42,
+            -3,
+        ),
+        origin: PtpTimestamp::default(),
+    };
+    let sync_bytes = sync.encode();
+    group.bench_function("decode_sync", |b| {
+        b.iter(|| Message::decode(black_box(&sync_bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_servo(c: &mut Criterion) {
+    c.bench_function("servo_sample", |b| {
+        let mut servo = PiServo::new(ServoConfig::default(), Nanos::from_millis(125));
+        let mut t = ClockTime::ZERO;
+        b.iter(|| {
+            t = t + Nanos::from_millis(125);
+            servo.sample(black_box(Nanos::from_nanos(137)), t)
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_at(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fta,
+    bench_codec,
+    bench_servo,
+    bench_event_queue
+);
+criterion_main!(benches);

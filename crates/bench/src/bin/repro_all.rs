@@ -1,0 +1,53 @@
+//! Runs every figure regenerator back to back with shortened defaults
+//! (pass `--minutes 1440` for the full 24 h fault-injection figures).
+//!
+//! ```sh
+//! cargo run -p tsn-bench --release --bin repro_all [--minutes N]
+//! ```
+
+use clocksync::scenario;
+use tsn_bench::{print_summary, window_max, ReproArgs};
+use tsn_time::Nanos;
+
+fn main() {
+    let args = ReproArgs::parse();
+    let cyber = args.duration(60);
+    let fault = args.duration(240); // 4 h default keeps repro_all quick
+
+    println!("==== FIG3A (identical kernels) ====");
+    let r = scenario::cyber_identical_kernels(args.seed, cyber).result;
+    print_summary(&r);
+    let bound = r.bounds.pi_plus_gamma();
+    let masked = window_max(&r, 23, 31).map(|m| m <= bound);
+    let broken = window_max(&r, 33, 39).map(|m| m > bound);
+    println!("strike 1 masked: {masked:?}   strike 2 breaks bound: {broken:?}");
+
+    println!("\n==== FIG3B (diverse kernels) ====");
+    let r = scenario::cyber_diverse_kernels(args.seed, cyber).result;
+    print_summary(&r);
+    println!(
+        "strikes ok/failed = {}/{}",
+        r.counters.strikes_succeeded, r.counters.strikes_failed
+    );
+
+    println!(
+        "\n==== FIG4A/4B/5 (fault injection, {:.1} h) ====",
+        fault.as_secs_f64() / 3600.0
+    );
+    let r = scenario::fault_injection(args.seed + 4, fault).result;
+    print_summary(&r);
+    println!(
+        "fail-silent VMs = {} (GM {})   takeovers = {}   tx timeouts = {}   deadline misses = {}",
+        r.counters.vm_failures,
+        r.counters.gm_failures,
+        r.counters.takeovers,
+        r.counters.tx_timestamp_timeouts,
+        r.counters.deadline_misses
+    );
+    if let Some(m) = r.series.max() {
+        println!("max precision {} at {}", m.value, m.at);
+    }
+    println!("\n(run repro_bounds and repro_stability for the in-text derivations");
+    println!(" and the §III-C clock-stability analysis)");
+    let _ = Nanos::from_secs(0);
+}

@@ -1,0 +1,55 @@
+//! Regenerates the in-text bound derivations (TXT1/TXT2):
+//!
+//! * experiment 1 (cyber): d_min = 4120 ns, d_max = 9188 ns, E = 5068 ns,
+//!   Γ = 1.25 µs, Π = 12.636 µs, γ = 1313 ns;
+//! * experiment 2 (fault injection): Π = 11.42 µs, γ = 856 ns.
+//!
+//! The absolute values depend on the drawn link latencies (as they did
+//! on the paper's cabling); the derivation chain E = d_max − d_min,
+//! Γ = 2·r_max·S, Π = 2(E + Γ) is what is being reproduced.
+//!
+//! ```sh
+//! cargo run -p tsn-bench --release --bin repro_bounds
+//! ```
+
+use clocksync::{scenario, TestbedConfig};
+use tsn_bench::ReproArgs;
+use tsn_time::Nanos;
+
+fn row(label: &str, b: &tsn_metrics::BoundsReport) {
+    println!(
+        "{label:<22} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        format!("{}", b.d_min),
+        format!("{}", b.d_max),
+        format!("{}", b.reading_error),
+        format!("{}", b.drift_offset),
+        format!("{}", b.pi),
+        format!("{}", b.gamma)
+    );
+}
+
+fn main() {
+    let args = ReproArgs::parse();
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "experiment", "d_min", "d_max", "E", "Gamma", "Pi", "gamma"
+    );
+    // Experiment 1 topology (cyber experiment's seed).
+    let mut cfg = TestbedConfig::paper_default(args.seed);
+    cfg.duration = Nanos::from_secs(10);
+    let r1 = scenario::run(cfg).result;
+    row("exp 1 (cyber)", &r1.bounds);
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "  paper", "4120ns", "9188ns", "5068ns", "1250ns", "12.636us", "1313ns"
+    );
+    // Experiment 2 topology (fault-injection seed).
+    let mut cfg = TestbedConfig::paper_default(args.seed + 4);
+    cfg.duration = Nanos::from_secs(10);
+    let r2 = scenario::run(cfg).result;
+    row("exp 2 (fault inject)", &r2.bounds);
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "  paper", "-", "-", "-", "1250ns", "11.42us", "856ns"
+    );
+}

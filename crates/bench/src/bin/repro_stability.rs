@@ -1,0 +1,56 @@
+//! Clock-stability analysis of `CLOCK_SYNCTIME` (beyond the paper's
+//! figures, in the spirit of its §III-C discussion): Allan deviation and
+//! MTIE of the dependent clock's ground-truth time error, under the
+//! feedback discipline of the paper's prototype and the feed-forward
+//! alternative it proposes as future work.
+//!
+//! ```sh
+//! cargo run -p tsn-bench --release --bin repro_stability [--minutes 60]
+//! ```
+
+use clocksync::{scenario, TestbedConfig};
+use tsn_bench::ReproArgs;
+use tsn_hyp::SyncClockDiscipline;
+
+fn main() {
+    let args = ReproArgs::parse();
+    let duration = args.duration(60);
+    println!(
+        "stability of CLOCK_SYNCTIME over {:.0} min (fault-free)\n",
+        duration.as_secs_f64() / 60.0
+    );
+    for (label, discipline) in [
+        ("feedback (paper prototype)", SyncClockDiscipline::Feedback),
+        (
+            "feed-forward (paper future work)",
+            SyncClockDiscipline::FeedForward,
+        ),
+    ] {
+        let mut cfg = TestbedConfig::paper_default(args.seed);
+        cfg.duration = duration;
+        cfg.sync_clock_discipline = discipline;
+        let r = scenario::run(cfg).result;
+        println!("== {label} ==");
+        println!("  discipline error (CLOCK_SYNCTIME vs PHC):");
+        let de = &r.discipline_error;
+        println!("    {:>8}  {:>12}", "tau", "ADEV");
+        for (tau, adev) in de.adev_curve(6) {
+            println!("    {tau:>7.0}s  {adev:>12.3e}");
+        }
+        println!("    {:>8}  {:>12}", "window", "MTIE");
+        for m in [1usize, 10, 60] {
+            if let Some(mtie) = de.mtie(m) {
+                println!("    {m:>7}s  {mtie:>10.0}ns");
+            }
+        }
+        // The absolute error additionally carries the ensemble's
+        // common-mode wander (EXPERIMENTS.md, finding 1).
+        if let Some(mtie) = r.ground_truth.mtie(600.min(r.ground_truth.x.len() - 1)) {
+            println!("  absolute error MTIE(600 s) = {mtie:.0} ns (incl. common-mode wander)");
+        }
+        println!();
+    }
+    println!("The feedback loop amplifies clock-read noise into wander at short");
+    println!("tau; the feed-forward mapping tracks the PHC directly — the paper's");
+    println!("RADclock argument, quantified.");
+}

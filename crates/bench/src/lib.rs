@@ -1,0 +1,95 @@
+//! Shared plumbing for the figure regenerators and benches.
+//!
+//! Each `repro_*` binary regenerates one of the paper's figures (or
+//! in-text results): it runs the corresponding scenario, prints a
+//! text rendering plus the quantitative comparison against the paper's
+//! reported values, and writes CSV artifacts for external plotting.
+
+use clocksync::RunResult;
+use std::path::{Path, PathBuf};
+use tsn_time::{Nanos, SimTime};
+
+/// Command-line options shared by the regenerators.
+#[derive(Debug, Clone)]
+pub struct ReproArgs {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Duration override in minutes, if given.
+    pub minutes: Option<u64>,
+    /// Output directory for CSV artifacts.
+    pub out: PathBuf,
+}
+
+impl ReproArgs {
+    /// Parses `--seed N`, `--minutes N`, `--out DIR` (all optional).
+    pub fn parse() -> ReproArgs {
+        let mut args = ReproArgs {
+            seed: 7,
+            minutes: None,
+            out: PathBuf::from("target/repro"),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
+                "--minutes" => args.minutes = it.next().and_then(|v| v.parse().ok()),
+                "--out" => {
+                    if let Some(v) = it.next() {
+                        args.out = PathBuf::from(v);
+                    }
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+        }
+        args
+    }
+
+    /// The experiment duration: the override or `default_minutes`.
+    pub fn duration(&self, default_minutes: u64) -> Nanos {
+        Nanos::from_secs((self.minutes.unwrap_or(default_minutes) * 60) as i64)
+    }
+}
+
+/// Writes a text artifact, creating the directory as needed.
+pub fn write_artifact(dir: &Path, name: &str, content: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, content) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Prints the standard bound/measurement summary block.
+pub fn print_summary(r: &RunResult) {
+    println!(
+        "bounds: d_min = {}  d_max = {}  E = {}  Gamma = {}  Pi = {}  gamma = {}",
+        r.bounds.d_min,
+        r.bounds.d_max,
+        r.bounds.reading_error,
+        r.bounds.drift_offset,
+        r.bounds.pi,
+        r.bounds.gamma
+    );
+    if let Some(s) = r.series.stats() {
+        println!(
+            "measured Pi*: avg = {:.0} ns  std = {:.0} ns  min = {}  max = {}  samples = {}",
+            s.mean, s.std, s.min, s.max, s.count
+        );
+    }
+    println!(
+        "fraction within Pi + gamma: {:.5}",
+        r.series.fraction_within(r.bounds.pi_plus_gamma())
+    );
+}
+
+/// Max precision within `[from_min, to_min)` minutes of the measured
+/// axis, if any samples exist there.
+pub fn window_max(r: &RunResult, from_min: u64, to_min: u64) -> Option<Nanos> {
+    let from = SimTime::ZERO + r.warmup + Nanos::from_secs((from_min * 60) as i64);
+    let to = SimTime::ZERO + r.warmup + Nanos::from_secs((to_min * 60) as i64);
+    r.series.window(from, to).stats().map(|s| s.max)
+}

@@ -1,0 +1,73 @@
+//! Ready-made experiment scenarios mirroring the paper's evaluation.
+
+use crate::config::TestbedConfig;
+use crate::world::{RunResult, World};
+use tsn_faults::{AttackPlan, InjectorConfig, KernelAssignment};
+use tsn_time::Nanos;
+
+/// A finished scenario run.
+pub struct ScenarioOutcome {
+    /// The configuration that produced it.
+    pub config: TestbedConfig,
+    /// The run's result.
+    pub result: RunResult,
+}
+
+/// Runs the testbed with no faults and no attack (sanity baseline).
+pub fn baseline(config: TestbedConfig) -> ScenarioOutcome {
+    run(config)
+}
+
+/// The paper's first cyber-resilience experiment (Fig. 3a): all virtual
+/// GMs run the exploitable kernel v4.19.1; the attacker roots two of
+/// them and synchronization is lost.
+pub fn cyber_identical_kernels(seed: u64, duration: Nanos) -> ScenarioOutcome {
+    let mut cfg = TestbedConfig::paper_default(seed);
+    cfg.duration = duration;
+    cfg.kernels = KernelAssignment::identical(cfg.nodes);
+    cfg.attack = AttackPlan::paper_default();
+    run(cfg)
+}
+
+/// The paper's second cyber-resilience experiment (Fig. 3b): diversified
+/// kernels — only GM c1_4 (node 3) is exploitable, so the second strike
+/// fails and the FTA masks the single Byzantine GM.
+pub fn cyber_diverse_kernels(seed: u64, duration: Nanos) -> ScenarioOutcome {
+    let mut cfg = TestbedConfig::paper_default(seed);
+    cfg.duration = duration;
+    cfg.kernels = KernelAssignment::diverse(cfg.nodes, 3);
+    cfg.attack = AttackPlan::paper_default();
+    run(cfg)
+}
+
+/// The paper's 24 h fault-injection experiment (Fig. 4/5): sequential GM
+/// shutdowns plus random redundant-VM shutdowns. Pass a shorter
+/// `duration` for tests; the figure regenerators use the full 24 h.
+pub fn fault_injection(seed: u64, duration: Nanos) -> ScenarioOutcome {
+    let mut cfg = TestbedConfig::paper_default(seed);
+    cfg.duration = duration;
+    cfg.fault_injection = Some(InjectorConfig {
+        duration,
+        ..InjectorConfig::paper_default()
+    });
+    run(cfg)
+}
+
+/// The prior-work baseline the paper critiques (Kyriakakis et al.):
+/// multi-domain FTA on the clients only, grandmasters free-running. The
+/// GM ensemble's spread grows without bound, which is what breaks the
+/// design's Byzantine fault tolerance "in real-world systems" (paper
+/// §I).
+pub fn prior_work_baseline(seed: u64, duration: Nanos) -> ScenarioOutcome {
+    let mut cfg = TestbedConfig::paper_default(seed);
+    cfg.duration = duration;
+    cfg.gm_mutual_sync = false;
+    run(cfg)
+}
+
+/// Runs an arbitrary configuration.
+pub fn run(config: TestbedConfig) -> ScenarioOutcome {
+    let world = World::new(config.clone());
+    let result = world.run();
+    ScenarioOutcome { config, result }
+}

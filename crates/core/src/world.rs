@@ -1,0 +1,1815 @@
+//! The experiment world: a deterministic discrete-event simulation of the
+//! paper's virtualized distributed real-time system (Fig. 2).
+//!
+//! The world owns every simulated entity — ECD host clocks, clock-sync
+//! VMs with passthrough NICs, integrated TSN switches, the gPTP engines,
+//! the FTSHMEM aggregators, the hypervisor dependent-clock devices, the
+//! fault injector and the attacker — and moves real Ethernet frames
+//! between them through the event queue.
+//!
+//! Topology (paper §III-A1): `N` ECDs, each with an integrated TSN switch;
+//! switch ports 0 and 1 connect the node's two clock-sync VM NICs, the
+//! remaining ports form a full mesh with the other switches. gPTP domain
+//! `x` is rooted at VM(x, 0); its static external port configuration is
+//! the 2-level tree `GM → sw_x → {sw_y} → VMs`.
+
+use crate::config::{HypMonitorMode, TestbedConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use tsn_faults::{AttackPlan, FaultEvent, FaultSchedule, StrikeOutcome, TransientFaults, VmSlot};
+use tsn_fta::{AggregationMode, MultiDomainAggregator, SubmitOutcome};
+use tsn_gptp::{
+    msg::Message, BridgeRelay, ClockIdentity, LinkDelayService, PortIdentity, SyncMaster, SyncSlave,
+};
+use tsn_hyp::{
+    DependentClockDevice, Phc2Sys, SyncClockDiscipline, SyncTimeServo, VmId, VotingMonitor,
+};
+use tsn_metrics::{
+    precision_of, BoundsReport, EventLog, ExperimentEvent, PrecisionSample, PrecisionSeries,
+    TransientKind,
+};
+use tsn_netsim::{
+    ethertype, DelayModel, DeviceId, EgressPort, EthernetFrame, EventQueue, FrameTrace,
+    LaunchOutcome, MacAddr, Nic, PortAddr, PortNo, SeedSplitter, Switch, Topology, TraceDir,
+    VlanTag,
+};
+use tsn_time::{ClockTime, Nanos, Oscillator, Phc, ServoOutput, SimTime};
+
+/// VLAN used by the measurement probes.
+const MEASUREMENT_VID: u16 = 100;
+/// Minimum lead time between scheduling a Sync and its launch boundary.
+const LAUNCH_LEAD: Nanos = Nanos::from_millis(20);
+/// Default link-delay assumption before the first pdelay exchange
+/// completes.
+const DEFAULT_LINK_DELAY: Nanos = Nanos::from_nanos(2_000);
+
+/// Transmission context: what to do once the frame's hardware egress
+/// timestamp is known.
+#[derive(Debug, Clone)]
+enum TxCtx {
+    /// No follow-up action (general messages, probes).
+    None,
+    /// A grandmaster's Sync: emit the Follow_Up.
+    GmSync { node: usize, seq: u16 },
+    /// A bridge-regenerated Sync: report to the relay.
+    BridgeSync { sw: usize, domain: u8, seq: u16 },
+    /// A Pdelay_Req: report t1 to the initiator.
+    PdelayReq { dev: DeviceId, seq: u16 },
+    /// A Pdelay_Resp: emit the Pdelay_Resp_Follow_Up with t3.
+    PdelayResp {
+        dev: DeviceId,
+        seq: u16,
+        requesting: PortIdentity,
+    },
+}
+
+/// World events.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Frame departs `from` (tx timestamping + ctx), then crosses the
+    /// link.
+    Transmit {
+        from: PortAddr,
+        frame: EthernetFrame,
+        ctx: TxCtx,
+    },
+    /// Frame arrives at `to`.
+    Arrive { to: PortAddr, frame: EthernetFrame },
+    /// A grandmaster VM prepares its next Sync.
+    GmSyncTick { node: usize },
+    /// Peer-delay measurement round on one port.
+    PdelayTick { port: PortAddr },
+    /// phc2sys updates STSHMEM parameters.
+    Phc2SysTick { node: usize, slot: usize },
+    /// Hypervisor monitor tick.
+    MonitorTick { node: usize },
+    /// Oscillator wander step (all clocks).
+    WanderTick,
+    /// Measurement probe emission.
+    ProbeTick { seq: u64 },
+    /// Fault-injection shutdown event `i` of the schedule.
+    FaultAt(usize),
+    /// Reboot completion of schedule event `i`.
+    RebootAt(usize),
+    /// Attacker strike `i` of the plan.
+    StrikeAt(usize),
+    /// An egress port finished serializing its in-flight frame.
+    PortFree { from: PortAddr },
+    /// Best-effort background traffic generator tick for one port.
+    BackgroundTick { port: PortAddr },
+}
+
+/// One clock-synchronization VM.
+struct VmState {
+    nic_device: DeviceId,
+    nic: Nic,
+    osc: Oscillator,
+    running: bool,
+    compromised: bool,
+    /// Only the slot-0 (GM) VM has a master for its node's domain.
+    master: Option<SyncMaster>,
+    /// `true` while the GM VM is actively serving its domain.
+    gm_active: bool,
+    slaves: Vec<SyncSlave>,
+    aggregator: MultiDomainAggregator,
+    /// CMLDS: one shared link-delay service per NIC port.
+    pd: LinkDelayService,
+    phc2sys: Phc2Sys,
+    sync_servo: SyncTimeServo,
+}
+
+/// One ECD.
+struct NodeState {
+    host_phc: Phc,
+    host_osc: Oscillator,
+    vms: Vec<VmState>,
+    device: DependentClockDevice,
+    /// Present in fail-consistent (voting) monitor mode.
+    voting: Option<VotingMonitor>,
+}
+
+/// One integrated TSN switch.
+struct SwitchState {
+    device: DeviceId,
+    phc: Phc,
+    osc: Oscillator,
+    fabric: Switch,
+    relays: Vec<BridgeRelay>,
+    pd: HashMap<u8, LinkDelayService>,
+}
+
+/// Aggregate counters reported after a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunCounters {
+    /// Transmit-timestamp retrieval timeouts across all `ptp4l` masters.
+    pub tx_timestamp_timeouts: u64,
+    /// Sync launch deadline misses.
+    pub deadline_misses: u64,
+    /// Injected fail-silent VM shutdowns.
+    pub vm_failures: u64,
+    /// Injected GM shutdowns (subset of `vm_failures`).
+    pub gm_failures: u64,
+    /// `CLOCK_SYNCTIME` takeovers performed by the monitors.
+    pub takeovers: u64,
+    /// Aggregations executed across all VMs.
+    pub aggregations: u64,
+    /// Intervals skipped for lack of quorum.
+    pub no_quorum: u64,
+    /// Successful attacker strikes.
+    pub strikes_succeeded: u64,
+    /// Failed attacker strikes.
+    pub strikes_failed: u64,
+    /// Frames that had to wait in an egress queue.
+    pub frames_queued: u64,
+}
+
+/// The result of one experiment run.
+pub struct RunResult {
+    /// Measured precision series (raw sim timestamps; subtract `warmup`
+    /// for paper-style runtime axes).
+    pub series: PrecisionSeries,
+    /// Ground-truth time error of node 0's `CLOCK_SYNCTIME` (ns, one
+    /// sample per probe interval) for stability analysis.
+    pub ground_truth: tsn_metrics::TimeErrorSeries,
+    /// `CLOCK_SYNCTIME` minus the maintaining VM's PHC on node 0 — the
+    /// dependent-clock discipline error, free of ensemble common-mode
+    /// wander.
+    pub discipline_error: tsn_metrics::TimeErrorSeries,
+    /// Annotated experiment events.
+    pub events: EventLog,
+    /// Derived bounds (Π, E, γ, …).
+    pub bounds: BoundsReport,
+    /// Aggregate counters.
+    pub counters: RunCounters,
+    /// Warm-up offset of the series timestamps.
+    pub warmup: Nanos,
+}
+
+/// The simulation world. Construct with [`World::new`], then call
+/// [`World::run`].
+pub struct World {
+    cfg: TestbedConfig,
+    queue: EventQueue<Ev>,
+    topo: Topology,
+    nodes: Vec<NodeState>,
+    switches: Vec<SwitchState>,
+    /// Station device → (node, vm slot).
+    station_map: HashMap<DeviceId, (usize, usize)>,
+    /// Switch device → switch index.
+    switch_map: HashMap<DeviceId, usize>,
+    egress: HashMap<PortAddr, EgressPort<(EthernetFrame, TxCtx)>>,
+    trace: Option<FrameTrace>,
+    schedule: Vec<FaultEvent>,
+    transient: TransientFaults<StdRng>,
+    frame_rng: StdRng,
+    probes: HashMap<u64, Vec<ClockTime>>,
+    probe_sent_at: HashMap<u64, SimTime>,
+    /// Ground-truth time error of node 0's CLOCK_SYNCTIME (ns), sampled
+    /// once per probe — input to the stability analysis (ADEV/MTIE).
+    ground_truth_ns: Vec<f64>,
+    /// CLOCK_SYNCTIME minus the active VM's PHC on node 0 (ns): the
+    /// dependent-clock *discipline* error, free of the ensemble's
+    /// common-mode wander.
+    discipline_error_ns: Vec<f64>,
+    series: PrecisionSeries,
+    events: EventLog,
+    counters: RunCounters,
+    end: SimTime,
+}
+
+impl World {
+    /// Builds the testbed from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`TestbedConfig::validate`]).
+    // Parallel index-addressed structures (stations per node/slot, mesh
+    // ports per switch pair) read more clearly with explicit indices.
+    #[allow(clippy::needless_range_loop)]
+    pub fn new(cfg: TestbedConfig) -> Self {
+        cfg.validate();
+        let seeds = SeedSplitter::new(cfg.seed);
+        let n = cfg.nodes;
+        let mut topo = Topology::new();
+        let mut link_rng = seeds.rng("links");
+
+        // Devices: stations (VM NICs) then bridges (switches).
+        let vpn = cfg.vms_per_node;
+        let mut station_ids = vec![Vec::new(); n];
+        for node in 0..n {
+            for slot in 0..vpn {
+                station_ids[node].push(topo.add_station(&format!("c{}_{}", node + 1, slot + 1)));
+            }
+        }
+        let switch_ids: Vec<DeviceId> = (0..n)
+            .map(|x| topo.add_bridge(&format!("sw{}", x + 1)))
+            .collect();
+
+        let draw_delay = |rng: &mut StdRng| -> DelayModel {
+            let lo = cfg.link_base_min.as_nanos();
+            let hi = cfg.link_base_max.as_nanos().max(lo + 1);
+            DelayModel {
+                base: Nanos::from_nanos(rng.gen_range(lo..hi)),
+                jitter_max: cfg.link_jitter,
+            }
+        };
+
+        // Node-internal links: VM NIC ↔ switch ports 0/1.
+        for node in 0..n {
+            for slot in 0..vpn {
+                // Cables are symmetric: one static latency per link.
+                let d = draw_delay(&mut link_rng);
+                topo.connect(
+                    topo.port(station_ids[node][slot], 0),
+                    topo.port(switch_ids[node], slot as u8),
+                    d,
+                    d,
+                );
+            }
+        }
+        // Full mesh between switches, ports 2+.
+        let mut next_port = vec![vpn as u8; n];
+        let mut mesh_port = vec![vec![None; n]; n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let pa = next_port[a];
+                let pb = next_port[b];
+                next_port[a] += 1;
+                next_port[b] += 1;
+                mesh_port[a][b] = Some(pa);
+                mesh_port[b][a] = Some(pb);
+                let d = draw_delay(&mut link_rng);
+                topo.connect(
+                    topo.port(switch_ids[a], pa),
+                    topo.port(switch_ids[b], pb),
+                    d,
+                    d,
+                );
+            }
+        }
+
+        // Nodes: host clock + 2 clock-sync VMs each.
+        let mut station_map = HashMap::new();
+        let mut nodes = Vec::with_capacity(n);
+        for node in 0..n {
+            let mut osc_rng = seeds.rng(&format!("osc/host{node}"));
+            let host_osc = Oscillator::new(cfg.oscillator, &mut osc_rng);
+            let host_phc = Phc::new(
+                ClockTime::from_nanos(1_000_000_000),
+                host_osc.deviation_ppb(),
+            );
+            let mut vms = Vec::with_capacity(vpn);
+            for slot in 0..vpn {
+                let dev = station_ids[node][slot];
+                station_map.insert(dev, (node, slot));
+                let mut rng = seeds.rng(&format!("osc/nic{node}_{slot}"));
+                let osc = Oscillator::new(cfg.oscillator, &mut rng);
+                let epoch_jitter = rng.gen_range(
+                    -cfg.initial_offset_max.as_nanos()..=cfg.initial_offset_max.as_nanos(),
+                );
+                let phc = Phc::new(
+                    ClockTime::from_nanos(1_000_000_000) + Nanos::from_nanos(epoch_jitter),
+                    osc.deviation_ppb(),
+                );
+                let mut nic = Nic::new(MacAddr::for_nic(dev.0 as u32), phc);
+                nic.ts_jitter = cfg.ts_jitter;
+                let identity = ClockIdentity::for_index(dev.0 as u32);
+                let port_id = PortIdentity::new(identity, 1);
+                let master = (slot == 0).then(|| {
+                    SyncMaster::new(node as u8, port_id, log2_interval(cfg.sync_interval))
+                });
+                vms.push(VmState {
+                    nic_device: dev,
+                    nic,
+                    osc,
+                    running: true,
+                    compromised: false,
+                    master,
+                    gm_active: false,
+                    slaves: (0..n as u8).map(SyncSlave::new).collect(),
+                    aggregator: {
+                        let mut agg = MultiDomainAggregator::new(cfg.aggregation, cfg.servo);
+                        agg.set_self_domain((slot == 0).then_some(node));
+                        agg
+                    },
+                    pd: LinkDelayService::new(port_id),
+                    phc2sys: Phc2Sys::new(),
+                    sync_servo: SyncTimeServo::new(
+                        tsn_time::ServoConfig::default(),
+                        cfg.phc2sys_interval,
+                    ),
+                });
+            }
+            let voting = (cfg.monitor_mode == HypMonitorMode::Voting).then(|| {
+                VotingMonitor::new(vpn, Nanos::from_micros(10), cfg.monitor.freshness_timeout)
+            });
+            nodes.push(NodeState {
+                host_phc,
+                host_osc,
+                vms,
+                voting,
+                device: DependentClockDevice::new(
+                    VmId(0),
+                    (1..vpn).map(VmId).collect(),
+                    cfg.monitor,
+                ),
+            });
+        }
+
+        // Switches: fabric + per-domain relays + per-port pdelay.
+        let mut switch_map = HashMap::new();
+        let mut switches = Vec::with_capacity(n);
+        let mut res_rng = seeds.rng("residence");
+        for x in 0..n {
+            let dev = switch_ids[x];
+            switch_map.insert(dev, x);
+            let mut rng = seeds.rng(&format!("osc/sw{x}"));
+            let osc = Oscillator::new(cfg.oscillator, &mut rng);
+            let epoch = rng.gen_range(-1_000_000i64..=1_000_000);
+            let phc = Phc::new(
+                ClockTime::from_nanos(1_000_000_000) + Nanos::from_nanos(epoch),
+                osc.deviation_ppb(),
+            );
+            let res_lo = cfg.residence_min.as_nanos();
+            let res_hi = cfg.residence_max.as_nanos().max(res_lo + 1);
+            let residence = DelayModel {
+                base: Nanos::from_nanos(res_rng.gen_range(res_lo..res_hi)),
+                jitter_max: cfg.residence_jitter,
+            };
+            let mut fabric = Switch::new(&format!("sw{}", x + 1), residence);
+            // Measurement VLAN: spanning tree rooted at the measurement
+            // node's switch (static FDB → known probe paths).
+            let m = cfg.measurement_node;
+            if x == m {
+                for y in 0..n {
+                    if y != x {
+                        let p = PortNo(mesh_port[x][y].expect("mesh port"));
+                        fabric.fdb.add_vlan_member(MEASUREMENT_VID, p);
+                    }
+                }
+                // Ingress from the measurement VM (port 1).
+                fabric.fdb.add_vlan_member(MEASUREMENT_VID, PortNo(1));
+                let egress: Vec<PortNo> = (0..n)
+                    .filter(|&y| y != x)
+                    .map(|y| PortNo(mesh_port[x][y].expect("mesh port")))
+                    .collect();
+                fabric
+                    .fdb
+                    .add_static_entry(MEASUREMENT_VID, MacAddr::PTP_MULTICAST, &egress);
+            } else {
+                let ingress = PortNo(mesh_port[x][m].expect("mesh port"));
+                fabric.fdb.add_vlan_member(MEASUREMENT_VID, ingress);
+                let vm_ports: Vec<PortNo> = (0..vpn as u8).map(PortNo).collect();
+                for p in &vm_ports {
+                    fabric.fdb.add_vlan_member(MEASUREMENT_VID, *p);
+                }
+                fabric
+                    .fdb
+                    .add_static_entry(MEASUREMENT_VID, MacAddr::PTP_MULTICAST, &vm_ports);
+            }
+
+            // Per-domain relays: external port configuration.
+            let identity = ClockIdentity::for_index(dev.0 as u32);
+            let relays = (0..n)
+                .map(|domain| {
+                    if domain == x {
+                        // Root switch of the domain: slave toward the GM
+                        // VM (port 0), masters to the standby VM and all
+                        // mesh ports.
+                        let mut masters: Vec<u16> = (1..vpn as u16).collect();
+                        for y in 0..n {
+                            if y != x {
+                                masters.push(u16::from(mesh_port[x][y].expect("mesh port")));
+                            }
+                        }
+                        BridgeRelay::new(domain as u8, identity, 0, masters)
+                    } else {
+                        // Downstream switch: slave toward the root switch,
+                        // masters to the local VMs only.
+                        let slave = u16::from(mesh_port[x][domain].expect("mesh port"));
+                        BridgeRelay::new(domain as u8, identity, slave, (0..vpn as u16).collect())
+                    }
+                })
+                .collect();
+
+            let pd = topo
+                .wired_ports(dev)
+                .into_iter()
+                .map(|p| {
+                    let pid = PortIdentity::new(identity, u16::from(p.port.0) + 1);
+                    (p.port.0, LinkDelayService::new(pid))
+                })
+                .collect();
+
+            switches.push(SwitchState {
+                device: dev,
+                phc,
+                osc,
+                fabric,
+                relays,
+                pd,
+            });
+        }
+
+        let schedule = match &cfg.fault_injection {
+            Some(fi) => {
+                let mut rng = seeds.rng("faults");
+                FaultSchedule::generate(fi, &mut rng).events().to_vec()
+            }
+            None => Vec::new(),
+        };
+
+        let transient = TransientFaults::new(cfg.transient, seeds.rng("transient"));
+        let frame_rng = seeds.rng("frames");
+        let end = SimTime::ZERO + cfg.warmup + cfg.duration;
+
+        let trace = (cfg.trace_capacity > 0).then(|| FrameTrace::new(cfg.trace_capacity));
+        let mut world = World {
+            queue: EventQueue::new(),
+            egress: HashMap::new(),
+            trace,
+            topo,
+            nodes,
+            switches,
+            station_map,
+            switch_map,
+            schedule,
+            transient,
+            frame_rng,
+            probes: HashMap::new(),
+            probe_sent_at: HashMap::new(),
+            ground_truth_ns: Vec::new(),
+            discipline_error_ns: Vec::new(),
+            series: PrecisionSeries::new(),
+            events: EventLog::new(),
+            counters: RunCounters::default(),
+            end,
+            cfg,
+        };
+        world.schedule_initial();
+        world
+    }
+
+    fn schedule_initial(&mut self) {
+        let n = self.cfg.nodes;
+        // Stagger periodic activities so same-time ties are rare.
+        for node in 0..n {
+            let jitter = Nanos::from_nanos((node as i64) * 1_371);
+            self.queue
+                .schedule_at(SimTime::from_millis(50) + jitter, Ev::GmSyncTick { node });
+            self.queue
+                .schedule_at(SimTime::from_millis(10) + jitter, Ev::MonitorTick { node });
+            for slot in 0..self.cfg.vms_per_node {
+                self.queue.schedule_at(
+                    SimTime::from_millis(20) + jitter + Nanos::from_nanos(slot as i64 * 977),
+                    Ev::Phc2SysTick { node, slot },
+                );
+            }
+        }
+        // Pdelay on every wired port of every device.
+        let mut ports: Vec<PortAddr> = Vec::new();
+        for dev in self.topo.devices() {
+            ports.extend(self.topo.wired_ports(dev));
+        }
+        for (i, port) in ports.into_iter().enumerate() {
+            let offset = Nanos::from_nanos(5_000_000 + (i as i64) * 33_333_333 % 1_000_000_000);
+            self.queue
+                .schedule_at(SimTime::ZERO + offset, Ev::PdelayTick { port });
+        }
+        self.queue
+            .schedule_at(SimTime::ZERO + self.cfg.wander_interval, Ev::WanderTick);
+        if self.cfg.background.is_some() {
+            let mut ports: Vec<PortAddr> = Vec::new();
+            for dev in self.topo.devices() {
+                ports.extend(self.topo.wired_ports(dev));
+            }
+            for (i, port) in ports.into_iter().enumerate() {
+                let offset = Nanos::from_nanos(1_000_000 + (i as i64) * 13_337);
+                self.queue
+                    .schedule_at(SimTime::ZERO + offset, Ev::BackgroundTick { port });
+            }
+        }
+        // Probes start after warm-up, phase-shifted to the middle of the
+        // synchronization interval: the probe period is a multiple of S,
+        // so an unshifted schedule would collide with the synchronized
+        // Sync bursts on every hop, every probe, inflating the measured
+        // precision with queuing jitter.
+        self.queue.schedule_at(
+            SimTime::ZERO + self.cfg.warmup + self.cfg.sync_interval / 2,
+            Ev::ProbeTick { seq: 0 },
+        );
+        // Faults and strikes are offset by the warm-up so their paper
+        // times (e.g. 00:21:42) land on the measured axis.
+        for (i, f) in self.schedule.iter().enumerate() {
+            self.queue
+                .schedule_at(f.at + self.cfg.warmup, Ev::FaultAt(i));
+        }
+        let strikes: Vec<_> = self.cfg.attack.strikes().to_vec();
+        for (i, s) in strikes.iter().enumerate() {
+            self.queue
+                .schedule_at(s.at + self.cfg.warmup, Ev::StrikeAt(i));
+        }
+    }
+
+    /// Runs the experiment to completion and returns the result.
+    pub fn run(mut self) -> RunResult {
+        while let Some(next) = self.queue.peek_time() {
+            if next > self.end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.handle(t, ev);
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> RunResult {
+        // Gather counters.
+        for node in &mut self.nodes {
+            for vm in &mut node.vms {
+                if let Some(m) = &vm.master {
+                    self.counters.tx_timestamp_timeouts += m.tx_timestamp_timeouts;
+                    self.counters.deadline_misses += m.tx_deadline_misses;
+                }
+                let shm = vm.aggregator.shmem();
+                let shm = shm.lock();
+                self.counters.aggregations += shm.aggregations;
+                self.counters.no_quorum += shm.no_quorum;
+            }
+            self.counters.takeovers += node.device.takeovers;
+        }
+        for port in self.egress.values() {
+            self.counters.frames_queued += port.queued_frames;
+        }
+        let bounds = self.derive_bounds();
+        let tau0 = self.cfg.probe_interval.as_secs_f64();
+        RunResult {
+            ground_truth: tsn_metrics::TimeErrorSeries::new(tau0, self.ground_truth_ns),
+            discipline_error: tsn_metrics::TimeErrorSeries::new(tau0, self.discipline_error_ns),
+            series: self.series,
+            events: self.events,
+            bounds,
+            counters: self.counters,
+            warmup: self.cfg.warmup,
+        }
+    }
+
+    fn derive_bounds(&self) -> BoundsReport {
+        let res_min = self.cfg.residence_min;
+        let res_max = self.cfg.residence_max + self.cfg.residence_jitter;
+        let stations: Vec<DeviceId> = self.topo.stations().collect();
+        let mut all = Vec::new();
+        for &a in &stations {
+            for &b in &stations {
+                if a != b {
+                    if let Some(p) = self.topo.path_delay_bounds(a, b, res_min, res_max) {
+                        all.push(p);
+                    }
+                }
+            }
+        }
+        let m = self.cfg.measurement_node;
+        let sender = self.nodes[m].vms[1].nic_device;
+        let mut meas = Vec::new();
+        for (&dev, &(node, _)) in &self.station_map {
+            if node != m {
+                if let Some(p) = self.topo.path_delay_bounds(sender, dev, res_min, res_max) {
+                    meas.push(p);
+                }
+            }
+        }
+        BoundsReport::derive(
+            self.cfg.nodes,
+            1,
+            self.cfg.r_max_ppb,
+            self.cfg.sync_interval,
+            &all,
+            &meas,
+        )
+    }
+
+    // ----- event dispatch --------------------------------------------
+
+    fn handle(&mut self, t: SimTime, ev: Ev) {
+        match ev {
+            Ev::Transmit { from, frame, ctx } => self.on_transmit(t, from, frame, ctx),
+            Ev::Arrive { to, frame } => self.on_arrive(t, to, frame),
+            Ev::GmSyncTick { node } => self.on_gm_sync_tick(t, node),
+            Ev::PdelayTick { port } => self.on_pdelay_tick(t, port),
+            Ev::Phc2SysTick { node, slot } => self.on_phc2sys_tick(t, node, slot),
+            Ev::MonitorTick { node } => self.on_monitor_tick(t, node),
+            Ev::WanderTick => self.on_wander_tick(t),
+            Ev::ProbeTick { seq } => self.on_probe_tick(t, seq),
+            Ev::FaultAt(i) => self.on_fault(t, i),
+            Ev::RebootAt(i) => self.on_reboot(t, i),
+            Ev::StrikeAt(i) => self.on_strike(t, i),
+            Ev::PortFree { from } => self.on_port_free(t, from),
+            Ev::BackgroundTick { port } => self.on_background_tick(t, port),
+        }
+    }
+
+    /// 802.1Q traffic class of a frame: explicit PCP if tagged, else by
+    /// ethertype (gPTP highest; background best-effort). With priority
+    /// isolation disabled (ablation), everything is best-effort.
+    fn priority_of(&self, frame: &EthernetFrame) -> u8 {
+        if let Some(bg) = &self.cfg.background {
+            if !bg.priority_isolation {
+                return 0;
+            }
+        }
+        if let Some(tag) = frame.vlan {
+            return tag.pcp;
+        }
+        match frame.ethertype {
+            ethertype::PTP => 7,
+            ethertype::MEASUREMENT => 6,
+            _ => 0,
+        }
+    }
+
+    fn on_port_free(&mut self, t: SimTime, from: PortAddr) {
+        // A same-instant transmission may have grabbed the wire already;
+        // its own PortFree will drain the queue.
+        let busy = self
+            .egress
+            .get(&from)
+            .map(|p| p.is_busy(t))
+            .unwrap_or(false);
+        if busy {
+            return;
+        }
+        if let Some((_, (frame, ctx))) = self.egress.get_mut(&from).and_then(|p| p.pop_ready()) {
+            self.depart(t, from, frame, ctx);
+        }
+    }
+
+    fn on_background_tick(&mut self, t: SimTime, port: PortAddr) {
+        let Some(bg) = self.cfg.background else {
+            return;
+        };
+        // Interarrival: frame service time / load, jittered ±50 %.
+        let payload = vec![0u8; bg.frame_bytes];
+        let frame = EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::for_nic(port.device.0 as u32),
+            vlan: None,
+            ethertype: ethertype::BACKGROUND,
+            payload: bytes::Bytes::from(payload),
+        };
+        let service = frame.serialization_ns(1_000_000_000).as_nanos() as f64;
+        let mean_gap = (service / bg.load.clamp(0.01, 0.95)).max(1.0);
+        let gap = mean_gap * self.frame_rng.gen_range(0.5..1.5);
+        self.queue.schedule_at(
+            t + Nanos::from_nanos(gap as i64),
+            Ev::BackgroundTick { port },
+        );
+        self.on_transmit(t, port, frame, TxCtx::None);
+    }
+
+    // ----- transmission ----------------------------------------------
+
+    /// Queues a general (not launch-timed) transmission after a small
+    /// driver latency.
+    fn send_general(&mut self, t: SimTime, from: PortAddr, frame: EthernetFrame, ctx: TxCtx) {
+        let latency = Nanos::from_nanos(self.frame_rng.gen_range(1_000..20_000));
+        self.queue
+            .schedule_at(t + latency, Ev::Transmit { from, frame, ctx });
+    }
+
+    fn ptp_frame(src: MacAddr, payload: bytes::Bytes) -> EthernetFrame {
+        EthernetFrame {
+            dst: MacAddr::GPTP_MULTICAST,
+            src,
+            vlan: None,
+            ethertype: ethertype::PTP,
+            payload,
+        }
+    }
+
+    fn on_transmit(&mut self, t: SimTime, from: PortAddr, frame: EthernetFrame, ctx: TxCtx) {
+        // Strict-priority egress queuing: if the port is serializing
+        // another frame — or higher/earlier frames are already queued —
+        // join the queue rather than jumping it.
+        let prio = self.priority_of(&frame);
+        let (busy, backlog) = self
+            .egress
+            .get(&from)
+            .map(|p| (p.is_busy(t), !p.is_empty()))
+            .unwrap_or((false, false));
+        if busy || backlog {
+            self.egress
+                .entry(from)
+                .or_default()
+                .enqueue(prio, (frame, ctx));
+            if !busy {
+                // Port idle with a backlog (possible when a departure was
+                // dropped): drain it now in priority order.
+                self.on_port_free(t, from);
+            }
+            return;
+        }
+        self.depart(t, from, frame, ctx);
+    }
+
+    fn depart(&mut self, t: SimTime, from: PortAddr, frame: EthernetFrame, ctx: TxCtx) {
+        // A VM that died between queuing and departure transmits nothing;
+        // drain whatever else is queued on the port.
+        if let Some(&(node, slot)) = self.station_map.get(&from.device) {
+            if !self.nodes[node].vms[slot].running {
+                self.on_port_free(t, from);
+                return;
+            }
+        }
+        self.trace_frame(t, from, TraceDir::Tx, &frame);
+        // Occupy the wire for the frame's serialization time.
+        let duration = frame.serialization_ns(1_000_000_000);
+        self.egress
+            .entry(from)
+            .or_default()
+            .begin_transmission(t, duration);
+        self.queue.schedule_at(t + duration, Ev::PortFree { from });
+
+        // Departure timestamp with the sender's clock, then ctx actions.
+        match ctx {
+            TxCtx::None => {}
+            TxCtx::GmSync { node, seq } => {
+                let timed_out = self.transient.tx_timestamp_times_out();
+                let vm = &mut self.nodes[node].vms[0];
+                if timed_out {
+                    if let Some(m) = &mut vm.master {
+                        m.sync_tx_failed(seq);
+                    }
+                    self.log(
+                        t,
+                        ExperimentEvent::Transient {
+                            node,
+                            kind: TransientKind::TxTimestampTimeout,
+                        },
+                    );
+                } else {
+                    let tx_ts = {
+                        let mut rng = self.frame_rng.clone();
+                        let ts = vm.nic.tx_timestamp(t, &mut rng);
+                        self.frame_rng = rng;
+                        ts
+                    };
+                    if let Some(m) = &mut vm.master {
+                        if let Some(fu) = m.sync_sent(seq, tx_ts) {
+                            let fu_frame = Self::ptp_frame(self.nodes[node].vms[0].nic.mac, fu);
+                            self.send_general(t, from, fu_frame, TxCtx::None);
+                        }
+                    }
+                }
+            }
+            TxCtx::BridgeSync { sw, domain, seq } => {
+                let tx_ts = {
+                    let mut rng = self.frame_rng.clone();
+                    let s = &mut self.switches[sw];
+                    let ts = s.phc.now(t)
+                        + tsn_time::sample_timestamp_error(&self.cfg.ts_jitter, &mut rng);
+                    self.frame_rng = rng;
+                    ts
+                };
+                let emissions = self.switches[sw].relays[domain as usize].sync_forwarded(
+                    seq,
+                    u16::from(from.port.0),
+                    tx_ts,
+                );
+                let src = MacAddr::for_nic(self.switches[sw].device.0 as u32);
+                for (port, bytes) in emissions {
+                    let fu_frame = Self::ptp_frame(src, bytes);
+                    let out = PortAddr::new(self.switches[sw].device, port as u8);
+                    self.send_general(t, out, fu_frame, TxCtx::None);
+                }
+            }
+            TxCtx::PdelayReq { dev, seq } => {
+                let t1 = self.event_timestamp(t, dev);
+                if let Some(t1) = t1 {
+                    if let Some(&(node, slot)) = self.station_map.get(&dev) {
+                        self.nodes[node].vms[slot].pd.request_sent(seq, t1);
+                    } else if let Some(&sw) = self.switch_map.get(&dev) {
+                        if let Some(svc) = self.switches[sw].pd.get_mut(&from.port.0) {
+                            svc.request_sent(seq, t1);
+                        }
+                    }
+                }
+            }
+            TxCtx::PdelayResp {
+                dev,
+                seq,
+                requesting,
+            } => {
+                let t3 = self.event_timestamp(t, dev);
+                if let Some(t3) = t3 {
+                    let fu = if let Some(&(node, slot)) = self.station_map.get(&dev) {
+                        Some(
+                            self.nodes[node].vms[slot]
+                                .pd
+                                .make_resp_follow_up(seq, requesting, t3),
+                        )
+                    } else if let Some(&sw) = self.switch_map.get(&dev) {
+                        self.switches[sw]
+                            .pd
+                            .get(&from.port.0)
+                            .map(|svc| svc.make_resp_follow_up(seq, requesting, t3))
+                    } else {
+                        None
+                    };
+                    if let Some(fu) = fu {
+                        let src = frame.src;
+                        let fu_frame = Self::ptp_frame(src, fu);
+                        self.send_general(t, from, fu_frame, TxCtx::None);
+                    }
+                }
+            }
+        }
+        // Cross the link.
+        let Some((_, link)) = self.topo.link_of(from) else {
+            return;
+        };
+        // Hardware timestamps reference the start-of-frame delimiter on
+        // both ends (IEEE 1588 clause 7.3.4), so serialization time does
+        // not enter the timestamped path delay; it is absorbed into the
+        // link's base latency model.
+        let delay = link.delay_from(from).sample(&mut self.frame_rng);
+        let to = link.peer_of(from);
+        self.queue.schedule_at(t + delay, Ev::Arrive { to, frame });
+    }
+
+    /// Hardware event timestamp at a device's clock (station NIC or
+    /// switch PHC); `None` if the owning VM is down.
+    fn event_timestamp(&mut self, t: SimTime, dev: DeviceId) -> Option<ClockTime> {
+        let mut rng = self.frame_rng.clone();
+        let ts = if let Some(&(node, slot)) = self.station_map.get(&dev) {
+            let vm = &mut self.nodes[node].vms[slot];
+            if !vm.running {
+                self.frame_rng = rng;
+                return None;
+            }
+            Some(vm.nic.rx_timestamp(t, &mut rng))
+        } else if let Some(&sw) = self.switch_map.get(&dev) {
+            let s = &mut self.switches[sw];
+            Some(s.phc.now(t) + tsn_time::sample_timestamp_error(&self.cfg.ts_jitter, &mut rng))
+        } else {
+            None
+        };
+        self.frame_rng = rng;
+        ts
+    }
+
+    // ----- reception ---------------------------------------------------
+
+    fn on_arrive(&mut self, t: SimTime, to: PortAddr, frame: EthernetFrame) {
+        self.trace_frame(t, to, TraceDir::Rx, &frame);
+        if let Some(&(node, slot)) = self.station_map.get(&to.device) {
+            self.arrive_at_station(t, node, slot, frame);
+        } else if let Some(&sw) = self.switch_map.get(&to.device) {
+            self.arrive_at_switch(t, sw, to.port.0, frame);
+        }
+    }
+
+    fn arrive_at_station(&mut self, t: SimTime, node: usize, slot: usize, frame: EthernetFrame) {
+        if !self.nodes[node].vms[slot].running {
+            return;
+        }
+        match frame.ethertype {
+            ethertype::PTP => {
+                let Ok(msg) = Message::decode(&frame.payload) else {
+                    return;
+                };
+                self.station_ptp(t, node, slot, msg);
+            }
+            // Probe: timestamp with the node's CLOCK_SYNCTIME.
+            ethertype::MEASUREMENT if frame.payload.len() >= 8 => {
+                let seq = u64::from_be_bytes(frame.payload[0..8].try_into().expect("slice of 8"));
+                let host_now = self.nodes[node].host_phc.now(t);
+                let read_err = Nanos::from_nanos(sample_gaussian(
+                    &mut self.frame_rng,
+                    self.cfg.synctime_read_sigma_ns,
+                ));
+                let reading = self.nodes[node].device.synctime(host_now) + read_err;
+                self.probes.entry(seq).or_default().push(reading);
+            }
+            _ => {}
+        }
+    }
+
+    fn station_ptp(&mut self, t: SimTime, node: usize, slot: usize, msg: Message) {
+        match &msg {
+            Message::Sync { header, .. } => {
+                let rx_ts = {
+                    let mut rng = self.frame_rng.clone();
+                    let ts = self.nodes[node].vms[slot].nic.rx_timestamp(t, &mut rng);
+                    self.frame_rng = rng;
+                    ts
+                };
+                let domain = header.domain as usize;
+                if domain < self.nodes[node].vms[slot].slaves.len() {
+                    self.nodes[node].vms[slot].slaves[domain].handle_sync(&msg, rx_ts);
+                }
+            }
+            Message::FollowUp { header, .. } => {
+                // Note: a compromised VM keeps aggregating benignly — the
+                // paper's attacker is stealthy (its own node stays
+                // synchronized; only the distributed
+                // preciseOriginTimestamps are malicious), which is what
+                // makes the first strike in Fig. 3a invisible to the
+                // measured precision.
+                let vm = &mut self.nodes[node].vms[slot];
+                let domain = header.domain as usize;
+                if domain >= vm.slaves.len() {
+                    return;
+                }
+                // The GM's own domain has no slave function.
+                if slot == 0 && domain == node && vm.gm_active {
+                    return;
+                }
+                // Prior-work baseline: GM VMs do not run multi-domain
+                // aggregation (clients only).
+                if slot == 0 && !self.cfg.gm_mutual_sync {
+                    return;
+                }
+                let link = vm.pd.link_state();
+                let link_delay = link.mean_link_delay.unwrap_or(DEFAULT_LINK_DELAY);
+                let nrr = link.neighbor_rate_ratio;
+                if let Some(sample) = vm.slaves[domain].handle_follow_up(&msg, link_delay, nrr) {
+                    let now_clock = vm.nic.phc.now(t);
+                    let outcome = vm.aggregator.submit(
+                        domain,
+                        sample.offset,
+                        sample.sync_rx_local,
+                        sample.rate_ratio,
+                        now_clock,
+                    );
+                    self.apply_outcome(t, node, slot, outcome);
+                }
+            }
+            Message::PdelayReq { .. } => {
+                let rx = self.event_timestamp(t, self.nodes[node].vms[slot].nic_device);
+                let Some(t2) = rx else { return };
+                let vm = &mut self.nodes[node].vms[slot];
+                if let Some(ctx) = vm.pd.handle(&msg, t2) {
+                    let dev = vm.nic_device;
+                    let mac = vm.nic.mac;
+                    let turnaround = Nanos::from_nanos(self.frame_rng.gen_range(50_000..300_000));
+                    let resp_frame = Self::ptp_frame(mac, ctx.resp);
+                    self.queue.schedule_at(
+                        t + turnaround,
+                        Ev::Transmit {
+                            from: PortAddr::new(dev, 0),
+                            frame: resp_frame,
+                            ctx: TxCtx::PdelayResp {
+                                dev,
+                                seq: ctx.seq,
+                                requesting: ctx.requesting_port,
+                            },
+                        },
+                    );
+                }
+            }
+            Message::PdelayResp { .. } => {
+                let rx = self.event_timestamp(t, self.nodes[node].vms[slot].nic_device);
+                let Some(t4) = rx else { return };
+                let _ = self.nodes[node].vms[slot].pd.handle(&msg, t4);
+            }
+            Message::PdelayRespFollowUp { .. } => {
+                let _ = self.nodes[node].vms[slot].pd.handle(&msg, ClockTime::ZERO);
+            }
+            Message::Announce { .. } => {}
+            // The testbed runs the gPTP profile: peer delay, no E2E
+            // mechanism, no runtime interval changes.
+            Message::DelayReq { .. } | Message::DelayResp { .. } | Message::Signaling { .. } => {}
+        }
+    }
+
+    fn arrive_at_switch(&mut self, t: SimTime, sw: usize, port: u8, frame: EthernetFrame) {
+        match frame.ethertype {
+            // Background traffic only loads the egress ports it crossed.
+            ethertype::BACKGROUND => {}
+            ethertype::PTP => {
+                let Ok(msg) = Message::decode(&frame.payload) else {
+                    return;
+                };
+                self.switch_ptp(t, sw, port, msg, &frame);
+            }
+            _ => {
+                // Fabric forwarding (measurement probes, etc.).
+                let mut rng = self.frame_rng.clone();
+                let out = self.switches[sw]
+                    .fabric
+                    .forward(PortNo(port), &frame, &mut rng);
+                self.frame_rng = rng;
+                for (egress, residence) in out {
+                    let from = PortAddr::new(self.switches[sw].device, egress.0);
+                    self.queue.schedule_at(
+                        t + residence,
+                        Ev::Transmit {
+                            from,
+                            frame: frame.clone(),
+                            ctx: TxCtx::None,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn switch_ptp(&mut self, t: SimTime, sw: usize, port: u8, msg: Message, frame: &EthernetFrame) {
+        match &msg {
+            Message::Sync { header, .. } => {
+                let rx_ts = match self.event_timestamp(t, self.switches[sw].device) {
+                    Some(ts) => ts,
+                    None => return,
+                };
+                let domain = header.domain as usize;
+                if domain >= self.switches[sw].relays.len() {
+                    return;
+                }
+                let emissions =
+                    self.switches[sw].relays[domain].handle_sync(&msg, u16::from(port), rx_ts);
+                let residence = self.switches[sw].fabric.residence;
+                let src = MacAddr::for_nic(self.switches[sw].device.0 as u32);
+                let seq = header.sequence_id;
+                let domain_u8 = header.domain;
+                for (out_port, bytes) in emissions {
+                    let delay = residence.sample(&mut self.frame_rng);
+                    let sync_frame = Self::ptp_frame(src, bytes);
+                    let from = PortAddr::new(self.switches[sw].device, out_port as u8);
+                    self.queue.schedule_at(
+                        t + delay,
+                        Ev::Transmit {
+                            from,
+                            frame: sync_frame,
+                            ctx: TxCtx::BridgeSync {
+                                sw,
+                                domain: domain_u8,
+                                seq,
+                            },
+                        },
+                    );
+                }
+            }
+            Message::FollowUp { header, .. } => {
+                let domain = header.domain as usize;
+                if domain >= self.switches[sw].relays.len() {
+                    return;
+                }
+                let (link_delay, nrr) = match self.switches[sw].pd.get(&port) {
+                    Some(svc) => {
+                        let ls = svc.link_state();
+                        (
+                            ls.mean_link_delay.unwrap_or(DEFAULT_LINK_DELAY),
+                            ls.neighbor_rate_ratio,
+                        )
+                    }
+                    None => (DEFAULT_LINK_DELAY, 1.0),
+                };
+                let emissions = self.switches[sw].relays[domain].handle_follow_up(
+                    &msg,
+                    u16::from(port),
+                    link_delay,
+                    nrr,
+                );
+                let src = MacAddr::for_nic(self.switches[sw].device.0 as u32);
+                for (out_port, bytes) in emissions {
+                    let fu_frame = Self::ptp_frame(src, bytes);
+                    let from = PortAddr::new(self.switches[sw].device, out_port as u8);
+                    self.send_general(t, from, fu_frame, TxCtx::None);
+                }
+            }
+            Message::PdelayReq { .. } => {
+                let rx = self.event_timestamp(t, self.switches[sw].device);
+                let Some(t2) = rx else { return };
+                let dev = self.switches[sw].device;
+                if let Some(svc) = self.switches[sw].pd.get_mut(&port) {
+                    if let Some(ctx) = svc.handle(&msg, t2) {
+                        let turnaround =
+                            Nanos::from_nanos(self.frame_rng.gen_range(50_000..300_000));
+                        let resp_frame = Self::ptp_frame(frame.dst, ctx.resp);
+                        self.queue.schedule_at(
+                            t + turnaround,
+                            Ev::Transmit {
+                                from: PortAddr::new(dev, port),
+                                frame: resp_frame,
+                                ctx: TxCtx::PdelayResp {
+                                    dev,
+                                    seq: ctx.seq,
+                                    requesting: ctx.requesting_port,
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+            Message::PdelayResp { .. } => {
+                let rx = self.event_timestamp(t, self.switches[sw].device);
+                let Some(t4) = rx else { return };
+                if let Some(svc) = self.switches[sw].pd.get_mut(&port) {
+                    let _ = svc.handle(&msg, t4);
+                }
+            }
+            Message::PdelayRespFollowUp { .. } => {
+                if let Some(svc) = self.switches[sw].pd.get_mut(&port) {
+                    let _ = svc.handle(&msg, ClockTime::ZERO);
+                }
+            }
+            Message::Announce { .. } => {}
+            Message::DelayReq { .. } | Message::DelayResp { .. } | Message::Signaling { .. } => {}
+        }
+    }
+
+    // ----- servo application -------------------------------------------
+
+    fn apply_outcome(&mut self, t: SimTime, node: usize, slot: usize, outcome: SubmitOutcome) {
+        let vm = &mut self.nodes[node].vms[slot];
+        if let SubmitOutcome::Aggregated(a) = outcome {
+            match a.servo {
+                ServoOutput::Gathering => {}
+                ServoOutput::Step {
+                    delta,
+                    freq_adj_ppb,
+                } => {
+                    vm.nic.phc.step(t, delta);
+                    vm.nic.phc.adj_frequency(t, freq_adj_ppb);
+                }
+                ServoOutput::Adjust { freq_adj_ppb } => {
+                    vm.nic.phc.adj_frequency(t, freq_adj_ppb);
+                }
+            }
+        }
+    }
+
+    // ----- periodic activities -----------------------------------------
+
+    fn on_gm_sync_tick(&mut self, t: SimTime, node: usize) {
+        let s = self.cfg.sync_interval;
+        let vm = &mut self.nodes[node].vms[0];
+        if !vm.running {
+            self.queue.schedule_at(t + s, Ev::GmSyncTick { node });
+            return;
+        }
+        // The GM's own-domain instance stores its self-offset of zero
+        // each interval — this is what keeps the GM inside the
+        // distributed FTA ensemble (and what bootstraps the initial
+        // domain's GM through the startup protocol). Compromised VMs
+        // keep doing this too (stealthy attacker).
+        //
+        // With `gm_mutual_sync` disabled (the prior-work baseline the
+        // paper critiques), grandmasters do not aggregate at all: their
+        // clocks free-run and the GM ensemble drifts apart.
+        if self.cfg.gm_mutual_sync {
+            let now_clock = vm.nic.phc.now(t);
+            let outcome = vm.aggregator.submit_self(node, now_clock);
+            self.apply_outcome(t, node, 0, outcome);
+        } else {
+            vm.gm_active = true;
+        }
+        let vm = &mut self.nodes[node].vms[0];
+        // A restarted (or initial) GM only serves its domain once its own
+        // clock has converged to the ensemble.
+        if !vm.gm_active && !vm.compromised {
+            if vm.aggregator.mode() == AggregationMode::FaultTolerant {
+                vm.gm_active = true;
+                if t > SimTime::ZERO + self.cfg.warmup {
+                    self.log(t, ExperimentEvent::GmResumed { node });
+                }
+            } else {
+                self.queue.schedule_at(t + s, Ev::GmSyncTick { node });
+                return;
+            }
+        }
+        let vm = &mut self.nodes[node].vms[0];
+        // Launch on the next S boundary of the VM's own synchronized
+        // clock, at least LAUNCH_LEAD ahead (paper: ETF qdisc +
+        // launch-time so all domains transmit within Π of each other).
+        let now_clock = vm.nic.phc.now(t);
+        let launch = (now_clock + LAUNCH_LEAD).ceil_to(s);
+        let (bytes, seq) = vm.master.as_mut().expect("slot 0 has master").make_sync();
+        if self.transient.deadline_missed() {
+            vm.master
+                .as_mut()
+                .expect("has master")
+                .sync_deadline_missed(seq);
+            self.log(
+                t,
+                ExperimentEvent::Transient {
+                    node,
+                    kind: TransientKind::DeadlineMiss,
+                },
+            );
+            self.queue.schedule_at(t + s, Ev::GmSyncTick { node });
+            return;
+        }
+        match self.nodes[node].vms[0].nic.launch(t, launch) {
+            LaunchOutcome::DepartsAt(depart) => {
+                let mac = self.nodes[node].vms[0].nic.mac;
+                let dev = self.nodes[node].vms[0].nic_device;
+                let frame = Self::ptp_frame(mac, bytes);
+                self.queue.schedule_at(
+                    depart,
+                    Ev::Transmit {
+                        from: PortAddr::new(dev, 0),
+                        frame,
+                        ctx: TxCtx::GmSync { node, seq },
+                    },
+                );
+                // Next tick lands LAUNCH_LEAD + margin before the next
+                // boundary so the ceil above resolves to it exactly.
+                self.queue.schedule_at(
+                    depart + s - LAUNCH_LEAD - Nanos::from_millis(5),
+                    Ev::GmSyncTick { node },
+                );
+            }
+            LaunchOutcome::DeadlineMiss => {
+                self.nodes[node].vms[0]
+                    .master
+                    .as_mut()
+                    .expect("has master")
+                    .sync_deadline_missed(seq);
+                self.log(
+                    t,
+                    ExperimentEvent::Transient {
+                        node,
+                        kind: TransientKind::DeadlineMiss,
+                    },
+                );
+                self.queue.schedule_at(t + s, Ev::GmSyncTick { node });
+            }
+        }
+    }
+
+    fn on_pdelay_tick(&mut self, t: SimTime, port: PortAddr) {
+        self.queue
+            .schedule_at(t + self.cfg.pdelay_interval, Ev::PdelayTick { port });
+        let dev = port.device;
+        let (req, mac) = if let Some(&(node, slot)) = self.station_map.get(&dev) {
+            let vm = &mut self.nodes[node].vms[slot];
+            if !vm.running {
+                return;
+            }
+            let (bytes, seq) = vm.pd.make_request();
+            (Some((bytes, seq)), vm.nic.mac)
+        } else if let Some(&sw) = self.switch_map.get(&dev) {
+            let mac = MacAddr::for_nic(dev.0 as u32);
+            match self.switches[sw].pd.get_mut(&port.port.0) {
+                Some(svc) => {
+                    let (bytes, seq) = svc.make_request();
+                    (Some((bytes, seq)), mac)
+                }
+                None => (None, mac),
+            }
+        } else {
+            (None, MacAddr::BROADCAST)
+        };
+        if let Some((bytes, seq)) = req {
+            let frame = Self::ptp_frame(mac, bytes);
+            self.send_general(t, port, frame, TxCtx::PdelayReq { dev, seq });
+        }
+    }
+
+    fn on_phc2sys_tick(&mut self, t: SimTime, node: usize, slot: usize) {
+        self.queue.schedule_at(
+            t + self.cfg.phc2sys_interval,
+            Ev::Phc2SysTick { node, slot },
+        );
+        let host_now = self.nodes[node].host_phc.now(t);
+        if !self.nodes[node].vms[slot].running {
+            return;
+        }
+        // Reading the PHC is a PCIe register access from a guest: model
+        // its error as Gaussian noise with occasional latency spikes —
+        // the raw material of the paper's Fig. 4 precision spikes, which
+        // the feedback discipline amplifies.
+        let read_error = {
+            let g = sample_gaussian(&mut self.frame_rng, self.cfg.phc_read_sigma_ns);
+            let spike = if self.frame_rng.gen::<f64>() < self.cfg.phc_read_spike_prob {
+                let m = self.cfg.phc_read_spike_max.as_nanos();
+                self.frame_rng.gen_range(-m..=m)
+            } else {
+                0
+            };
+            Nanos::from_nanos(g + spike)
+        };
+        let phc_now = self.nodes[node].vms[slot].nic.phc.now(t) + read_error;
+        // A Byzantine dependent-clock writer shifts everything it
+        // publishes (candidate and page alike).
+        let corruption = match self.cfg.corrupt_publisher {
+            Some(cp)
+                if cp.node == node
+                    && cp.slot == slot
+                    && t >= SimTime::ZERO + self.cfg.warmup + cp.at =>
+            {
+                cp.offset
+            }
+            _ => Nanos::ZERO,
+        };
+        // In voting mode every clock-sync VM publishes a candidate
+        // mapping into its private hypervisor slot.
+        if self.nodes[node].voting.is_some() {
+            let mut candidate = self.nodes[node].vms[slot].phc2sys.sample(host_now, phc_now);
+            candidate.base_sync = candidate.base_sync + corruption;
+            if let Some(v) = &mut self.nodes[node].voting {
+                v.publish_candidate(VmId(slot), candidate, host_now);
+            }
+        }
+        let mut params = match self.cfg.sync_clock_discipline {
+            SyncClockDiscipline::FeedForward => {
+                self.nodes[node].vms[slot].phc2sys.sample(host_now, phc_now)
+            }
+            SyncClockDiscipline::Feedback => {
+                // Only the active maintainer runs the feedback loop (the
+                // standby's servo starts fresh on takeover).
+                if self.nodes[node].device.active() != VmId(slot) {
+                    return;
+                }
+                let current = self.nodes[node].device.stshmem().params();
+                self.nodes[node].vms[slot]
+                    .sync_servo
+                    .sample(&current, host_now, phc_now)
+            }
+        };
+        params.base_sync = params.base_sync + corruption;
+        self.nodes[node]
+            .device
+            .publish(VmId(slot), params, host_now);
+    }
+
+    fn on_monitor_tick(&mut self, t: SimTime, node: usize) {
+        self.queue.schedule_at(
+            t + self.nodes[node].device.config().period,
+            Ev::MonitorTick { node },
+        );
+        let host_now = self.nodes[node].host_phc.now(t);
+        let running: Vec<bool> = self.nodes[node].vms.iter().map(|vm| vm.running).collect();
+        // Fail-consistent detection first: a VM voted faulty is treated
+        // like a failed one even though it keeps publishing.
+        let faulty: Vec<bool> = match &self.nodes[node].voting {
+            Some(v) => v.vote(host_now),
+            None => vec![false; self.nodes[node].vms.len()],
+        };
+        if faulty[self.nodes[node].device.active().0] {
+            let ok = |vm: VmId| running[vm.0] && !faulty[vm.0];
+            if let Some(takeover) = self.nodes[node].device.force_takeover(ok) {
+                self.nodes[node].vms[takeover.to.0].sync_servo.reset();
+                self.log(t, ExperimentEvent::Takeover { node });
+            }
+        }
+        if let Some(takeover) = self.nodes[node]
+            .device
+            .monitor_tick(host_now, |vm| running[vm.0])
+        {
+            // The promoted VM's CLOCK_SYNCTIME servo starts fresh.
+            self.nodes[node].vms[takeover.to.0].sync_servo.reset();
+            self.log(t, ExperimentEvent::Takeover { node });
+        }
+    }
+
+    fn on_wander_tick(&mut self, t: SimTime) {
+        self.queue
+            .schedule_at(t + self.cfg.wander_interval, Ev::WanderTick);
+        let mut rng = self.frame_rng.clone();
+        for node in &mut self.nodes {
+            let dev = node.host_osc.step_wander(&mut rng);
+            node.host_phc.set_oscillator_deviation(t, dev);
+            for vm in &mut node.vms {
+                let dev = vm.osc.step_wander(&mut rng);
+                vm.nic.phc.set_oscillator_deviation(t, dev);
+            }
+        }
+        for sw in &mut self.switches {
+            let dev = sw.osc.step_wander(&mut rng);
+            sw.phc.set_oscillator_deviation(t, dev);
+        }
+        self.frame_rng = rng;
+    }
+
+    fn on_probe_tick(&mut self, t: SimTime, seq: u64) {
+        self.queue
+            .schedule_at(t + self.cfg.probe_interval, Ev::ProbeTick { seq: seq + 1 });
+        // Finalize the previous probe.
+        if seq > 0 {
+            self.finalize_probe(seq - 1);
+        }
+        let m = self.cfg.measurement_node;
+        if !self.nodes[m].vms[1].running {
+            return;
+        }
+        self.probe_sent_at.insert(seq, t);
+        let host_now = self.nodes[0].host_phc.now(t);
+        let sync = self.nodes[0].device.synctime(host_now).as_nanos();
+        self.ground_truth_ns
+            .push((sync - t.as_nanos() as i64) as f64);
+        let active = self.nodes[0].device.active().0;
+        let phc = self.nodes[0].vms[active].nic.phc.now(t).as_nanos();
+        self.discipline_error_ns.push((sync - phc) as f64);
+        let vm = &self.nodes[m].vms[1];
+        let frame = EthernetFrame {
+            dst: MacAddr::PTP_MULTICAST,
+            src: vm.nic.mac,
+            vlan: Some(VlanTag::new(6, MEASUREMENT_VID)),
+            ethertype: ethertype::MEASUREMENT,
+            payload: bytes::Bytes::copy_from_slice(&seq.to_be_bytes()),
+        };
+        let from = PortAddr::new(vm.nic_device, 0);
+        self.send_general(t, from, frame, TxCtx::None);
+    }
+
+    fn finalize_probe(&mut self, seq: u64) {
+        let Some(at) = self.probe_sent_at.remove(&seq) else {
+            return;
+        };
+        let Some(readings) = self.probes.remove(&seq) else {
+            return;
+        };
+        if let Some(value) = precision_of(&readings) {
+            self.series.push(PrecisionSample {
+                at,
+                value,
+                receivers: readings.len(),
+            });
+        }
+    }
+
+    // ----- faults and attacks ------------------------------------------
+
+    fn on_fault(&mut self, t: SimTime, i: usize) {
+        let f = self.schedule[i];
+        let slot = match f.slot {
+            VmSlot::Grandmaster => 0,
+            VmSlot::Redundant => 1,
+        };
+        let vm = &mut self.nodes[f.node].vms[slot];
+        if !vm.running {
+            return; // already down (should not happen per constraints)
+        }
+        vm.running = false;
+        vm.gm_active = false;
+        self.counters.vm_failures += 1;
+        if f.slot == VmSlot::Grandmaster {
+            self.counters.gm_failures += 1;
+        }
+        self.log(
+            t,
+            ExperimentEvent::VmFailure {
+                node: f.node,
+                grandmaster: f.slot == VmSlot::Grandmaster,
+            },
+        );
+        self.queue
+            .schedule_at(f.reboot_at + self.cfg.warmup, Ev::RebootAt(i));
+    }
+
+    fn on_reboot(&mut self, t: SimTime, i: usize) {
+        let f = self.schedule[i];
+        let slot = match f.slot {
+            VmSlot::Grandmaster => 0,
+            VmSlot::Redundant => 1,
+        };
+        let n = self.cfg.nodes;
+        let vm = &mut self.nodes[f.node].vms[slot];
+        vm.running = true;
+        vm.compromised = false;
+        for s in &mut vm.slaves {
+            s.reset();
+        }
+        vm.aggregator.restart();
+        vm.phc2sys.reset();
+        vm.sync_servo.reset();
+        let dev = vm.nic_device;
+        let pid = PortIdentity::new(ClockIdentity::for_index(dev.0 as u32), 1);
+        vm.pd = LinkDelayService::new(pid);
+        let _ = n;
+        self.log(
+            t,
+            ExperimentEvent::VmReboot {
+                node: f.node,
+                grandmaster: f.slot == VmSlot::Grandmaster,
+            },
+        );
+    }
+
+    fn on_strike(&mut self, t: SimTime, i: usize) {
+        let strike = self.cfg.attack.strikes()[i];
+        let kernel = self.cfg.kernels.kernel(strike.target_node);
+        let outcome = AttackPlan::attempt(&strike, kernel);
+        let succeeded = outcome == StrikeOutcome::RootObtained;
+        if succeeded {
+            self.counters.strikes_succeeded += 1;
+            let vm = &mut self.nodes[strike.target_node].vms[0];
+            vm.compromised = true;
+            if let Some(m) = &mut vm.master {
+                m.pot_offset = strike.pot_offset;
+            }
+            // The malicious ptp4l serves the domain unconditionally.
+            vm.gm_active = true;
+        } else {
+            self.counters.strikes_failed += 1;
+        }
+        self.log(
+            t,
+            ExperimentEvent::Strike {
+                node: strike.target_node,
+                succeeded,
+            },
+        );
+    }
+
+    fn log(&mut self, t: SimTime, e: ExperimentEvent) {
+        self.events.record(t, e);
+    }
+
+    fn trace_frame(&mut self, t: SimTime, port: PortAddr, dir: TraceDir, frame: &EthernetFrame) {
+        let Some(trace) = &mut self.trace else {
+            return;
+        };
+        if frame.ethertype != ethertype::PTP {
+            return;
+        }
+        let summary = match Message::decode(&frame.payload) {
+            Ok(msg) => msg.to_string(),
+            Err(e) => format!("undecodable: {e}"),
+        };
+        trace.record(t, port, dir, summary);
+    }
+
+    /// The captured frame trace, if `trace_capacity > 0` was configured.
+    pub fn frame_trace(&self) -> Option<&FrameTrace> {
+        self.trace.as_ref()
+    }
+
+    // ----- introspection (tests, examples) ------------------------------
+
+    /// Ground truth: the spread of the clock-sync VMs' PHCs at true time
+    /// `t` (running VMs only). Not available to any simulated component.
+    /// Per-VM diagnostic snapshot: `(node, slot, true offset of the NIC
+    /// PHC, servo frequency adjustment ppb, aggregation mode,
+    /// aggregation count, no-quorum count, running)`.
+    #[allow(clippy::type_complexity)]
+    pub fn vm_diagnostics(
+        &mut self,
+        t: SimTime,
+    ) -> Vec<(usize, usize, Nanos, f64, AggregationMode, u64, u64, bool)> {
+        let mut out = Vec::new();
+        for (n, node) in self.nodes.iter_mut().enumerate() {
+            for (s, vm) in node.vms.iter_mut().enumerate() {
+                let off = vm.nic.phc.true_offset(t);
+                let shm = vm.aggregator.shmem();
+                let shm = shm.lock();
+                out.push((
+                    n,
+                    s,
+                    off,
+                    vm.nic.phc.freq_adj_ppb(),
+                    vm.aggregator.mode(),
+                    shm.aggregations,
+                    shm.no_quorum,
+                    vm.running,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Ground truth: the spread of the clock-sync VMs' PHCs at true time
+    /// `t` (running VMs only). Not available to any simulated component.
+    pub fn phc_spread(&mut self, t: SimTime) -> Nanos {
+        let mut readings = Vec::new();
+        for node in &mut self.nodes {
+            for vm in &mut node.vms {
+                if vm.running {
+                    readings.push(vm.nic.phc.now(t));
+                }
+            }
+        }
+        let min = readings.iter().min().copied().unwrap_or(ClockTime::ZERO);
+        let max = readings.iter().max().copied().unwrap_or(ClockTime::ZERO);
+        max - min
+    }
+
+    /// Diagnostic: mean aggregated offset (ns) of one VM's FTSHMEM.
+    pub fn offset_bias(&self, node: usize, slot: usize) -> f64 {
+        let shm = self.nodes[node].vms[slot].aggregator.shmem();
+        let shm = shm.lock();
+        if shm.aggregations == 0 {
+            0.0
+        } else {
+            shm.offset_sum_ns as f64 / shm.aggregations as f64
+        }
+    }
+
+    /// Ground truth: spread of the grandmaster VMs' PHCs at true time
+    /// `t` — the quantity whose boundedness separates the paper's design
+    /// from the prior-work baseline.
+    pub fn gm_spread(&mut self, t: SimTime) -> Nanos {
+        let mut readings = Vec::new();
+        for node in &mut self.nodes {
+            if node.vms[0].running {
+                readings.push(node.vms[0].nic.phc.now(t));
+            }
+        }
+        let min = readings.iter().min().copied().unwrap_or(ClockTime::ZERO);
+        let max = readings.iter().max().copied().unwrap_or(ClockTime::ZERO);
+        max - min
+    }
+
+    /// Ground truth: each node's `CLOCK_SYNCTIME` minus true time at `t`.
+    pub fn synctime_offsets(&mut self, t: SimTime) -> Vec<Nanos> {
+        self.nodes
+            .iter_mut()
+            .map(|node| {
+                let host_now = node.host_phc.now(t);
+                Nanos::from_nanos(node.device.synctime(host_now).as_nanos() - t.as_nanos() as i64)
+            })
+            .collect()
+    }
+
+    /// Ground truth: the spread of the nodes' `CLOCK_SYNCTIME` readings
+    /// at true time `t`.
+    pub fn synctime_spread(&mut self, t: SimTime) -> Nanos {
+        let mut readings = Vec::new();
+        for node in &mut self.nodes {
+            let host_now = node.host_phc.now(t);
+            readings.push(node.device.synctime(host_now));
+        }
+        let min = readings.iter().min().copied().unwrap_or(ClockTime::ZERO);
+        let max = readings.iter().max().copied().unwrap_or(ClockTime::ZERO);
+        max - min
+    }
+
+    /// The configured end of the run.
+    pub fn end_time(&self) -> SimTime {
+        self.end
+    }
+
+    /// Runs the world until `t` (inclusive), for step-wise tests.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.handle(now, ev);
+        }
+    }
+
+    /// Consumes the world and produces the result (for use after
+    /// [`World::run_until`]).
+    pub fn into_result(self) -> RunResult {
+        self.finish()
+    }
+}
+
+/// Irwin–Hall Gaussian sample (ns), matching `tsn_time::jitter`.
+fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> i64 {
+    if sigma <= 0.0 {
+        return 0;
+    }
+    let mut z = -6.0;
+    for _ in 0..12 {
+        z += rng.gen::<f64>();
+    }
+    (z * sigma).round() as i64
+}
+
+fn log2_interval(interval: Nanos) -> i8 {
+    let secs = interval.as_secs_f64();
+    secs.log2().round() as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_of_paper_interval() {
+        assert_eq!(log2_interval(Nanos::from_millis(125)), -3);
+        assert_eq!(log2_interval(Nanos::from_secs(1)), 0);
+        assert_eq!(log2_interval(Nanos::from_millis(250)), -2);
+    }
+
+    fn tiny_world(seed: u64) -> World {
+        let mut cfg = TestbedConfig::paper_default(seed);
+        cfg.duration = Nanos::from_secs(5);
+        cfg.warmup = Nanos::from_secs(5);
+        World::new(cfg)
+    }
+
+    #[test]
+    fn frame_priorities() {
+        let w = tiny_world(1);
+        let ptp = EthernetFrame {
+            dst: MacAddr::GPTP_MULTICAST,
+            src: MacAddr::for_nic(1),
+            vlan: None,
+            ethertype: ethertype::PTP,
+            payload: bytes::Bytes::new(),
+        };
+        assert_eq!(w.priority_of(&ptp), 7);
+        let probe = EthernetFrame {
+            vlan: Some(VlanTag::new(6, MEASUREMENT_VID)),
+            ethertype: ethertype::MEASUREMENT,
+            ..ptp.clone()
+        };
+        assert_eq!(w.priority_of(&probe), 6);
+        let be = EthernetFrame {
+            ethertype: ethertype::BACKGROUND,
+            ..ptp.clone()
+        };
+        assert_eq!(w.priority_of(&be), 0);
+    }
+
+    #[test]
+    fn priority_isolation_off_flattens_classes() {
+        let mut cfg = TestbedConfig::paper_default(1);
+        cfg.background = Some(crate::config::BackgroundTraffic {
+            load: 0.1,
+            frame_bytes: 1500,
+            priority_isolation: false,
+        });
+        cfg.duration = Nanos::from_secs(1);
+        let w = World::new(cfg);
+        let ptp = EthernetFrame {
+            dst: MacAddr::GPTP_MULTICAST,
+            src: MacAddr::for_nic(1),
+            vlan: None,
+            ethertype: ethertype::PTP,
+            payload: bytes::Bytes::new(),
+        };
+        assert_eq!(w.priority_of(&ptp), 0);
+    }
+
+    #[test]
+    fn bounds_derivation_internally_consistent() {
+        let w = tiny_world(3);
+        let b = w.derive_bounds();
+        assert_eq!(b.reading_error, b.d_max - b.d_min);
+        assert!(b.gamma <= b.reading_error + b.drift_offset + b.reading_error);
+        assert!(b.pi_plus_gamma() > b.pi);
+    }
+
+    #[test]
+    fn short_run_is_deterministic_end_to_end() {
+        let run = |seed| {
+            let mut w = tiny_world(seed);
+            w.run_until(SimTime::from_secs(8));
+            (
+                w.phc_spread(SimTime::from_secs(8)),
+                w.synctime_spread(SimTime::from_secs(8)),
+                w.gm_spread(SimTime::from_secs(8)),
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn vm_diagnostics_shape() {
+        let mut w = tiny_world(5);
+        w.run_until(SimTime::from_secs(3));
+        let d = w.vm_diagnostics(SimTime::from_secs(3));
+        assert_eq!(d.len(), 8); // 4 nodes × 2 VMs
+        assert!(d.iter().all(|(_, _, _, _, _, _, _, running)| *running));
+    }
+}

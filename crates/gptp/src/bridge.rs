@@ -1,0 +1,439 @@
+//! Per-domain time-aware bridge relay (IEEE 802.1AS clause 11).
+//!
+//! A time-aware bridge does not forward gPTP frames through its relay
+//! function: it *regenerates* them. For each domain the bridge has one
+//! slave (upstream) port and a set of master (downstream) ports, fixed by
+//! the external port configuration. On receiving `Sync` it immediately
+//! sends a fresh `Sync` on every master port; when the matching
+//! `Follow_Up` arrives it forwards it with
+//!
+//! ```text
+//! correction' = correction
+//!             + meanLinkDelay(slave port)
+//!             + rateRatioToGm · residenceTime(egress port)
+//! ```
+//!
+//! where `residenceTime` is measured with the bridge's free-running local
+//! clock and `rateRatioToGm` is the cumulative rate ratio from the
+//! Follow_Up TLV times the slave port's neighbor rate ratio. The TLV's
+//! `cumulativeScaledRateOffset` is updated the same way, so downstream
+//! systems can syntonize.
+
+use crate::msg::{Header, Message, MessageType};
+use crate::types::{rate_ratio, PortIdentity, PtpTimestamp};
+use bytes::Bytes;
+use std::collections::HashMap;
+use tsn_time::{ClockTime, Nanos};
+
+/// Maximum in-flight Sync sequences tracked per relay before the oldest
+/// is evicted (protects against a dead upstream never completing).
+const MAX_TRACKED: usize = 8;
+
+/// A `(egress port number, encoded message)` emission.
+pub type Emission = (u16, Bytes);
+
+#[derive(Debug, Clone)]
+struct SeqState {
+    rx_ts: ClockTime,
+    /// Per egress port: hardware tx timestamp of the regenerated Sync.
+    tx_ts: HashMap<u16, ClockTime>,
+    /// Upstream Follow_Up content, once received.
+    upstream: Option<UpstreamFu>,
+    /// Egress ports already served.
+    done: Vec<u16>,
+    /// Insertion order for eviction.
+    order: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct UpstreamFu {
+    precise_origin: PtpTimestamp,
+    correction: crate::types::Correction,
+    cumulative_scaled_rate_offset: i32,
+    rate_ratio_to_gm: f64,
+}
+
+/// Per-domain Sync/Follow_Up relay of one time-aware bridge.
+#[derive(Debug, Clone)]
+pub struct BridgeRelay {
+    domain: u8,
+    clock: crate::types::ClockIdentity,
+    slave_port: u16,
+    master_ports: Vec<u16>,
+    log_sync_interval: i8,
+    seqs: HashMap<u16, SeqState>,
+    next_order: u64,
+    /// Count of Follow_Ups that could not be forwarded because the
+    /// regenerated Sync's tx timestamp never became available.
+    pub dropped_forwards: u64,
+}
+
+impl BridgeRelay {
+    /// Creates a relay for `domain` with the given static port roles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slave_port` also appears in `master_ports`.
+    pub fn new(
+        domain: u8,
+        clock: crate::types::ClockIdentity,
+        slave_port: u16,
+        master_ports: Vec<u16>,
+    ) -> Self {
+        assert!(
+            !master_ports.contains(&slave_port),
+            "port {slave_port} cannot be both slave and master"
+        );
+        BridgeRelay {
+            domain,
+            clock,
+            slave_port,
+            master_ports,
+            log_sync_interval: -3,
+            seqs: HashMap::new(),
+            next_order: 0,
+            dropped_forwards: 0,
+        }
+    }
+
+    /// The relay's domain.
+    pub fn domain(&self) -> u8 {
+        self.domain
+    }
+
+    /// The upstream (slave) port number.
+    pub fn slave_port(&self) -> u16 {
+        self.slave_port
+    }
+
+    /// Downstream (master) port numbers.
+    pub fn master_ports(&self) -> &[u16] {
+        &self.master_ports
+    }
+
+    /// Handles a `Sync` arriving on the slave port at bridge-clock
+    /// timestamp `rx_ts`; returns the regenerated `Sync` for each master
+    /// port. The caller must report each departure via
+    /// [`BridgeRelay::sync_forwarded`].
+    pub fn handle_sync(
+        &mut self,
+        msg: &Message,
+        ingress_port: u16,
+        rx_ts: ClockTime,
+    ) -> Vec<Emission> {
+        let Message::Sync { header, .. } = msg else {
+            return Vec::new();
+        };
+        if header.domain != self.domain || ingress_port != self.slave_port {
+            return Vec::new();
+        }
+        self.log_sync_interval = header.log_message_interval;
+        if self.seqs.len() >= MAX_TRACKED {
+            // Evict the oldest incomplete sequence.
+            if let Some((&oldest, _)) = self.seqs.iter().min_by_key(|(_, s)| s.order) {
+                self.seqs.remove(&oldest);
+                self.dropped_forwards += 1;
+            }
+        }
+        let order = self.next_order;
+        self.next_order += 1;
+        self.seqs.insert(
+            header.sequence_id,
+            SeqState {
+                rx_ts,
+                tx_ts: HashMap::new(),
+                upstream: None,
+                done: Vec::new(),
+                order,
+            },
+        );
+        self.master_ports
+            .iter()
+            .map(|&p| {
+                let sync = Message::Sync {
+                    header: Header::new(
+                        MessageType::Sync,
+                        self.domain,
+                        PortIdentity::new(self.clock, p),
+                        header.sequence_id,
+                        header.log_message_interval,
+                    ),
+                    origin: PtpTimestamp::default(),
+                };
+                (p, sync.encode())
+            })
+            .collect()
+    }
+
+    /// Reports the hardware egress timestamp of the regenerated `Sync`
+    /// with id `seq` on `port`; returns the `Follow_Up` for that port if
+    /// the upstream `Follow_Up` already arrived.
+    pub fn sync_forwarded(&mut self, seq: u16, port: u16, tx_ts: ClockTime) -> Vec<Emission> {
+        let Some(state) = self.seqs.get_mut(&seq) else {
+            return Vec::new();
+        };
+        state.tx_ts.insert(port, tx_ts);
+        self.drain_ready(seq)
+    }
+
+    /// Handles the upstream `Follow_Up` (received on the slave port);
+    /// `slave_link_delay` and `slave_nrr` come from the slave port's
+    /// peer-delay service. Returns Follow_Ups for every master port whose
+    /// Sync already departed.
+    pub fn handle_follow_up(
+        &mut self,
+        msg: &Message,
+        ingress_port: u16,
+        slave_link_delay: Nanos,
+        slave_nrr: f64,
+    ) -> Vec<Emission> {
+        let Message::FollowUp {
+            header,
+            precise_origin,
+            tlv,
+        } = msg
+        else {
+            return Vec::new();
+        };
+        if header.domain != self.domain || ingress_port != self.slave_port {
+            return Vec::new();
+        }
+        let seq = header.sequence_id;
+        let Some(state) = self.seqs.get_mut(&seq) else {
+            return Vec::new();
+        };
+        let cumulative = rate_ratio::from_scaled(tlv.cumulative_scaled_rate_offset);
+        let rate_ratio_to_gm = cumulative * slave_nrr;
+        state.upstream = Some(UpstreamFu {
+            precise_origin: *precise_origin,
+            // Ingress link delay is added once, on reception.
+            correction: header
+                .correction
+                .add_nanos_f64(slave_link_delay.as_nanos() as f64),
+            cumulative_scaled_rate_offset: rate_ratio::to_scaled(rate_ratio_to_gm),
+            rate_ratio_to_gm,
+        });
+        self.drain_ready(seq)
+    }
+
+    fn drain_ready(&mut self, seq: u16) -> Vec<Emission> {
+        let Some(state) = self.seqs.get_mut(&seq) else {
+            return Vec::new();
+        };
+        let Some(upstream) = state.upstream else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &port in &self.master_ports {
+            if state.done.contains(&port) {
+                continue;
+            }
+            let Some(&tx_ts) = state.tx_ts.get(&port) else {
+                continue;
+            };
+            let residence = (tx_ts - state.rx_ts).as_nanos() as f64;
+            let correction = upstream
+                .correction
+                .add_nanos_f64(residence * upstream.rate_ratio_to_gm);
+            let mut header = Header::new(
+                MessageType::FollowUp,
+                self.domain,
+                PortIdentity::new(self.clock, port),
+                seq,
+                self.log_sync_interval,
+            );
+            header.correction = correction;
+            let fu = Message::FollowUp {
+                header,
+                precise_origin: upstream.precise_origin,
+                tlv: crate::msg::FollowUpTlv {
+                    cumulative_scaled_rate_offset: upstream.cumulative_scaled_rate_offset,
+                    ..Default::default()
+                },
+            };
+            out.push((port, fu.encode()));
+            state.done.push(port);
+        }
+        if state.done.len() == self.master_ports.len() {
+            self.seqs.remove(&seq);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::FollowUpTlv;
+    use crate::types::{ClockIdentity, Correction};
+
+    fn sync_msg(domain: u8, seq: u16) -> Message {
+        Message::Sync {
+            origin: PtpTimestamp::default(),
+            header: Header::new(
+                MessageType::Sync,
+                domain,
+                PortIdentity::new(ClockIdentity::for_index(1), 1),
+                seq,
+                -3,
+            ),
+        }
+    }
+
+    fn fu_msg(domain: u8, seq: u16, pot_ns: i64, corr_ns: i64, csro: i32) -> Message {
+        let mut header = Header::new(
+            MessageType::FollowUp,
+            domain,
+            PortIdentity::new(ClockIdentity::for_index(1), 1),
+            seq,
+            -3,
+        );
+        header.correction = Correction::from_nanos(Nanos::from_nanos(corr_ns));
+        Message::FollowUp {
+            header,
+            precise_origin: PtpTimestamp::from_clock_time(ClockTime::from_nanos(pot_ns)),
+            tlv: FollowUpTlv {
+                cumulative_scaled_rate_offset: csro,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn relay() -> BridgeRelay {
+        BridgeRelay::new(1, ClockIdentity::for_index(10), 5, vec![1, 2, 3])
+    }
+
+    #[test]
+    fn sync_regenerated_on_all_master_ports() {
+        let mut r = relay();
+        let out = r.handle_sync(&sync_msg(1, 7), 5, ClockTime::from_nanos(100));
+        assert_eq!(out.len(), 3);
+        for (port, bytes) in &out {
+            let m = Message::decode(bytes).unwrap();
+            assert_eq!(m.header().sequence_id, 7);
+            assert_eq!(m.header().source_port.port, *port);
+            assert_eq!(m.header().source_port.clock, ClockIdentity::for_index(10));
+        }
+    }
+
+    #[test]
+    fn sync_on_wrong_port_or_domain_ignored() {
+        let mut r = relay();
+        assert!(r
+            .handle_sync(&sync_msg(1, 7), 2, ClockTime::ZERO)
+            .is_empty());
+        assert!(r
+            .handle_sync(&sync_msg(9, 7), 5, ClockTime::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn follow_up_accumulates_residence_and_link_delay() {
+        let mut r = relay();
+        let rx = ClockTime::from_nanos(1_000_000);
+        r.handle_sync(&sync_msg(1, 7), 5, rx);
+        // Syncs depart 2 µs (port 1) and 3 µs (port 2/3) later.
+        assert!(r
+            .sync_forwarded(7, 1, rx + Nanos::from_micros(2))
+            .is_empty());
+        assert!(r
+            .sync_forwarded(7, 2, rx + Nanos::from_micros(3))
+            .is_empty());
+        assert!(r
+            .sync_forwarded(7, 3, rx + Nanos::from_micros(3))
+            .is_empty());
+        // Upstream FU: correction 1 µs; slave link delay 2.5 µs; NRR 1.
+        let out = r.handle_follow_up(
+            &fu_msg(1, 7, 500, 1_000, 0),
+            5,
+            Nanos::from_nanos(2_500),
+            1.0,
+        );
+        assert_eq!(out.len(), 3);
+        let (port, bytes) = &out[0];
+        assert_eq!(*port, 1);
+        let m = Message::decode(bytes).unwrap();
+        // correction = 1000 + 2500 + 2000 = 5500 ns on port 1.
+        assert_eq!(m.header().correction.to_nanos(), Nanos::from_nanos(5_500));
+        match m {
+            Message::FollowUp { precise_origin, .. } => {
+                assert_eq!(precise_origin.to_clock_time(), ClockTime::from_nanos(500));
+            }
+            _ => panic!("wrong type"),
+        }
+        // Ports 2/3: correction = 1000 + 2500 + 3000 = 6500 ns.
+        let m2 = Message::decode(&out[1].1).unwrap();
+        assert_eq!(m2.header().correction.to_nanos(), Nanos::from_nanos(6_500));
+    }
+
+    #[test]
+    fn residence_scaled_by_rate_ratio() {
+        let mut r = BridgeRelay::new(1, ClockIdentity::for_index(10), 5, vec![1]);
+        let rx = ClockTime::from_nanos(0);
+        r.handle_sync(&sync_msg(1, 1), 5, rx);
+        // 1 ms residence; upstream ratio corresponds to +100 ppm.
+        r.sync_forwarded(1, 1, rx + Nanos::from_millis(1));
+        let csro = rate_ratio::to_scaled(1.0 + 100e-6);
+        let out = r.handle_follow_up(&fu_msg(1, 1, 0, 0, csro), 5, Nanos::ZERO, 1.0);
+        let m = Message::decode(&out[0].1).unwrap();
+        // residence·ratio = 1_000_000 · 1.0001 = 1_000_100 ns.
+        assert_eq!(
+            m.header().correction.to_nanos(),
+            Nanos::from_nanos(1_000_100)
+        );
+        // Cumulative rate offset forwarded.
+        match m {
+            Message::FollowUp { tlv, .. } => {
+                let rr = rate_ratio::from_scaled(tlv.cumulative_scaled_rate_offset);
+                assert!((rr - 1.0001).abs() < 1e-9);
+            }
+            _ => panic!("wrong type"),
+        }
+    }
+
+    #[test]
+    fn follow_up_before_tx_timestamp_waits() {
+        let mut r = BridgeRelay::new(1, ClockIdentity::for_index(10), 5, vec![1]);
+        let rx = ClockTime::from_nanos(0);
+        r.handle_sync(&sync_msg(1, 1), 5, rx);
+        // FU arrives before the regenerated Sync departed.
+        let out = r.handle_follow_up(&fu_msg(1, 1, 0, 0, 0), 5, Nanos::ZERO, 1.0);
+        assert!(out.is_empty());
+        // Once the tx timestamp lands, the FU is emitted.
+        let out = r.sync_forwarded(1, 1, rx + Nanos::from_micros(5));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn nrr_composes_into_cumulative_ratio() {
+        let mut r = BridgeRelay::new(1, ClockIdentity::for_index(10), 5, vec![1]);
+        r.handle_sync(&sync_msg(1, 1), 5, ClockTime::ZERO);
+        r.sync_forwarded(1, 1, ClockTime::from_nanos(1000));
+        // Upstream cumulative +50 ppm, slave NRR +50 ppm → ≈ +100 ppm.
+        let csro = rate_ratio::to_scaled(1.0 + 50e-6);
+        let out = r.handle_follow_up(&fu_msg(1, 1, 0, 0, csro), 5, Nanos::ZERO, 1.0 + 50e-6);
+        match Message::decode(&out[0].1).unwrap() {
+            Message::FollowUp { tlv, .. } => {
+                let rr = rate_ratio::from_scaled(tlv.cumulative_scaled_rate_offset);
+                assert!(((rr - 1.0) * 1e6 - 100.0).abs() < 0.01, "{rr}");
+            }
+            _ => panic!("wrong type"),
+        }
+    }
+
+    #[test]
+    fn state_eviction_bounds_memory() {
+        let mut r = BridgeRelay::new(1, ClockIdentity::for_index(10), 5, vec![1]);
+        for seq in 0..50u16 {
+            r.handle_sync(&sync_msg(1, seq), 5, ClockTime::from_nanos(i64::from(seq)));
+        }
+        assert!(r.seqs.len() <= MAX_TRACKED);
+        assert!(r.dropped_forwards > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be both")]
+    fn overlapping_roles_rejected() {
+        BridgeRelay::new(1, ClockIdentity::for_index(10), 1, vec![1, 2]);
+    }
+}

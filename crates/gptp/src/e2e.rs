@@ -1,0 +1,314 @@
+//! End-to-end delay mechanism (IEEE 1588 clause 11.3).
+//!
+//! Plain PTP measures the slave↔master path delay with
+//! `Delay_Req`/`Delay_Resp`: the slave notes the Sync exchange
+//! (`t1` = corrected origin, `t2` = local receipt), transmits a
+//! `Delay_Req` at `t3`, and the master returns its receive timestamp
+//! `t4`; then
+//!
+//! ```text
+//! meanPathDelay = ((t2 − t1) + (t4 − t3)) / 2
+//! ```
+//!
+//! gPTP proper always uses the peer-delay mechanism (`crate::PdelayInitiator`),
+//! but IEEE 1588-2019 — which the paper cites for its voting-based GM
+//! detection — runs end-to-end in most profiles, so the mechanism is
+//! provided for comparison setups and tests. Unlike peer delay it
+//! measures the *whole* path, so transparent/boundary clocks must
+//! correct `Delay_Req` residence times for asymmetric topologies.
+
+use crate::msg::{Header, Message, MessageType};
+use crate::types::{PortIdentity, PtpTimestamp};
+use bytes::Bytes;
+use tsn_time::{ClockTime, Nanos};
+
+/// EMA weight of the path-delay filter.
+const DELAY_FILTER_WEIGHT: f64 = 0.25;
+
+/// A completed end-to-end delay measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathDelaySample {
+    /// Filtered mean path delay.
+    pub mean_path_delay: Nanos,
+    /// Raw (unfiltered) delay of this exchange.
+    pub raw_delay: Nanos,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SyncPair {
+    t1_corrected: ClockTime,
+    t2: ClockTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    seq: u16,
+    t3: ClockTime,
+}
+
+/// Slave half of the end-to-end exchange.
+#[derive(Debug, Clone)]
+pub struct E2eDelayInitiator {
+    port: PortIdentity,
+    domain: u8,
+    next_seq: u16,
+    last_sync: Option<SyncPair>,
+    inflight: Option<Inflight>,
+    filtered: Option<f64>,
+    /// Exchanges abandoned because a new request replaced them.
+    pub lost_responses: u64,
+}
+
+impl E2eDelayInitiator {
+    /// Creates an initiator for `domain` on the given port.
+    pub fn new(domain: u8, port: PortIdentity) -> Self {
+        E2eDelayInitiator {
+            port,
+            domain,
+            next_seq: 0,
+            last_sync: None,
+            inflight: None,
+            filtered: None,
+            lost_responses: 0,
+        }
+    }
+
+    /// Current filtered mean path delay.
+    pub fn mean_path_delay(&self) -> Option<Nanos> {
+        self.filtered.map(|d| Nanos::from_nanos(d.round() as i64))
+    }
+
+    /// Records the latest Sync exchange: `t1_corrected` is the precise
+    /// origin timestamp plus correction field, `t2` the local hardware
+    /// receive timestamp.
+    pub fn note_sync(&mut self, t1_corrected: ClockTime, t2: ClockTime) {
+        self.last_sync = Some(SyncPair { t1_corrected, t2 });
+    }
+
+    /// Builds the next `Delay_Req` (event message — report its egress
+    /// timestamp via [`E2eDelayInitiator::request_sent`]).
+    pub fn make_request(&mut self) -> (Bytes, u16) {
+        if self.inflight.take().is_some() {
+            self.lost_responses += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let msg = Message::DelayReq {
+            header: Header::new(MessageType::DelayReq, self.domain, self.port, seq, 0),
+        };
+        (msg.encode(), seq)
+    }
+
+    /// Records the hardware egress timestamp of request `seq`.
+    pub fn request_sent(&mut self, seq: u16, t3: ClockTime) {
+        self.inflight = Some(Inflight { seq, t3 });
+    }
+
+    /// Handles a `Delay_Resp`, completing the exchange if it matches.
+    pub fn handle_resp(&mut self, msg: &Message) -> Option<PathDelaySample> {
+        let Message::DelayResp {
+            header,
+            receive_timestamp,
+            requesting_port,
+        } = msg
+        else {
+            return None;
+        };
+        if *requesting_port != self.port || header.domain != self.domain {
+            return None;
+        }
+        let inflight = self.inflight?;
+        if header.sequence_id != inflight.seq {
+            return None;
+        }
+        let sync = self.last_sync?;
+        self.inflight = None;
+        let t4 = receive_timestamp.to_clock_time();
+        let ms_delay = (sync.t2 - sync.t1_corrected).as_nanos() as f64;
+        let sm_delay = (t4 - inflight.t3).as_nanos() as f64;
+        let raw = ((ms_delay + sm_delay) / 2.0).max(0.0);
+        let filtered = match self.filtered {
+            Some(f) => f + DELAY_FILTER_WEIGHT * (raw - f),
+            None => raw,
+        };
+        self.filtered = Some(filtered);
+        Some(PathDelaySample {
+            mean_path_delay: Nanos::from_nanos(filtered.round() as i64),
+            raw_delay: Nanos::from_nanos(raw.round() as i64),
+        })
+    }
+}
+
+/// Master half of the end-to-end exchange.
+#[derive(Debug, Clone)]
+pub struct E2eDelayResponder {
+    port: PortIdentity,
+    domain: u8,
+}
+
+impl E2eDelayResponder {
+    /// Creates a responder for `domain` on the given (master) port.
+    pub fn new(domain: u8, port: PortIdentity) -> Self {
+        E2eDelayResponder { port, domain }
+    }
+
+    /// Handles a received `Delay_Req` (hardware rx timestamp `t4`) and
+    /// returns the `Delay_Resp` to transmit.
+    pub fn handle_request(&self, msg: &Message, t4: ClockTime) -> Option<Bytes> {
+        let Message::DelayReq { header } = msg else {
+            return None;
+        };
+        if header.domain != self.domain {
+            return None;
+        }
+        let resp = Message::DelayResp {
+            header: Header::new(
+                MessageType::DelayResp,
+                self.domain,
+                self.port,
+                header.sequence_id,
+                0,
+            ),
+            receive_timestamp: PtpTimestamp::from_clock_time(t4),
+            requesting_port: header.source_port,
+        };
+        Some(resp.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ClockIdentity;
+
+    fn pid(i: u32) -> PortIdentity {
+        PortIdentity::new(ClockIdentity::for_index(i), 1)
+    }
+
+    /// Runs one exchange over a path with the given asymmetric delays and
+    /// a slave clock `shift` ns ahead of the master.
+    fn exchange(ms_ns: i64, sm_ns: i64, shift: i64) -> PathDelaySample {
+        let mut init = E2eDelayInitiator::new(0, pid(2));
+        let resp = E2eDelayResponder::new(0, pid(1));
+        // Sync: t1 = 1_000_000 (master), t2 = t1 + ms + shift (slave).
+        let t1 = ClockTime::from_nanos(1_000_000);
+        let t2 = ClockTime::from_nanos(1_000_000 + ms_ns + shift);
+        init.note_sync(t1, t2);
+        // Delay_Req: t3 (slave), t4 = t3 − shift + sm (master).
+        let (req, seq) = init.make_request();
+        let t3 = ClockTime::from_nanos(2_000_000 + shift);
+        init.request_sent(seq, t3);
+        let t4 = ClockTime::from_nanos(2_000_000 + sm_ns);
+        let req = Message::decode(&req).unwrap();
+        let resp_bytes = resp.handle_request(&req, t4).unwrap();
+        let resp_msg = Message::decode(&resp_bytes).unwrap();
+        init.handle_resp(&resp_msg).expect("completed exchange")
+    }
+
+    #[test]
+    fn symmetric_path_measured_exactly() {
+        let s = exchange(2_500, 2_500, 0);
+        assert_eq!(s.raw_delay, Nanos::from_nanos(2_500));
+    }
+
+    #[test]
+    fn clock_offset_cancels() {
+        // The slave's absolute offset does not affect the delay estimate.
+        for shift in [-24_000i64, 0, 999] {
+            let s = exchange(2_500, 2_500, shift);
+            assert_eq!(s.raw_delay, Nanos::from_nanos(2_500), "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn asymmetry_averages_and_biases() {
+        // The classic E2E weakness: asymmetric paths are averaged, which
+        // biases the offset by half the asymmetry (why the paper's TSN
+        // network uses per-link peer delay instead).
+        let s = exchange(2_000, 4_000, 0);
+        assert_eq!(s.raw_delay, Nanos::from_nanos(3_000));
+    }
+
+    #[test]
+    fn responder_echoes_requester() {
+        let resp = E2eDelayResponder::new(3, pid(1));
+        let req = Message::DelayReq {
+            header: Header::new(MessageType::DelayReq, 3, pid(9), 7, 0),
+        };
+        let bytes = resp
+            .handle_request(&req, ClockTime::from_nanos(55))
+            .unwrap();
+        match Message::decode(&bytes).unwrap() {
+            Message::DelayResp {
+                receive_timestamp,
+                requesting_port,
+                header,
+            } => {
+                assert_eq!(receive_timestamp.to_clock_time(), ClockTime::from_nanos(55));
+                assert_eq!(requesting_port, pid(9));
+                assert_eq!(header.sequence_id, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_domain_ignored() {
+        let resp = E2eDelayResponder::new(1, pid(1));
+        let req = Message::DelayReq {
+            header: Header::new(MessageType::DelayReq, 2, pid(9), 7, 0),
+        };
+        assert!(resp.handle_request(&req, ClockTime::ZERO).is_none());
+        let mut init = E2eDelayInitiator::new(1, pid(2));
+        init.note_sync(ClockTime::ZERO, ClockTime::ZERO);
+        let (_, seq) = init.make_request();
+        init.request_sent(seq, ClockTime::ZERO);
+        let resp_msg = Message::DelayResp {
+            header: Header::new(MessageType::DelayResp, 2, pid(1), seq, 0),
+            receive_timestamp: PtpTimestamp::default(),
+            requesting_port: pid(2),
+        };
+        assert!(init.handle_resp(&resp_msg).is_none());
+    }
+
+    #[test]
+    fn stale_and_mismatched_responses_ignored() {
+        let mut init = E2eDelayInitiator::new(0, pid(2));
+        init.note_sync(ClockTime::ZERO, ClockTime::ZERO);
+        let (_, seq) = init.make_request();
+        init.request_sent(seq, ClockTime::ZERO);
+        let wrong_seq = Message::DelayResp {
+            header: Header::new(MessageType::DelayResp, 0, pid(1), seq.wrapping_add(1), 0),
+            receive_timestamp: PtpTimestamp::default(),
+            requesting_port: pid(2),
+        };
+        assert!(init.handle_resp(&wrong_seq).is_none());
+        // Abandoning an exchange is counted.
+        let _ = init.make_request();
+        assert_eq!(init.lost_responses, 1);
+    }
+
+    #[test]
+    fn filter_converges_on_noisy_path() {
+        let mut init = E2eDelayInitiator::new(0, pid(2));
+        let resp = E2eDelayResponder::new(0, pid(1));
+        let mut base = 1_000_000i64;
+        for k in 0..60 {
+            let jitter = (k % 5) * 40; // 0..160 ns of path noise
+            init.note_sync(
+                ClockTime::from_nanos(base),
+                ClockTime::from_nanos(base + 2_500 + jitter),
+            );
+            let (req, seq) = init.make_request();
+            init.request_sent(seq, ClockTime::from_nanos(base + 500_000));
+            let t4 = ClockTime::from_nanos(base + 500_000 + 2_500 + jitter);
+            let req = Message::decode(&req).unwrap();
+            let resp_bytes = resp.handle_request(&req, t4).unwrap();
+            let resp_msg = Message::decode(&resp_bytes).unwrap();
+            init.handle_resp(&resp_msg);
+            base += 125_000_000;
+        }
+        let d = init.mean_path_delay().unwrap().as_nanos();
+        assert!((d - 2_580).abs() < 120, "filtered delay {d}");
+    }
+}

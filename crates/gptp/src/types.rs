@@ -1,0 +1,284 @@
+//! Core IEEE 802.1AS / IEEE 1588 data types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tsn_time::{ClockTime, Nanos};
+
+/// An EUI-64 clock identity (IEEE 1588 clause 7.5.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClockIdentity(pub [u8; 8]);
+
+impl ClockIdentity {
+    /// The all-zero identity (invalid / "no grandmaster").
+    pub const ZERO: ClockIdentity = ClockIdentity([0; 8]);
+
+    /// A deterministic identity for simulated clock `index`.
+    pub fn for_index(index: u32) -> ClockIdentity {
+        let b = index.to_be_bytes();
+        ClockIdentity([0x02, 0x00, 0x00, 0xFF, 0xFE, b[1], b[2], b[3]])
+    }
+}
+
+impl fmt::Display for ClockIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A PTP port identity: clock identity plus 1-based port number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortIdentity {
+    /// Identity of the owning clock.
+    pub clock: ClockIdentity,
+    /// Port number within the clock (1-based; 0 is reserved).
+    pub port: u16,
+}
+
+impl PortIdentity {
+    /// Creates a port identity.
+    pub const fn new(clock: ClockIdentity, port: u16) -> Self {
+        PortIdentity { clock, port }
+    }
+}
+
+impl fmt::Display for PortIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.clock, self.port)
+    }
+}
+
+/// A PTP timestamp: 48-bit seconds + 32-bit nanoseconds.
+///
+/// Wire format of the `Timestamp` struct in IEEE 1588 clause 5.3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PtpTimestamp {
+    /// Seconds field (only the low 48 bits are representable).
+    pub seconds: u64,
+    /// Nanoseconds field (< 10⁹).
+    pub nanoseconds: u32,
+}
+
+impl PtpTimestamp {
+    /// Converts a non-negative clock reading to a PTP timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reading is negative (simulated clocks are seeded with
+    /// positive epochs so this does not occur in experiments).
+    pub fn from_clock_time(t: ClockTime) -> PtpTimestamp {
+        let ns = t.as_nanos();
+        assert!(ns >= 0, "cannot encode negative clock time {ns}");
+        PtpTimestamp {
+            seconds: (ns / 1_000_000_000) as u64,
+            nanoseconds: (ns % 1_000_000_000) as u32,
+        }
+    }
+
+    /// Converts back to a clock reading.
+    pub fn to_clock_time(self) -> ClockTime {
+        ClockTime::from_nanos(self.seconds as i64 * 1_000_000_000 + i64::from(self.nanoseconds))
+    }
+}
+
+/// A correction field value: nanoseconds scaled by 2¹⁶
+/// (IEEE 1588 clause 13.3.2.7).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Correction(i64);
+
+impl Correction {
+    /// Zero correction.
+    pub const ZERO: Correction = Correction(0);
+
+    /// From raw scaled (ns · 2¹⁶) units.
+    pub const fn from_scaled(v: i64) -> Correction {
+        Correction(v)
+    }
+
+    /// Raw scaled value.
+    pub const fn scaled(self) -> i64 {
+        self.0
+    }
+
+    /// From a nanosecond duration (fractional part lost).
+    pub fn from_nanos(ns: Nanos) -> Correction {
+        Correction(ns.as_nanos() << 16)
+    }
+
+    /// From fractional nanoseconds.
+    pub fn from_nanos_f64(ns: f64) -> Correction {
+        Correction((ns * 65536.0).round() as i64)
+    }
+
+    /// To the nearest whole nanosecond duration.
+    pub fn to_nanos(self) -> Nanos {
+        Nanos::from_nanos((self.0 + (1 << 15)) >> 16)
+    }
+
+    /// Adds fractional nanoseconds.
+    pub fn add_nanos_f64(self, ns: f64) -> Correction {
+        Correction(self.0 + (ns * 65536.0).round() as i64)
+    }
+}
+
+impl std::ops::Add for Correction {
+    type Output = Correction;
+    fn add(self, rhs: Correction) -> Correction {
+        Correction(self.0 + rhs.0)
+    }
+}
+
+/// Rate-ratio helpers for the Follow_Up information TLV's
+/// `cumulativeScaledRateOffset` (802.1AS clause 11.4.4.3.6: the rate ratio
+/// minus 1, multiplied by 2⁴¹).
+pub mod rate_ratio {
+    /// Converts a rate ratio (≈ 1.0) to a scaled rate offset.
+    pub fn to_scaled(ratio: f64) -> i32 {
+        ((ratio - 1.0) * (1u64 << 41) as f64).round() as i32
+    }
+
+    /// Converts a scaled rate offset back to a rate ratio.
+    pub fn from_scaled(scaled: i32) -> f64 {
+        1.0 + f64::from(scaled) / (1u64 << 41) as f64
+    }
+}
+
+/// Clock quality advertised in Announce messages (IEEE 1588 clause 7.6.2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClockQuality {
+    /// clockClass (248 = default for gPTP end stations).
+    pub class: u8,
+    /// clockAccuracy enumeration.
+    pub accuracy: u8,
+    /// offsetScaledLogVariance.
+    pub variance: u16,
+}
+
+impl Default for ClockQuality {
+    fn default() -> Self {
+        ClockQuality {
+            class: 248,
+            accuracy: 0xFE,
+            variance: 0x4E5D,
+        }
+    }
+}
+
+/// The set of values BMCA compares, in comparison order
+/// (IEEE 802.1AS clause 10.3.2 "systemIdentity").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemIdentity {
+    /// priority1 (lower wins).
+    pub priority1: u8,
+    /// Clock quality.
+    pub quality: ClockQuality,
+    /// priority2 (lower wins).
+    pub priority2: u8,
+    /// Tie-break identity.
+    pub identity: ClockIdentity,
+}
+
+impl SystemIdentity {
+    /// Comparison key: lexicographic per the standard's ordering.
+    pub fn key(&self) -> (u8, u8, u8, u16, u8, ClockIdentity) {
+        (
+            self.priority1,
+            self.quality.class,
+            self.quality.accuracy,
+            self.quality.variance,
+            self.priority2,
+            self.identity,
+        )
+    }
+
+    /// `true` if `self` is a better (lower-keyed) time source than
+    /// `other`.
+    pub fn better_than(&self, other: &SystemIdentity) -> bool {
+        self.key() < other.key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptp_timestamp_roundtrip() {
+        let t = ClockTime::from_nanos(86_400_000_000_123);
+        let ts = PtpTimestamp::from_clock_time(t);
+        assert_eq!(ts.seconds, 86_400);
+        assert_eq!(ts.nanoseconds, 123);
+        assert_eq!(ts.to_clock_time(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative clock time")]
+    fn negative_clock_time_rejected() {
+        PtpTimestamp::from_clock_time(ClockTime::from_nanos(-1));
+    }
+
+    #[test]
+    fn correction_roundtrip() {
+        let c = Correction::from_nanos(Nanos::from_nanos(1234));
+        assert_eq!(c.to_nanos(), Nanos::from_nanos(1234));
+        let c2 = c.add_nanos_f64(0.5);
+        // Rounds to nearest ns.
+        assert_eq!(c2.to_nanos(), Nanos::from_nanos(1235));
+    }
+
+    #[test]
+    fn correction_fractional_accumulation() {
+        let mut c = Correction::ZERO;
+        for _ in 0..1000 {
+            c = c.add_nanos_f64(0.1);
+        }
+        let ns = c.to_nanos().as_nanos();
+        assert!((ns - 100).abs() <= 1, "accumulated {ns}");
+    }
+
+    #[test]
+    fn rate_ratio_scaling_roundtrip() {
+        for ppm in [-100.0f64, -5.0, 0.0, 3.25, 100.0] {
+            let ratio = 1.0 + ppm * 1e-6;
+            let back = rate_ratio::from_scaled(rate_ratio::to_scaled(ratio));
+            assert!((back - ratio).abs() < 1e-11, "ppm {ppm}");
+        }
+    }
+
+    #[test]
+    fn system_identity_ordering() {
+        let base = SystemIdentity {
+            priority1: 246,
+            quality: ClockQuality::default(),
+            priority2: 248,
+            identity: ClockIdentity::for_index(5),
+        };
+        let worse_priority = SystemIdentity {
+            priority1: 247,
+            ..base
+        };
+        assert!(base.better_than(&worse_priority));
+        let tie_break = SystemIdentity {
+            identity: ClockIdentity::for_index(6),
+            ..base
+        };
+        assert!(base.better_than(&tie_break));
+        assert!(!base.better_than(&base));
+    }
+
+    #[test]
+    fn clock_identities_unique_and_displayable() {
+        assert_ne!(ClockIdentity::for_index(1), ClockIdentity::for_index(2));
+        assert_eq!(
+            ClockIdentity::for_index(1).to_string(),
+            "02:00:00:ff:fe:00:00:01"
+        );
+    }
+}

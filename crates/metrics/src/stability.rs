@@ -1,0 +1,207 @@
+//! Clock-stability analysis: Allan deviation and MTIE.
+//!
+//! The paper evaluates *precision* (the instantaneous spread, Eq. 3.1);
+//! the clock-synchronization literature it builds on (Ridoux & Veitch's
+//! RADclock work cited in §III-C) additionally characterizes clocks by
+//! their *stability*:
+//!
+//! * **Allan deviation** σ_y(τ) — the canonical measure of frequency
+//!   stability over an averaging interval τ;
+//! * **MTIE** — the maximum time interval error: the worst peak-to-peak
+//!   wander of the time error within any observation window of a given
+//!   length, the metric telecom standards (G.8260 et al.) bound.
+//!
+//! Both operate on a uniformly-sampled time-error series `x(t)` (e.g. a
+//! clock's offset from true time, or from another clock).
+
+/// A uniformly sampled time-error series: `tau0` seconds between
+/// consecutive samples of `x` (time error in nanoseconds).
+#[derive(Debug, Clone)]
+pub struct TimeErrorSeries {
+    /// Sampling interval in seconds.
+    pub tau0: f64,
+    /// Time-error samples in nanoseconds.
+    pub x: Vec<f64>,
+}
+
+impl TimeErrorSeries {
+    /// Creates a series from nanosecond samples at `tau0` second spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau0` is not positive.
+    pub fn new(tau0: f64, x: Vec<f64>) -> Self {
+        assert!(tau0 > 0.0, "sampling interval must be positive");
+        TimeErrorSeries { tau0, x }
+    }
+
+    /// Overlapping Allan deviation at `m · tau0` averaging time.
+    ///
+    /// Returns `None` when the series is too short (needs `2m + 1`
+    /// samples).
+    pub fn allan_deviation(&self, m: usize) -> Option<f64> {
+        let n = self.x.len();
+        if m == 0 || n < 2 * m + 1 {
+            return None;
+        }
+        let tau = self.tau0 * m as f64;
+        let mut acc = 0.0;
+        let terms = n - 2 * m;
+        for i in 0..terms {
+            let d = self.x[i + 2 * m] - 2.0 * self.x[i + m] + self.x[i];
+            acc += d * d;
+        }
+        // x is in ns, tau in s: convert to dimensionless fractional
+        // frequency (ns → s).
+        let avar = acc / (2.0 * terms as f64 * tau * tau) * 1e-18;
+        Some(avar.sqrt())
+    }
+
+    /// MTIE for an observation window of `m` sampling intervals: the
+    /// largest peak-to-peak excursion of `x` within any window of that
+    /// length.
+    ///
+    /// Returns `None` when the series is shorter than the window.
+    pub fn mtie(&self, m: usize) -> Option<f64> {
+        let n = self.x.len();
+        if m == 0 || n < m + 1 {
+            return None;
+        }
+        let mut worst = 0.0f64;
+        // O(n·m) sliding min/max is fine at the sizes we analyze.
+        for start in 0..=(n - m - 1) {
+            let w = &self.x[start..=start + m];
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in w {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            worst = worst.max(hi - lo);
+        }
+        Some(worst)
+    }
+
+    /// Convenience: ADEV over a log-spaced set of averaging times,
+    /// returned as `(tau_seconds, adev)` pairs.
+    pub fn adev_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        let max_m = self.x.len().saturating_sub(1) / 2;
+        if max_m == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut last_m = 0usize;
+        for k in 0..points {
+            let frac = k as f64 / (points.max(2) - 1) as f64;
+            let m = ((max_m as f64).powf(frac)).round().max(1.0) as usize;
+            if m == last_m {
+                continue;
+            }
+            last_m = m;
+            if let Some(adev) = self.allan_deviation(m) {
+                out.push((self.tau0 * m as f64, adev));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clock with pure frequency offset y0 has x(t) = y0·t and
+    /// σ_y(τ) → 0 (the second difference of a linear ramp vanishes).
+    #[test]
+    fn adev_of_pure_frequency_offset_is_zero() {
+        let y0_ppm = 5.0;
+        let x: Vec<f64> = (0..1000).map(|i| y0_ppm * 1e3 * i as f64).collect(); // ns at 1 s
+        let s = TimeErrorSeries::new(1.0, x);
+        for m in [1usize, 5, 50] {
+            let adev = s.allan_deviation(m).unwrap();
+            assert!(adev < 1e-12, "adev {adev} at m = {m}");
+        }
+    }
+
+    /// White phase noise of std σ_x gives σ_y(τ) = √3 · σ_x / τ.
+    #[test]
+    fn adev_of_white_phase_noise_matches_theory() {
+        // Deterministic pseudo-noise.
+        let mut state = 0x12345678u64;
+        let mut rand = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+        };
+        let sigma_ns = 10.0;
+        let x: Vec<f64> = (0..20000).map(|_| rand() * sigma_ns * 1.732).collect();
+        let s = TimeErrorSeries::new(1.0, x);
+        let adev = s.allan_deviation(1).unwrap();
+        let expected = (3.0f64).sqrt() * sigma_ns * 1e-9; // τ = 1 s
+        assert!(
+            (adev / expected - 1.0).abs() < 0.1,
+            "adev {adev:e} vs expected {expected:e}"
+        );
+    }
+
+    /// ADEV decreases with τ for white phase noise (slope −1).
+    #[test]
+    fn adev_slope_for_white_phase_noise() {
+        let mut state = 7u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+        };
+        let x: Vec<f64> = (0..50000).map(|_| rand() * 10.0).collect();
+        let s = TimeErrorSeries::new(1.0, x);
+        let a1 = s.allan_deviation(1).unwrap();
+        let a10 = s.allan_deviation(10).unwrap();
+        let ratio = a1 / a10;
+        assert!((5.0..20.0).contains(&ratio), "slope ratio {ratio}");
+    }
+
+    #[test]
+    fn mtie_of_ramp_is_window_span() {
+        // 100 ns/s ramp: any m-interval window spans exactly 100·m ns.
+        let x: Vec<f64> = (0..100).map(|i| 100.0 * i as f64).collect();
+        let s = TimeErrorSeries::new(1.0, x);
+        assert_eq!(s.mtie(10), Some(1000.0));
+        assert_eq!(s.mtie(1), Some(100.0));
+    }
+
+    #[test]
+    fn mtie_catches_a_single_spike() {
+        let mut x = vec![0.0; 200];
+        x[77] = 5_000.0;
+        let s = TimeErrorSeries::new(1.0, x);
+        assert_eq!(s.mtie(10), Some(5_000.0));
+    }
+
+    #[test]
+    fn short_series_yield_none() {
+        let s = TimeErrorSeries::new(1.0, vec![1.0, 2.0]);
+        assert_eq!(s.allan_deviation(1), None);
+        assert_eq!(s.mtie(5), None);
+        assert_eq!(s.allan_deviation(0), None);
+        assert_eq!(s.mtie(0), None);
+    }
+
+    #[test]
+    fn adev_curve_is_log_spaced_and_finite() {
+        let x: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 20.0).collect();
+        let s = TimeErrorSeries::new(1.0, x);
+        let curve = s.adev_curve(10);
+        assert!(curve.len() >= 5);
+        for w in curve.windows(2) {
+            assert!(w[1].0 > w[0].0, "taus increase");
+        }
+        assert!(curve.iter().all(|(_, a)| a.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling interval must be positive")]
+    fn zero_tau_rejected() {
+        TimeErrorSeries::new(0.0, vec![]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Egress-port transmission model: strict-priority queuing (IEEE 802.1Q)
+//! with line-rate serialization.
+//!
+//! A port transmits one frame at a time; while busy, arriving frames
+//! queue per traffic class and the highest PCP wins when the port frees
+//! (no preemption — a 1500 B best-effort frame in flight delays even a
+//! PCP-7 gPTP frame by up to ~12 µs at 1 Gb/s, which is precisely why
+//! gPTP relies on hardware timestamping rather than low latency).
+//!
+//! The type is generic over the queued payload so the simulation world
+//! can carry its transmission context alongside the frame.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tsn_time::{Nanos, SimTime};
+
+#[derive(Debug)]
+struct QEntry<T> {
+    /// Strict priority (higher first), then FIFO within a class.
+    key: (Reverse<u8>, u64),
+    item: T,
+}
+
+impl<T> PartialEq for QEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for QEntry<T> {}
+impl<T> PartialOrd for QEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for QEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: we want the smallest key (highest
+        // priority via Reverse, earliest seq) on top, so compare reversed.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// One egress port's transmission state.
+///
+/// # Examples
+///
+/// ```
+/// use tsn_netsim::EgressPort;
+/// use tsn_time::{Nanos, SimTime};
+///
+/// let mut port: EgressPort<&str> = EgressPort::new();
+/// let t = SimTime::from_millis(1);
+/// assert!(!port.is_busy(t));
+/// port.begin_transmission(t, Nanos::from_micros(12));
+/// port.enqueue(0, "best effort");
+/// port.enqueue(7, "gptp sync");
+/// // When the port frees, the PCP-7 frame goes first.
+/// assert_eq!(port.pop_ready(), Some((7, "gptp sync")));
+/// assert_eq!(port.pop_ready(), Some((0, "best effort")));
+/// ```
+#[derive(Debug)]
+pub struct EgressPort<T> {
+    busy_until: SimTime,
+    heap: BinaryHeap<QEntry<T>>,
+    next_seq: u64,
+    /// Total frames that waited in the queue (diagnostic).
+    pub queued_frames: u64,
+}
+
+impl<T> Default for EgressPort<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EgressPort<T> {
+    /// Creates an idle port.
+    pub fn new() -> Self {
+        EgressPort {
+            busy_until: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            queued_frames: 0,
+        }
+    }
+
+    /// `true` if a frame is on the wire at `now`.
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        now < self.busy_until
+    }
+
+    /// The instant the in-flight frame completes.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Marks the port busy for `duration` starting at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already busy at `now` — the caller must
+    /// serialize transmissions.
+    pub fn begin_transmission(&mut self, now: SimTime, duration: Nanos) {
+        assert!(!self.is_busy(now), "port already transmitting");
+        self.busy_until = now + duration;
+    }
+
+    /// Queues an item at `priority` (0–7, higher first).
+    pub fn enqueue(&mut self, priority: u8, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queued_frames += 1;
+        self.heap.push(QEntry {
+            key: (Reverse(priority), seq),
+            item,
+        });
+    }
+
+    /// Pops the next item to transmit: highest priority, FIFO within a
+    /// class.
+    pub fn pop_ready(&mut self) -> Option<(u8, T)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.item))
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_port_not_busy() {
+        let port: EgressPort<u32> = EgressPort::new();
+        assert!(!port.is_busy(SimTime::from_secs(1)));
+        assert!(port.is_empty());
+    }
+
+    #[test]
+    fn busy_window_tracks_duration() {
+        let mut port: EgressPort<u32> = EgressPort::new();
+        let t = SimTime::from_millis(5);
+        port.begin_transmission(t, Nanos::from_micros(12));
+        assert!(port.is_busy(t + Nanos::from_micros(11)));
+        assert!(!port.is_busy(t + Nanos::from_micros(12)));
+        assert_eq!(port.busy_until(), t + Nanos::from_micros(12));
+    }
+
+    #[test]
+    fn strict_priority_then_fifo() {
+        let mut port: EgressPort<&str> = EgressPort::new();
+        port.enqueue(0, "be-1");
+        port.enqueue(7, "ptp-1");
+        port.enqueue(0, "be-2");
+        port.enqueue(7, "ptp-2");
+        port.enqueue(6, "probe");
+        let order: Vec<&str> = std::iter::from_fn(|| port.pop_ready().map(|(_, i)| i)).collect();
+        assert_eq!(order, vec!["ptp-1", "ptp-2", "probe", "be-1", "be-2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already transmitting")]
+    fn overlapping_transmissions_rejected() {
+        let mut port: EgressPort<u32> = EgressPort::new();
+        let t = SimTime::from_millis(1);
+        port.begin_transmission(t, Nanos::from_micros(10));
+        port.begin_transmission(t + Nanos::from_micros(5), Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn queue_counter_tracks() {
+        let mut port: EgressPort<u32> = EgressPort::new();
+        for i in 0..5 {
+            port.enqueue(0, i);
+        }
+        assert_eq!(port.queued_frames, 5);
+        assert_eq!(port.len(), 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Dequeue order is strict priority, FIFO within a class, and
+        /// conserves every enqueued item.
+        #[test]
+        fn strict_priority_fifo_conservation(
+            items in proptest::collection::vec((0u8..8, any::<u32>()), 1..100)
+        ) {
+            let mut port: EgressPort<(usize, u32)> = EgressPort::new();
+            for (idx, (prio, payload)) in items.iter().enumerate() {
+                port.enqueue(*prio, (idx, *payload));
+            }
+            let mut out = Vec::new();
+            while let Some((prio, item)) = port.pop_ready() {
+                out.push((prio, item));
+            }
+            prop_assert_eq!(out.len(), items.len());
+            // Priorities non-increasing.
+            for w in out.windows(2) {
+                prop_assert!(w[0].0 >= w[1].0);
+            }
+            // FIFO within each class: original indices increase.
+            for p in 0u8..8 {
+                let idxs: Vec<usize> = out
+                    .iter()
+                    .filter(|(prio, _)| *prio == p)
+                    .map(|(_, (idx, _))| *idx)
+                    .collect();
+                for w in idxs.windows(2) {
+                    prop_assert!(w[0] < w[1], "class {p} reordered");
+                }
+            }
+            // Conservation: the multiset of payloads survives.
+            let mut sent: Vec<u32> = items.iter().map(|(_, p)| *p).collect();
+            let mut got: Vec<u32> = out.iter().map(|(_, (_, p))| *p).collect();
+            sent.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(sent, got);
+        }
+
+        /// Busy windows never overlap when transmissions are serialized
+        /// through `busy_until`.
+        #[test]
+        fn busy_windows_disjoint(durations in proptest::collection::vec(1i64..10_000, 1..50)) {
+            let mut port: EgressPort<u32> = EgressPort::new();
+            let mut t = SimTime::from_nanos(0);
+            for (i, d) in durations.iter().enumerate() {
+                prop_assert!(!port.is_busy(t));
+                port.begin_transmission(t, Nanos::from_nanos(*d));
+                let end = port.busy_until();
+                prop_assert_eq!(end, t + Nanos::from_nanos(*d), "duration index {}", i);
+                t = end; // next transmission starts when this one ends
+            }
+        }
+    }
+}

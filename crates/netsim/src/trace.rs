@@ -1,0 +1,149 @@
+//! Frame-level trace capture (a pcap-style debugging aid).
+//!
+//! When enabled, the experiment world records one line per frame event
+//! (departure/arrival per port) into a bounded ring buffer. Rendering
+//! the tail after a failed assertion is usually enough to see which
+//! Sync/Follow_Up pairing or pdelay exchange went wrong.
+
+use crate::topology::PortAddr;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use tsn_time::SimTime;
+
+/// Direction of a traced frame event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDir {
+    /// Frame left this port.
+    Tx,
+    /// Frame arrived at this port.
+    Rx,
+}
+
+/// One captured frame event.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// True time of the event.
+    pub at: SimTime,
+    /// Port the event occurred on.
+    pub port: PortAddr,
+    /// Direction.
+    pub dir: TraceDir,
+    /// Human-readable frame summary (message type, domain, seq …).
+    pub summary: String,
+}
+
+/// Bounded ring buffer of frame events.
+///
+/// # Examples
+///
+/// ```
+/// use tsn_netsim::{FrameTrace, PortAddr, DeviceId, TraceDir};
+/// use tsn_time::SimTime;
+///
+/// let mut trace = FrameTrace::new(2);
+/// let port = PortAddr::new(DeviceId(0), 0);
+/// trace.record(SimTime::from_millis(1), port, TraceDir::Tx, "Sync dom=0 seq=1");
+/// trace.record(SimTime::from_millis(2), port, TraceDir::Rx, "Follow_Up dom=0 seq=1");
+/// trace.record(SimTime::from_millis(3), port, TraceDir::Tx, "Sync dom=0 seq=2");
+/// // Capacity 2: the oldest entry was evicted.
+/// assert_eq!(trace.entries().count(), 2);
+/// assert!(trace.render().contains("seq=2"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameTrace {
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    /// Total events observed (including evicted ones).
+    pub total: u64,
+}
+
+impl FrameTrace {
+    /// Creates a trace holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        FrameTrace {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            total: 0,
+        }
+    }
+
+    /// Records one event.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        port: PortAddr,
+        dir: TraceDir,
+        summary: impl Into<String>,
+    ) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            port,
+            dir,
+            summary: summary.into(),
+        });
+        self.total += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Renders the retained events, one line each.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let dir = match e.dir {
+                TraceDir::Tx => "tx",
+                TraceDir::Rx => "rx",
+            };
+            let _ = writeln!(out, "{} {} {} {}", e.at, e.port, dir, e.summary);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::DeviceId;
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = FrameTrace::new(3);
+        let port = PortAddr::new(DeviceId(1), 0);
+        for i in 0..10u64 {
+            t.record(SimTime::from_nanos(i), port, TraceDir::Rx, format!("f{i}"));
+        }
+        assert_eq!(t.total, 10);
+        let kept: Vec<&str> = t.entries().map(|e| e.summary.as_str()).collect();
+        assert_eq!(kept, vec!["f7", "f8", "f9"]);
+    }
+
+    #[test]
+    fn render_formats_lines() {
+        let mut t = FrameTrace::new(4);
+        t.record(
+            SimTime::from_millis(125),
+            PortAddr::new(DeviceId(2), 1),
+            TraceDir::Tx,
+            "Sync dom=3 seq=9",
+        );
+        let s = t.render();
+        assert!(s.contains("dev2:p1 tx Sync dom=3 seq=9"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        FrameTrace::new(0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The best master clock algorithm in action (IEEE 802.1AS clause 10.3).
+//!
+//! The paper disables BMCA in favor of static external port
+//! configuration (its four grandmasters are fixed by design), but
+//! `tsn-gptp` implements the algorithm: this example elects a
+//! grandmaster among four time-aware systems, silences it, and watches
+//! the election fail over to the next-best clock.
+//!
+//! ```sh
+//! cargo run --release --example bmca_election
+//! ```
+
+use tsn_gptp::msg::{AnnounceBody, Header, Message, MessageType};
+use tsn_gptp::{Bmca, ClockIdentity, ClockQuality, PortIdentity, SystemIdentity};
+use tsn_time::{ClockTime, Nanos};
+
+fn system(priority1: u8, idx: u32) -> SystemIdentity {
+    SystemIdentity {
+        priority1,
+        quality: ClockQuality::default(),
+        priority2: 248,
+        identity: ClockIdentity::for_index(idx),
+    }
+}
+
+fn announce(from: &SystemIdentity, src: u32) -> Message {
+    Message::Announce {
+        header: Header::new(
+            MessageType::Announce,
+            0,
+            PortIdentity::new(ClockIdentity::for_index(src), 1),
+            0,
+            0,
+        ),
+        path_trace: vec![from.identity],
+        body: AnnounceBody {
+            current_utc_offset: 37,
+            priority1: from.priority1,
+            quality: from.quality,
+            priority2: from.priority2,
+            gm_identity: from.identity,
+            steps_removed: 0,
+            time_source: 0xA0,
+        },
+    }
+}
+
+fn main() {
+    // Four time-aware systems; system 0 has the best (lowest) priority1.
+    let systems: Vec<SystemIdentity> = (0..4).map(|i| system(100 + 10 * i as u8, i)).collect();
+    let timeout = Nanos::from_secs(3);
+    let mut bmcas: Vec<Bmca> = systems
+        .iter()
+        .map(|s| Bmca::new(*s, vec![1], timeout))
+        .collect();
+
+    println!("participants (priority1 / identity):");
+    for s in &systems {
+        println!("  p1 = {}  {}", s.priority1, s.identity);
+    }
+
+    let exchange = |bmcas: &mut Vec<Bmca>, alive: &[bool], now: ClockTime| {
+        for (i, b) in bmcas.iter_mut().enumerate() {
+            for (j, s) in systems.iter().enumerate() {
+                if i != j && alive[j] {
+                    b.consider_announce(1, &announce(s, j as u32), now);
+                }
+            }
+            b.expire(now);
+        }
+    };
+
+    // Round 1: everyone announces.
+    let mut alive = vec![true; 4];
+    exchange(&mut bmcas, &alive, ClockTime::ZERO);
+    println!("\nafter the first Announce exchange:");
+    for (i, b) in bmcas.iter().enumerate() {
+        let d = b.decide();
+        println!(
+            "  system {i}: grandmaster = {}{}",
+            d.grandmaster.identity,
+            if d.is_grandmaster {
+                "  (that's me)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    // The elected GM (system 0) goes silent; the others keep announcing.
+    // Note the two-phase behavior the standard implies: the dead master's
+    // best-master information survives until the announce receipt
+    // timeout; only the *next* Announce after expiry installs the
+    // second-best clock.
+    alive[0] = false;
+    println!("\nsystem 0 goes silent…");
+    for k in 1..=5i64 {
+        let now = ClockTime::from_nanos(k * 1_000_000_000);
+        exchange(&mut bmcas, &alive, now);
+    }
+    println!("after the announce receipt timeout ({} s):", 3);
+    for (i, b) in bmcas.iter().enumerate().skip(1) {
+        let d = b.decide();
+        println!(
+            "  system {i}: grandmaster = {}{}",
+            d.grandmaster.identity,
+            if d.is_grandmaster {
+                "  (that's me)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("\nThe second-best clock (system 1) now masters the domain —");
+    println!("hot-standby grandmaster failover, as IEEE 802.1AS intends.");
+}

@@ -1,0 +1,119 @@
+//! Integration: BMCA as an alternative to external port configuration.
+//!
+//! The paper's experiments disable BMCA ("external port configuration
+//! enabled, meaning that there is no best master clock algorithm"), but
+//! IEEE 802.1AS specifies it and `tsn-gptp` implements it. These tests
+//! elect grandmasters across a simulated set of time-aware systems and
+//! exercise failover on GM silence.
+
+use tsn_gptp::msg::Message;
+use tsn_gptp::{Bmca, ClockIdentity, ClockQuality, PortIdentity, PortRole, SystemIdentity};
+use tsn_time::{ClockTime, Nanos};
+
+fn system(priority1: u8, idx: u32) -> SystemIdentity {
+    SystemIdentity {
+        priority1,
+        quality: ClockQuality::default(),
+        priority2: 248,
+        identity: ClockIdentity::for_index(idx),
+    }
+}
+
+fn announce_from(sys: &SystemIdentity, steps: u16, src: u32) -> Message {
+    Message::Announce {
+        header: tsn_gptp::msg::Header::new(
+            tsn_gptp::msg::MessageType::Announce,
+            0,
+            PortIdentity::new(ClockIdentity::for_index(src), 1),
+            0,
+            0,
+        ),
+        path_trace: vec![sys.identity, ClockIdentity::for_index(src)],
+        body: tsn_gptp::msg::AnnounceBody {
+            current_utc_offset: 37,
+            priority1: sys.priority1,
+            quality: sys.quality,
+            priority2: sys.priority2,
+            gm_identity: sys.identity,
+            steps_removed: steps,
+            time_source: 0xA0,
+        },
+    }
+}
+
+const TIMEOUT: Nanos = Nanos::from_secs(3);
+
+/// Announce messages survive a byte-level round trip into BMCA.
+#[test]
+fn announce_codec_feeds_bmca() {
+    let gm = system(100, 1);
+    let bytes = announce_from(&gm, 0, 1).encode();
+    let decoded = Message::decode(&bytes).expect("announce decodes");
+    let mut bmca = Bmca::new(system(246, 9), vec![1], TIMEOUT);
+    bmca.consider_announce(1, &decoded, ClockTime::ZERO);
+    let d = bmca.decide();
+    assert!(!d.is_grandmaster);
+    assert_eq!(d.grandmaster.identity, gm.identity);
+}
+
+/// Full election among four systems: the lowest priority wins on every
+/// participant, consistently.
+#[test]
+fn four_system_election_is_consistent() {
+    let systems: Vec<SystemIdentity> = (0..4).map(|i| system(240 + i as u8, i)).collect();
+    let winner = systems[0];
+    let mut elected = Vec::new();
+    for me in 0..4usize {
+        let mut bmca = Bmca::new(systems[me], vec![1], TIMEOUT);
+        for (other, sys) in systems.iter().enumerate() {
+            if other != me {
+                bmca.consider_announce(1, &announce_from(sys, 0, other as u32), ClockTime::ZERO);
+            }
+        }
+        let d = bmca.decide();
+        elected.push(d.grandmaster.identity);
+        assert_eq!(d.is_grandmaster, me == 0);
+    }
+    assert!(elected.iter().all(|id| *id == winner.identity));
+}
+
+/// When the elected GM goes silent, each remaining system fails over to
+/// the next-best after the announce receipt timeout.
+#[test]
+fn silence_triggers_failover_to_next_best() {
+    let best = system(100, 1);
+    let second = system(150, 2);
+    let mut bmca = Bmca::new(system(246, 9), vec![1], TIMEOUT);
+    // Both heard initially.
+    bmca.consider_announce(1, &announce_from(&best, 0, 1), ClockTime::ZERO);
+    let d = bmca.decide();
+    assert_eq!(d.grandmaster.identity, best.identity);
+    // The best goes silent; the second keeps announcing.
+    for k in 1..=5i64 {
+        let now = ClockTime::from_nanos(k * 1_000_000_000);
+        bmca.consider_announce(1, &announce_from(&second, 0, 2), now);
+        bmca.expire(now);
+    }
+    let d = bmca.decide();
+    assert!(!d.is_grandmaster);
+    assert_eq!(
+        d.grandmaster.identity, second.identity,
+        "failover to the second-best GM"
+    );
+}
+
+/// The BMCA assigns exactly one slave port and blocks redundant paths.
+#[test]
+fn multi_port_roles_are_loop_free() {
+    let root = system(100, 1);
+    let mut bmca = Bmca::new(system(246, 9), vec![1, 2, 3], TIMEOUT);
+    bmca.consider_announce(1, &announce_from(&root, 1, 5), ClockTime::ZERO);
+    bmca.consider_announce(2, &announce_from(&root, 2, 6), ClockTime::ZERO);
+    // Port 3 hears nothing.
+    let d = bmca.decide();
+    assert_eq!(d.slave_port, Some(1), "shortest path to the root");
+    assert_eq!(d.roles[&2], PortRole::Passive, "redundant path blocked");
+    assert_eq!(d.roles[&3], PortRole::Master);
+    let slaves = d.roles.values().filter(|r| **r == PortRole::Slave).count();
+    assert_eq!(slaves, 1);
+}

@@ -1,0 +1,126 @@
+//! Integration: the paper's cyber-resilience experiments (Fig. 3).
+//!
+//! These tests run a compressed version of the 1 h experiment: the two
+//! strikes are moved to 3 min and 6 min so a 10 min simulated run
+//! exercises the full before/strike-1/strike-2 sequence.
+
+use clocksync::{scenario, TestbedConfig};
+use tsn_faults::{AttackPlan, CveId, KernelAssignment, Strike, PAPER_POT_OFFSET};
+use tsn_time::{Nanos, SimTime};
+
+fn compressed_attack() -> AttackPlan {
+    AttackPlan::new(vec![
+        Strike {
+            at: SimTime::from_secs(180),
+            target_node: 3,
+            cve: CveId::Cve2018_18955,
+            pot_offset: PAPER_POT_OFFSET,
+        },
+        Strike {
+            at: SimTime::from_secs(360),
+            target_node: 0,
+            cve: CveId::Cve2018_18955,
+            pot_offset: PAPER_POT_OFFSET,
+        },
+    ])
+}
+
+fn cfg(kernels: KernelAssignment) -> TestbedConfig {
+    let mut cfg = TestbedConfig::paper_default(7);
+    cfg.duration = Nanos::from_secs(600);
+    cfg.kernels = kernels;
+    cfg.attack = compressed_attack();
+    cfg
+}
+
+/// Precision stats of minute `m` of the measured axis.
+fn minute_max(r: &clocksync::RunResult, m: u64) -> Nanos {
+    let from = SimTime::ZERO + r.warmup + Nanos::from_secs((m * 60) as i64);
+    r.series
+        .window(from, from + Nanos::from_secs(60))
+        .stats()
+        .expect("samples in minute")
+        .max
+}
+
+#[test]
+fn identical_kernels_first_strike_masked_second_breaks_bound() {
+    let outcome = scenario::run(cfg(KernelAssignment::identical(4)));
+    let r = &outcome.result;
+    assert_eq!(r.counters.strikes_succeeded, 2);
+    assert_eq!(r.counters.strikes_failed, 0);
+    let bound = r.bounds.pi_plus_gamma();
+
+    // Before any strike: within bound.
+    assert!(minute_max(r, 2) <= bound, "pre-attack violated");
+    // Between strike 1 (min 3) and strike 2 (min 6): the FTA masks the
+    // single Byzantine GM.
+    assert!(
+        minute_max(r, 5) <= bound,
+        "first strike not masked: {}",
+        minute_max(r, 5)
+    );
+    // After strike 2: the bound is violated (Byzantine tolerance f = 1
+    // is exceeded).
+    assert!(
+        minute_max(r, 9) > bound,
+        "second strike did not break synchronization: {} <= {bound}",
+        minute_max(r, 9)
+    );
+}
+
+#[test]
+fn diverse_kernels_mask_the_whole_attack() {
+    let outcome = scenario::run(cfg(KernelAssignment::diverse(4, 3)));
+    let r = &outcome.result;
+    assert_eq!(r.counters.strikes_succeeded, 1);
+    assert_eq!(r.counters.strikes_failed, 1);
+    assert_eq!(
+        r.series.fraction_within(r.bounds.pi_plus_gamma()),
+        1.0,
+        "diversified system must stay within the bound"
+    );
+}
+
+#[test]
+fn attack_without_vulnerable_kernels_is_harmless() {
+    let kernels = KernelAssignment::custom(vec![tsn_faults::KernelVersion::V5_4_0; 4]);
+    let outcome = scenario::run(cfg(kernels));
+    let r = &outcome.result;
+    assert_eq!(r.counters.strikes_succeeded, 0);
+    assert_eq!(r.counters.strikes_failed, 2);
+    assert_eq!(r.series.fraction_within(r.bounds.pi_plus_gamma()), 1.0);
+}
+
+#[test]
+fn strike_events_are_logged_with_outcome() {
+    let outcome = scenario::run(cfg(KernelAssignment::diverse(4, 3)));
+    let strikes: Vec<bool> = outcome
+        .result
+        .events
+        .entries()
+        .iter()
+        .filter_map(|(_, e)| match e {
+            tsn_metrics::ExperimentEvent::Strike { succeeded, .. } => Some(*succeeded),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(strikes, vec![true, false]);
+}
+
+#[test]
+fn single_byzantine_gm_bounded_regardless_of_direction() {
+    // A +24 µs shift (opposite sign to the paper's) is masked just the
+    // same: the FTA discards extremes on both sides.
+    let mut c = cfg(KernelAssignment::diverse(4, 3));
+    c.attack = AttackPlan::new(vec![Strike {
+        at: SimTime::from_secs(180),
+        target_node: 3,
+        cve: CveId::Cve2018_18955,
+        pot_offset: Nanos::from_micros(24),
+    }]);
+    let outcome = scenario::run(c);
+    let r = &outcome.result;
+    assert_eq!(r.counters.strikes_succeeded, 1);
+    assert_eq!(r.series.fraction_within(r.bounds.pi_plus_gamma()), 1.0);
+}
