@@ -48,6 +48,8 @@ fn main() {
         println!("max precision {} at {}", m.value, m.at);
     }
     println!("\n(run repro_bounds and repro_stability for the in-text derivations");
-    println!(" and the §III-C clock-stability analysis)");
+    println!(" and the §III-C clock-stability analysis; for multi-seed statistics");
+    println!(" of the same scenarios, run the campaign port:");
+    println!("   cargo run -p tsn-campaign --release --bin campaign -- run --builtin repro-all)");
     let _ = Nanos::from_secs(0);
 }

@@ -20,34 +20,80 @@ pub struct ReproArgs {
     pub out: PathBuf,
 }
 
+/// Usage text shared by every regenerator binary.
+pub const REPRO_USAGE: &str = "options:
+  --seed N      experiment seed (default 7)
+  --minutes N   duration override in minutes
+  --out DIR     CSV artifact directory (default target/repro)
+  --help        print this help";
+
 impl ReproArgs {
-    /// Parses `--seed N`, `--minutes N`, `--out DIR` (all optional).
+    /// Parses `--seed N`, `--minutes N`, `--out DIR` (all optional)
+    /// from the process arguments. Malformed or unknown arguments
+    /// print the usage and exit with status 2; `--help` prints it and
+    /// exits 0.
     pub fn parse() -> ReproArgs {
-        let mut args = ReproArgs {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(ReproParse::Args(args)) => args,
+            Ok(ReproParse::Help) => {
+                println!("{REPRO_USAGE}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{REPRO_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The pure parser behind [`ReproArgs::parse`]. Rejects malformed
+    /// values and unknown arguments instead of silently swallowing
+    /// them (a mistyped `--seed` must not run the wrong experiment).
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<ReproParse, String> {
+        let mut parsed = ReproArgs {
             seed: 7,
             minutes: None,
             out: PathBuf::from("target/repro"),
         };
-        let mut it = std::env::args().skip(1);
+        let mut it = args.into_iter();
         while let Some(a) = it.next() {
+            let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
             match a.as_str() {
-                "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
-                "--minutes" => args.minutes = it.next().and_then(|v| v.parse().ok()),
-                "--out" => {
-                    if let Some(v) = it.next() {
-                        args.out = PathBuf::from(v);
-                    }
+                "--help" | "-h" => return Ok(ReproParse::Help),
+                "--seed" => {
+                    let v = value("--seed")?;
+                    parsed.seed = v
+                        .parse()
+                        .map_err(|_| format!("malformed --seed value {v:?}"))?;
                 }
-                other => eprintln!("ignoring unknown argument {other}"),
+                "--minutes" => {
+                    let v = value("--minutes")?;
+                    parsed.minutes = Some(
+                        v.parse()
+                            .map_err(|_| format!("malformed --minutes value {v:?}"))?,
+                    );
+                }
+                "--out" => parsed.out = PathBuf::from(value("--out")?),
+                other => return Err(format!("unknown argument {other:?}")),
             }
         }
-        args
+        Ok(ReproParse::Args(parsed))
     }
 
     /// The experiment duration: the override or `default_minutes`.
     pub fn duration(&self, default_minutes: u64) -> Nanos {
         Nanos::from_secs((self.minutes.unwrap_or(default_minutes) * 60) as i64)
     }
+}
+
+/// Outcome of [`ReproArgs::try_parse`].
+#[derive(Debug, Clone)]
+pub enum ReproParse {
+    /// Parsed options.
+    Args(ReproArgs),
+    /// `--help` was requested.
+    Help,
 }
 
 /// Writes a text artifact, creating the directory as needed.
@@ -92,4 +138,54 @@ pub fn window_max(r: &RunResult, from_min: u64, to_min: u64) -> Option<Nanos> {
     let from = SimTime::ZERO + r.warmup + Nanos::from_secs((from_min * 60) as i64);
     let to = SimTime::ZERO + r.warmup + Nanos::from_secs((to_min * 60) as i64);
     r.series.window(from, to).stats().map(|s| s.max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ReproParse, String> {
+        ReproArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let ReproParse::Args(a) = parse(&[]).unwrap() else {
+            panic!("expected args");
+        };
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.minutes, None);
+        assert_eq!(a.out, PathBuf::from("target/repro"));
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let ReproParse::Args(a) =
+            parse(&["--seed", "99", "--minutes", "3", "--out", "/tmp/x"]).unwrap()
+        else {
+            panic!("expected args");
+        };
+        assert_eq!(a.seed, 99);
+        assert_eq!(a.minutes, Some(3));
+        assert_eq!(a.out, PathBuf::from("/tmp/x"));
+        assert_eq!(a.duration(60), Nanos::from_secs(180));
+    }
+
+    #[test]
+    fn malformed_values_error_instead_of_silently_defaulting() {
+        assert!(parse(&["--seed", "banana"]).unwrap_err().contains("--seed"));
+        assert!(parse(&["--minutes", "-3"])
+            .unwrap_err()
+            .contains("--minutes"));
+        assert!(parse(&["--seed"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unknown argument"));
+    }
+
+    #[test]
+    fn help_is_recognized() {
+        assert!(matches!(parse(&["--help"]).unwrap(), ReproParse::Help));
+        assert!(matches!(parse(&["-h"]).unwrap(), ReproParse::Help));
+    }
 }

@@ -1,0 +1,403 @@
+//! Run artifacts: the per-run JSONL record and its (de)serialization.
+//!
+//! Every run writes one self-describing record to
+//! `runs/run-<hash>.jsonl` under the campaign directory. The record
+//! deliberately contains **no wall-clock data** — it is a pure function
+//! of the run plan and the simulation result, so re-running the same
+//! spec with any thread count reproduces the file byte for byte (which
+//! the determinism test asserts, and which makes artifacts diffable
+//! across machines).
+
+use crate::json::Json;
+use crate::matrix::{Coord, RunPlan};
+use crate::spec::{discipline_name, parse_discipline, KernelChoice};
+use clocksync::scenario::ScenarioKind;
+use clocksync::{RunCounters, RunResult};
+use tsn_metrics::SampleSummary;
+
+/// Artifact schema version, bumped on incompatible format changes.
+pub const ARTIFACT_SCHEMA: u64 = 1;
+
+/// Per-run precision statistics (all times in nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecord {
+    /// Number of probe samples.
+    pub count: u64,
+    /// Mean measured precision Π*_s.
+    pub mean_ns: f64,
+    /// Standard deviation of Π*_s.
+    pub std_ns: f64,
+    /// Minimum sample.
+    pub min_ns: i64,
+    /// Maximum sample.
+    pub max_ns: i64,
+    /// Median sample.
+    pub p50_ns: i64,
+    /// 90th percentile.
+    pub p90_ns: i64,
+    /// 95th percentile.
+    pub p95_ns: i64,
+    /// 99th percentile.
+    pub p99_ns: i64,
+}
+
+/// Derived bounds (all times in nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundsRecord {
+    /// Minimum path delay `d_min`.
+    pub d_min_ns: i64,
+    /// Maximum path delay `d_max`.
+    pub d_max_ns: i64,
+    /// Reading error `E`.
+    pub reading_error_ns: i64,
+    /// Drift offset `Γ`.
+    pub drift_offset_ns: i64,
+    /// Precision bound `Π`.
+    pub pi_ns: i64,
+    /// Measurement error `γ`.
+    pub gamma_ns: i64,
+    /// `Π + γ`, the bound the measured series is checked against.
+    pub pi_plus_gamma_ns: i64,
+}
+
+/// One run's complete artifact record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Campaign name the run belongs to.
+    pub campaign: String,
+    /// Content hash (matches the artifact filename).
+    pub hash: String,
+    /// The grid coordinate.
+    pub coord: Coord,
+    /// The derived per-run seed.
+    pub seed: u64,
+    /// Simulation counters.
+    pub counters: RunCounters,
+    /// Derived bounds.
+    pub bounds: BoundsRecord,
+    /// Precision statistics (`None` when no probe completed).
+    pub precision: Option<PrecisionRecord>,
+    /// Fraction of samples within `Π + γ`.
+    pub fraction_within_bound: f64,
+}
+
+impl RunRecord {
+    /// Builds the record for a finished run.
+    pub fn new(campaign: &str, plan: &RunPlan, result: &RunResult) -> RunRecord {
+        let b = &result.bounds;
+        let precision = result.series.stats().map(|s| PrecisionRecord {
+            count: s.count as u64,
+            mean_ns: s.mean,
+            std_ns: s.std,
+            min_ns: s.min.as_nanos(),
+            max_ns: s.max.as_nanos(),
+            p50_ns: quantile_ns(result, 0.50),
+            p90_ns: quantile_ns(result, 0.90),
+            p95_ns: quantile_ns(result, 0.95),
+            p99_ns: quantile_ns(result, 0.99),
+        });
+        RunRecord {
+            campaign: campaign.to_string(),
+            hash: plan.hash.clone(),
+            coord: plan.coord,
+            seed: plan.seed,
+            counters: result.counters.clone(),
+            bounds: BoundsRecord {
+                d_min_ns: b.d_min.as_nanos(),
+                d_max_ns: b.d_max.as_nanos(),
+                reading_error_ns: b.reading_error.as_nanos(),
+                drift_offset_ns: b.drift_offset.as_nanos(),
+                pi_ns: b.pi.as_nanos(),
+                gamma_ns: b.gamma.as_nanos(),
+                pi_plus_gamma_ns: b.pi_plus_gamma().as_nanos(),
+            },
+            precision,
+            fraction_within_bound: result.series.fraction_within(b.pi_plus_gamma()),
+        }
+    }
+
+    /// Encodes the record as one JSONL line (with trailing newline).
+    pub fn encode(&self) -> String {
+        let coord = Json::object(vec![
+            (
+                "scenario",
+                Json::Str(self.coord.scenario.name().to_string()),
+            ),
+            ("seed", Json::UInt(self.coord.seed)),
+            ("domains", opt_uint(self.coord.domains.map(|m| m as u64))),
+            ("sync_interval_ms", opt_uint(self.coord.sync_interval_ms)),
+            (
+                "kernel",
+                self.coord
+                    .kernel
+                    .map_or(Json::Null, |k| Json::Str(k.name().to_string())),
+            ),
+            (
+                "fault_rate_per_hour",
+                opt_uint(self.coord.fault_rate_per_hour.map(u64::from)),
+            ),
+            (
+                "discipline",
+                self.coord
+                    .discipline
+                    .map_or(Json::Null, |d| Json::Str(discipline_name(d).to_string())),
+            ),
+        ]);
+        let c = &self.counters;
+        let counters = Json::object(vec![
+            ("tx_timestamp_timeouts", Json::UInt(c.tx_timestamp_timeouts)),
+            ("deadline_misses", Json::UInt(c.deadline_misses)),
+            ("vm_failures", Json::UInt(c.vm_failures)),
+            ("gm_failures", Json::UInt(c.gm_failures)),
+            ("takeovers", Json::UInt(c.takeovers)),
+            ("aggregations", Json::UInt(c.aggregations)),
+            ("no_quorum", Json::UInt(c.no_quorum)),
+            ("strikes_succeeded", Json::UInt(c.strikes_succeeded)),
+            ("strikes_failed", Json::UInt(c.strikes_failed)),
+            ("frames_queued", Json::UInt(c.frames_queued)),
+        ]);
+        let b = &self.bounds;
+        let bounds = Json::object(vec![
+            ("d_min_ns", Json::Int(b.d_min_ns)),
+            ("d_max_ns", Json::Int(b.d_max_ns)),
+            ("reading_error_ns", Json::Int(b.reading_error_ns)),
+            ("drift_offset_ns", Json::Int(b.drift_offset_ns)),
+            ("pi_ns", Json::Int(b.pi_ns)),
+            ("gamma_ns", Json::Int(b.gamma_ns)),
+            ("pi_plus_gamma_ns", Json::Int(b.pi_plus_gamma_ns)),
+        ]);
+        let precision = match &self.precision {
+            None => Json::Null,
+            Some(p) => Json::object(vec![
+                ("count", Json::UInt(p.count)),
+                ("mean_ns", Json::Float(p.mean_ns)),
+                ("std_ns", Json::Float(p.std_ns)),
+                ("min_ns", Json::Int(p.min_ns)),
+                ("max_ns", Json::Int(p.max_ns)),
+                ("p50_ns", Json::Int(p.p50_ns)),
+                ("p90_ns", Json::Int(p.p90_ns)),
+                ("p95_ns", Json::Int(p.p95_ns)),
+                ("p99_ns", Json::Int(p.p99_ns)),
+            ]),
+        };
+        let record = Json::object(vec![
+            ("schema", Json::UInt(ARTIFACT_SCHEMA)),
+            ("campaign", Json::Str(self.campaign.clone())),
+            ("hash", Json::Str(self.hash.clone())),
+            ("coord", coord),
+            ("run_seed", Json::UInt(self.seed)),
+            ("counters", counters),
+            ("bounds", bounds),
+            ("precision", precision),
+            (
+                "fraction_within_bound",
+                Json::Float(self.fraction_within_bound),
+            ),
+        ]);
+        let mut line = record.render();
+        line.push('\n');
+        line
+    }
+
+    /// Decodes a record from its JSONL line. Returns `None` on any
+    /// schema mismatch or malformed field (the caller treats the run as
+    /// not-yet-completed and re-executes it).
+    pub fn decode(line: &str) -> Option<RunRecord> {
+        let v = Json::parse(line.trim_end()).ok()?;
+        if v.get("schema")?.as_u64()? != ARTIFACT_SCHEMA {
+            return None;
+        }
+        let coord_v = v.get("coord")?;
+        let coord = Coord {
+            scenario: ScenarioKind::parse(coord_v.get("scenario")?.as_str()?)?,
+            seed: coord_v.get("seed")?.as_u64()?,
+            domains: opt_field(coord_v, "domains", |x| x.as_u64().map(|m| m as usize))?,
+            sync_interval_ms: opt_field(coord_v, "sync_interval_ms", Json::as_u64)?,
+            kernel: opt_field(coord_v, "kernel", |x| {
+                x.as_str().and_then(KernelChoice::parse)
+            })?,
+            fault_rate_per_hour: opt_field(coord_v, "fault_rate_per_hour", |x| {
+                x.as_u64().and_then(|r| u32::try_from(r).ok())
+            })?,
+            discipline: opt_field(coord_v, "discipline", |x| {
+                x.as_str().and_then(parse_discipline)
+            })?,
+        };
+        let c = v.get("counters")?;
+        let counters = RunCounters {
+            tx_timestamp_timeouts: c.get("tx_timestamp_timeouts")?.as_u64()?,
+            deadline_misses: c.get("deadline_misses")?.as_u64()?,
+            vm_failures: c.get("vm_failures")?.as_u64()?,
+            gm_failures: c.get("gm_failures")?.as_u64()?,
+            takeovers: c.get("takeovers")?.as_u64()?,
+            aggregations: c.get("aggregations")?.as_u64()?,
+            no_quorum: c.get("no_quorum")?.as_u64()?,
+            strikes_succeeded: c.get("strikes_succeeded")?.as_u64()?,
+            strikes_failed: c.get("strikes_failed")?.as_u64()?,
+            frames_queued: c.get("frames_queued")?.as_u64()?,
+        };
+        let b = v.get("bounds")?;
+        let bounds = BoundsRecord {
+            d_min_ns: b.get("d_min_ns")?.as_i64()?,
+            d_max_ns: b.get("d_max_ns")?.as_i64()?,
+            reading_error_ns: b.get("reading_error_ns")?.as_i64()?,
+            drift_offset_ns: b.get("drift_offset_ns")?.as_i64()?,
+            pi_ns: b.get("pi_ns")?.as_i64()?,
+            gamma_ns: b.get("gamma_ns")?.as_i64()?,
+            pi_plus_gamma_ns: b.get("pi_plus_gamma_ns")?.as_i64()?,
+        };
+        let precision = match v.get("precision")? {
+            Json::Null => None,
+            p => Some(PrecisionRecord {
+                count: p.get("count")?.as_u64()?,
+                mean_ns: p.get("mean_ns")?.as_f64()?,
+                std_ns: p.get("std_ns")?.as_f64()?,
+                min_ns: p.get("min_ns")?.as_i64()?,
+                max_ns: p.get("max_ns")?.as_i64()?,
+                p50_ns: p.get("p50_ns")?.as_i64()?,
+                p90_ns: p.get("p90_ns")?.as_i64()?,
+                p95_ns: p.get("p95_ns")?.as_i64()?,
+                p99_ns: p.get("p99_ns")?.as_i64()?,
+            }),
+        };
+        Some(RunRecord {
+            campaign: v.get("campaign")?.as_str()?.to_string(),
+            hash: v.get("hash")?.as_str()?.to_string(),
+            coord,
+            seed: v.get("run_seed")?.as_u64()?,
+            counters,
+            bounds,
+            precision,
+            fraction_within_bound: v.get("fraction_within_bound")?.as_f64()?,
+        })
+    }
+
+    /// Per-run scalar used for cross-seed aggregation of a precision
+    /// field; `None` when the run recorded no samples.
+    pub fn precision_scalar(&self, pick: impl Fn(&PrecisionRecord) -> f64) -> Option<f64> {
+        self.precision.as_ref().map(pick)
+    }
+
+    /// The run's bound-violation rate (fraction of samples *outside*
+    /// `Π + γ`).
+    pub fn violation_rate(&self) -> f64 {
+        1.0 - self.fraction_within_bound
+    }
+
+    /// Cross-seed summary of one scalar over a set of runs.
+    pub fn summarize(
+        records: &[&RunRecord],
+        f: impl Fn(&RunRecord) -> Option<f64>,
+    ) -> Option<SampleSummary> {
+        let values: Vec<f64> = records.iter().filter_map(|r| f(r)).collect();
+        SampleSummary::from_values(&values)
+    }
+}
+
+fn opt_uint(v: Option<u64>) -> Json {
+    v.map_or(Json::Null, Json::UInt)
+}
+
+/// Reads an optional coordinate field: `null` → `Some(None)`, a valid
+/// value → `Some(Some(v))`, anything else → `None` (decode failure).
+fn opt_field<T>(obj: &Json, key: &str, f: impl Fn(&Json) -> Option<T>) -> Option<Option<T>> {
+    match obj.get(key)? {
+        Json::Null => Some(None),
+        v => f(v).map(Some),
+    }
+}
+
+fn quantile_ns(result: &RunResult, q: f64) -> i64 {
+    result.series.quantile(q).map(|n| n.as_nanos()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsn_hyp::SyncClockDiscipline;
+
+    fn record() -> RunRecord {
+        RunRecord {
+            campaign: "t".to_string(),
+            hash: "00ff".to_string(),
+            coord: Coord {
+                scenario: ScenarioKind::Baseline,
+                seed: 42,
+                domains: Some(5),
+                sync_interval_ms: None,
+                kernel: Some(KernelChoice::Diverse),
+                fault_rate_per_hour: None,
+                discipline: Some(SyncClockDiscipline::FeedForward),
+            },
+            seed: u64::MAX - 3,
+            counters: RunCounters::default(),
+            bounds: BoundsRecord {
+                d_min_ns: 2_500,
+                d_max_ns: 7_600,
+                reading_error_ns: 5_100,
+                drift_offset_ns: 1_250,
+                pi_ns: 12_700,
+                gamma_ns: 1_200,
+                pi_plus_gamma_ns: 13_900,
+            },
+            precision: Some(PrecisionRecord {
+                count: 60,
+                mean_ns: 3_120.5,
+                std_ns: 800.25,
+                min_ns: 900,
+                max_ns: 9_800,
+                p50_ns: 3_000,
+                p90_ns: 4_500,
+                p95_ns: 5_200,
+                p99_ns: 8_100,
+            }),
+            fraction_within_bound: 0.9833,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = record();
+        let line = r.encode();
+        assert!(line.ends_with('\n'));
+        assert!(!line.trim_end().contains('\n'), "one JSONL line");
+        let back = RunRecord::decode(&line).expect("decodes");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        assert_eq!(record().encode(), record().encode());
+    }
+
+    #[test]
+    fn decode_rejects_other_schemas_and_garbage() {
+        let line = record().encode().replace("\"schema\":1", "\"schema\":2");
+        assert!(RunRecord::decode(&line).is_none());
+        assert!(RunRecord::decode("not json").is_none());
+        assert!(RunRecord::decode("{}").is_none());
+    }
+
+    #[test]
+    fn null_precision_roundtrips() {
+        let mut r = record();
+        r.precision = None;
+        let back = RunRecord::decode(&r.encode()).unwrap();
+        assert_eq!(back.precision, None);
+    }
+
+    #[test]
+    fn summarize_skips_missing_precision() {
+        let mut a = record();
+        a.fraction_within_bound = 0.9;
+        let mut b = record();
+        b.precision = None;
+        b.fraction_within_bound = 1.0;
+        let refs = vec![&a, &b];
+        let s = RunRecord::summarize(&refs, |r| r.precision_scalar(|p| p.mean_ns)).unwrap();
+        assert_eq!(s.count, 1);
+        let v = RunRecord::summarize(&refs, |r| Some(r.violation_rate())).unwrap();
+        assert_eq!(v.count, 2);
+        assert!((v.mean - 0.05).abs() < 1e-12);
+    }
+}

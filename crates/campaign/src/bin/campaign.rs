@@ -1,0 +1,242 @@
+//! The `campaign` CLI: run, resume, summarize, and diff experiment
+//! campaigns.
+//!
+//! ```text
+//! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet]
+//! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet]
+//! campaign summarize --dir DIR [--json]
+//! campaign diff      --baseline DIR --candidate DIR [--tol-violation F]
+//!                    [--tol-p95-rel F] [--tol-p95-ns F]
+//! campaign spec      --builtin NAME
+//! campaign list
+//! ```
+//!
+//! `resume` is an alias of `run` — resumption is automatic and
+//! content-addressed, the alias only states intent. `summarize` and
+//! `diff` read the spec back from each campaign directory's
+//! `manifest.json`, so they need no spec argument. `diff` exits 0 on
+//! parity, 1 on regression, 2 on error/incomparable campaigns.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tsn_campaign::json::Json;
+use tsn_campaign::{runner, summary, CampaignSpec, DiffTolerance, RunnerOptions};
+
+const USAGE: &str = "usage:
+  campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet]
+  campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet]
+  campaign summarize --dir DIR [--json]
+  campaign diff      --baseline DIR --candidate DIR [--tol-violation F] [--tol-p95-rel F] [--tol-p95-ns F]
+  campaign spec      --builtin NAME
+  campaign list
+
+built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval
+exit codes (diff): 0 parity, 1 regression, 2 error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_cli(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        return Err("no subcommand".to_string());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "run" | "resume" => cmd_run(rest),
+        "summarize" => cmd_summarize(rest),
+        "diff" => cmd_diff(rest),
+        "spec" => cmd_spec(rest),
+        "list" => {
+            for name in CampaignSpec::BUILTINS {
+                let spec = CampaignSpec::builtin(name).expect("builtin exists");
+                println!("{name}  ({} runs)", spec.total_runs());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// A tiny strict flag parser: every flag takes one value except the
+/// listed boolean switches; unknown flags are errors.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], known: &[&str], known_switches: &[&str]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--help" || a == "-h" {
+                return Err("help requested".to_string());
+            }
+            if known_switches.contains(&a.as_str()) {
+                switches.push(a.clone());
+            } else if known.contains(&a.as_str()) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{a} needs a value"))?
+                    .clone();
+                pairs.push((a.clone(), v));
+            } else {
+                return Err(format!("unknown argument {a:?}"));
+            }
+        }
+        Ok(Flags { pairs, switches })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        self.get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("malformed value {v:?} for {key}"))
+            })
+            .transpose()
+    }
+}
+
+fn load_spec(flags: &Flags) -> Result<CampaignSpec, String> {
+    match (flags.get("--builtin"), flags.get("--spec")) {
+        (Some(name), None) => CampaignSpec::builtin(name)
+            .ok_or_else(|| format!("unknown builtin {name:?} (see `campaign list`)")),
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))
+        }
+        _ => Err("exactly one of --builtin or --spec is required".to_string()),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(
+        args,
+        &["--builtin", "--spec", "--dir", "--threads"],
+        &["--quiet"],
+    )?;
+    let spec = load_spec(&flags)?;
+    let dir = flags
+        .get("--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/campaigns").join(&spec.name));
+    let opts = RunnerOptions {
+        dir: dir.clone(),
+        threads: flags.get_parsed::<usize>("--threads")?.unwrap_or(0),
+        quiet: flags.has("--quiet"),
+    };
+    let report = runner::execute(&spec, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "campaign {}: {} run(s) total, {} executed, {} resumed, {} thread(s), artifacts in {}",
+        spec.name,
+        report.records.len(),
+        report.executed,
+        report.skipped,
+        report.threads,
+        dir.display()
+    );
+    print!("{}", summary::render(&summary::summarize(&report.records)));
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Reads the spec back from a campaign directory's manifest.
+fn spec_of_dir(dir: &Path) -> Result<CampaignSpec, String> {
+    let path = dir.join("manifest.json");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let manifest =
+        Json::parse(&text).map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    let spec = manifest
+        .get("spec")
+        .ok_or_else(|| format!("{} has no `spec`", path.display()))?;
+    CampaignSpec::parse(&spec.render()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn load_summaries(dir: &Path) -> Result<Vec<summary::GroupSummary>, String> {
+    let spec = spec_of_dir(dir)?;
+    let records = runner::load(&spec, dir).map_err(|e| e.to_string())?;
+    Ok(summary::summarize(&records))
+}
+
+fn cmd_summarize(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["--dir"], &["--json"])?;
+    let dir = PathBuf::from(flags.get("--dir").ok_or("--dir is required")?);
+    let groups = load_summaries(&dir)?;
+    if flags.has("--json") {
+        println!("{}", summary::render_json(&groups));
+    } else {
+        print!("{}", summary::render(&groups));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--baseline",
+            "--candidate",
+            "--tol-violation",
+            "--tol-p95-rel",
+            "--tol-p95-ns",
+        ],
+        &[],
+    )?;
+    let baseline = PathBuf::from(flags.get("--baseline").ok_or("--baseline is required")?);
+    let candidate = PathBuf::from(flags.get("--candidate").ok_or("--candidate is required")?);
+    let mut tol = DiffTolerance::default();
+    if let Some(v) = flags.get_parsed("--tol-violation")? {
+        tol.violation_abs = v;
+    }
+    if let Some(v) = flags.get_parsed("--tol-p95-rel")? {
+        tol.p95_rel = v;
+    }
+    if let Some(v) = flags.get_parsed("--tol-p95-ns")? {
+        tol.p95_abs_ns = v;
+    }
+    let report = summary::diff(
+        &load_summaries(&baseline)?,
+        &load_summaries(&candidate)?,
+        tol,
+    );
+    for line in &report.lines {
+        println!("{line}");
+    }
+    println!("verdict: {:?}", report.verdict);
+    Ok(ExitCode::from(report.verdict.exit_code() as u8))
+}
+
+fn cmd_spec(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["--builtin"], &[])?;
+    let name = flags.get("--builtin").ok_or("--builtin is required")?;
+    let spec = CampaignSpec::builtin(name)
+        .ok_or_else(|| format!("unknown builtin {name:?} (see `campaign list`)"))?;
+    println!("{}", spec.render());
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,311 @@
+//! Deterministic expansion of a [`CampaignSpec`] into concrete runs.
+//!
+//! The matrix is the cross product of the spec's axes, in a fixed
+//! nesting order. Each run's seed is derived with the workspace's
+//! splittable hashing ([`SeedSplitter`]): the grid seed is the master
+//! and the remaining coordinates form the label, so a run's seed — and
+//! therefore its result — is a pure function of its coordinate,
+//! independent of enumeration order and of how many worker threads
+//! execute the campaign. Each run also gets a content hash over the
+//! base configuration and coordinate, which names its artifact and
+//! keys resume.
+
+use crate::spec::{BaseSpec, CampaignSpec, KernelChoice};
+use clocksync::scenario::ScenarioKind;
+use clocksync::TestbedConfig;
+use tsn_faults::{InjectorConfig, KernelAssignment};
+use tsn_hyp::SyncClockDiscipline;
+use tsn_netsim::SeedSplitter;
+use tsn_time::Nanos;
+
+/// One point of the campaign grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coord {
+    /// The scenario.
+    pub scenario: ScenarioKind,
+    /// The grid seed (replication axis).
+    pub seed: u64,
+    /// Domain count M, if the axis is active.
+    pub domains: Option<usize>,
+    /// Sync interval S in ms, if the axis is active.
+    pub sync_interval_ms: Option<u64>,
+    /// Kernel assignment override, if the axis is active.
+    pub kernel: Option<KernelChoice>,
+    /// Injector rate (random shutdowns per node per hour), if active.
+    pub fault_rate_per_hour: Option<u32>,
+    /// Clock discipline override, if the axis is active.
+    pub discipline: Option<SyncClockDiscipline>,
+}
+
+impl Coord {
+    /// The canonical label of this coordinate (stable across releases;
+    /// seeds and hashes are derived from it).
+    pub fn label(&self) -> String {
+        fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+            v.map_or_else(|| "-".to_string(), |v| v.to_string())
+        }
+        format!(
+            "scenario={}/seed={}/domains={}/sync_ms={}/kernel={}/rate={}/discipline={}",
+            self.scenario.name(),
+            self.seed,
+            opt(self.domains),
+            opt(self.sync_interval_ms),
+            opt(self.kernel.map(KernelChoice::name)),
+            opt(self.fault_rate_per_hour),
+            opt(self.discipline.map(crate::spec::discipline_name)),
+        )
+    }
+
+    /// The run's derived seed: splittable hash of the grid seed and the
+    /// non-seed coordinates, so neighboring grid points get independent
+    /// randomness even for consecutive grid seeds.
+    pub fn derived_seed(&self) -> u64 {
+        SeedSplitter::new(self.seed).seed(&format!("campaign/{}", self.label()))
+    }
+}
+
+/// One fully materialized run of a campaign.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// Position in the canonical enumeration order (progress display).
+    pub index: usize,
+    /// The grid coordinate.
+    pub coord: Coord,
+    /// The derived seed (equals `config.seed`).
+    pub seed: u64,
+    /// Content hash over base + coordinate (hex, names the artifact).
+    pub hash: String,
+    /// The ready-to-run configuration.
+    pub config: TestbedConfig,
+}
+
+/// Expands a spec into its run matrix, in canonical order.
+///
+/// # Panics
+///
+/// Panics if the spec is invalid; call [`CampaignSpec::validate`] first
+/// when handling untrusted input.
+pub fn expand(spec: &CampaignSpec) -> Vec<RunPlan> {
+    spec.validate().expect("invalid campaign spec");
+    let base_fingerprint = spec.base.to_fingerprint();
+    let mut plans = Vec::with_capacity(spec.total_runs());
+    // Fixed nesting: scenario, then the sweep axes, seeds innermost so
+    // progress interleaves replications of the same grid point last.
+    for &scenario in &spec.scenarios {
+        for &domains in &axis(&spec.grid.domains) {
+            for &sync_ms in &axis(&spec.grid.sync_interval_ms) {
+                for &kernel in &axis(&spec.grid.kernels) {
+                    for &rate in &axis(&spec.grid.fault_rate_per_hour) {
+                        for &discipline in &axis(&spec.grid.disciplines) {
+                            for &seed in &spec.grid.seeds {
+                                let coord = Coord {
+                                    scenario,
+                                    seed,
+                                    domains,
+                                    sync_interval_ms: sync_ms,
+                                    kernel,
+                                    fault_rate_per_hour: rate,
+                                    discipline,
+                                };
+                                plans.push(plan(&spec.base, &base_fingerprint, coord, plans.len()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    plans
+}
+
+/// An axis as its `Some`-wrapped values, or a single `None` when the
+/// axis is inactive (empty). Axes are tiny, so the allocation is noise.
+fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+    if values.is_empty() {
+        vec![None]
+    } else {
+        values.iter().map(|&v| Some(v)).collect()
+    }
+}
+
+fn plan(base: &BaseSpec, base_fingerprint: &str, coord: Coord, index: usize) -> RunPlan {
+    let seed = coord.derived_seed();
+    let config = materialize(base, coord, seed);
+    let hash = content_hash(base_fingerprint, &coord);
+    RunPlan {
+        index,
+        coord,
+        seed,
+        hash,
+        config,
+    }
+}
+
+/// Materializes the testbed configuration of one grid point.
+pub fn materialize(base: &BaseSpec, coord: Coord, derived_seed: u64) -> TestbedConfig {
+    let mut cfg = base.materialize(derived_seed);
+    if let Some(m) = coord.domains {
+        cfg.nodes = m;
+        cfg.aggregation.domains = m;
+    }
+    // Keep the kernels/nodes invariant before the scenario applies; the
+    // scenario or the kernel axis may still override the assignment.
+    cfg.kernels = KernelAssignment::identical(cfg.nodes);
+    if let Some(s) = coord.sync_interval_ms {
+        let s = Nanos::from_millis(s as i64);
+        cfg.sync_interval = s;
+        cfg.aggregation.sync_interval = s;
+        cfg.aggregation.staleness = s * 4;
+    }
+    if let Some(d) = coord.discipline {
+        cfg.sync_clock_discipline = d;
+    }
+    coord.scenario.apply(&mut cfg);
+    if let Some(k) = coord.kernel {
+        cfg.kernels = match k {
+            KernelChoice::Identical => KernelAssignment::identical(cfg.nodes),
+            KernelChoice::Diverse => KernelAssignment::diverse(cfg.nodes, 3.min(cfg.nodes - 1)),
+        };
+    }
+    if let Some(rate) = coord.fault_rate_per_hour {
+        let mut fi = cfg.fault_injection.unwrap_or_else(|| InjectorConfig {
+            duration: cfg.duration,
+            nodes: cfg.nodes,
+            ..InjectorConfig::paper_default()
+        });
+        fi.duration = cfg.duration;
+        fi.nodes = cfg.nodes;
+        fi.random_per_hour_max = rate;
+        fi.random_per_hour_min = fi.random_per_hour_min.min(rate);
+        cfg.fault_injection = Some(fi);
+    }
+    cfg.validate();
+    cfg
+}
+
+impl BaseSpec {
+    /// A canonical fingerprint of the base configuration, folded into
+    /// every run's content hash so artifacts are invalidated when the
+    /// base changes (e.g. a different duration).
+    pub fn to_fingerprint(&self) -> String {
+        format!(
+            "preset={}/duration_s={}/warmup_s={}",
+            self.preset.name(),
+            self.duration_s
+                .map_or_else(|| "-".to_string(), |d| d.to_string()),
+            self.warmup_s
+                .map_or_else(|| "-".to_string(), |w| w.to_string()),
+        )
+    }
+}
+
+/// The content hash naming a run's artifact: FNV-1a (via the seed
+/// splitter's stable hash) over the base fingerprint and the coordinate
+/// label, rendered as 16 hex digits.
+pub fn content_hash(base_fingerprint: &str, coord: &Coord) -> String {
+    let h = SeedSplitter::new(0xC0FFEE).seed(&format!("{base_fingerprint}|{}", coord.label()));
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Grid;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".to_string(),
+            base: BaseSpec::quick(10),
+            scenarios: vec![ScenarioKind::Baseline, ScenarioKind::PriorWorkBaseline],
+            grid: Grid {
+                seeds: vec![1, 2],
+                domains: vec![4, 5],
+                ..Grid::default()
+            },
+        }
+    }
+
+    #[test]
+    fn expansion_is_complete_and_ordered() {
+        let spec = tiny_spec();
+        let plans = expand(&spec);
+        assert_eq!(plans.len(), spec.total_runs());
+        assert_eq!(plans.len(), 8);
+        for (i, p) in plans.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        // All hashes distinct.
+        let mut hashes: Vec<_> = plans.iter().map(|p| p.hash.clone()).collect();
+        hashes.sort();
+        hashes.dedup();
+        assert_eq!(hashes.len(), plans.len());
+    }
+
+    #[test]
+    fn derived_seeds_are_coordinate_pure() {
+        let spec = tiny_spec();
+        let a = expand(&spec);
+        let b = expand(&spec);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.hash, y.hash);
+        }
+        // Different grid points with the same grid seed still get
+        // different derived seeds.
+        assert_ne!(a[0].seed, a[2].seed);
+    }
+
+    #[test]
+    fn base_change_invalidates_hashes() {
+        let spec = tiny_spec();
+        let mut longer = spec.clone();
+        longer.base.duration_s = Some(20);
+        let a = expand(&spec);
+        let b = expand(&longer);
+        assert_ne!(a[0].hash, b[0].hash);
+        // Coordinate (and thus derived seed) is unchanged.
+        assert_eq!(a[0].seed, b[0].seed);
+    }
+
+    #[test]
+    fn materialized_configs_validate() {
+        let spec = CampaignSpec {
+            name: "axes".to_string(),
+            base: BaseSpec::quick(10),
+            scenarios: vec![
+                ScenarioKind::CyberDiverseKernels,
+                ScenarioKind::FaultInjection,
+            ],
+            grid: Grid {
+                seeds: vec![3],
+                domains: vec![4, 6],
+                sync_interval_ms: vec![62, 250],
+                kernels: vec![KernelChoice::Identical, KernelChoice::Diverse],
+                fault_rate_per_hour: vec![0, 4],
+                disciplines: vec![
+                    SyncClockDiscipline::Feedback,
+                    SyncClockDiscipline::FeedForward,
+                ],
+            },
+        };
+        let plans = expand(&spec);
+        assert_eq!(plans.len(), 2 * 2 * 2 * 2 * 2 * 2);
+        for p in &plans {
+            // `materialize` already ran validate(); check axis effects.
+            if let Some(m) = p.coord.domains {
+                assert_eq!(p.config.nodes, m);
+                assert_eq!(p.config.kernels.len(), m);
+            }
+            if let Some(s) = p.coord.sync_interval_ms {
+                assert_eq!(p.config.sync_interval, Nanos::from_millis(s as i64));
+                assert_eq!(p.config.aggregation.staleness, p.config.sync_interval * 4);
+            }
+            if let Some(rate) = p.coord.fault_rate_per_hour {
+                let fi = p.config.fault_injection.expect("injector active");
+                assert_eq!(fi.random_per_hour_max, rate);
+                assert!(fi.random_per_hour_min <= rate);
+            }
+            assert_eq!(p.config.seed, p.seed);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Parallel, resumable campaign execution.
+//!
+//! The unit of parallelism is one single-threaded simulation
+//! ([`clocksync::scenario::run`]); the runner fans the run matrix out
+//! over a `std::thread::scope` worker pool fed by a shared atomic
+//! index. Determinism does not depend on scheduling: each run's seed
+//! and artifact content are pure functions of its grid coordinate (see
+//! [`crate::matrix`]), so any thread count produces byte-identical
+//! artifacts.
+//!
+//! Resume is content-addressed: a run whose artifact
+//! `runs/run-<hash>.jsonl` already exists and decodes with a matching
+//! hash is skipped without re-execution. Changing the spec's base
+//! configuration changes every hash, so stale artifacts are never
+//! silently reused.
+
+use crate::artifact::RunRecord;
+use crate::matrix::{expand, RunPlan};
+use crate::spec::CampaignSpec;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Runner options.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Campaign directory (created if missing).
+    pub dir: PathBuf,
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+    /// Suppress the progress line (tests, scripting).
+    pub quiet: bool,
+}
+
+impl RunnerOptions {
+    /// Options for a campaign directory, with auto thread count.
+    pub fn new(dir: impl Into<PathBuf>) -> RunnerOptions {
+        RunnerOptions {
+            dir: dir.into(),
+            threads: 0,
+            quiet: false,
+        }
+    }
+
+    fn effective_threads(&self, pending: usize) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let n = if self.threads == 0 {
+            auto
+        } else {
+            self.threads
+        };
+        n.clamp(1, pending.max(1))
+    }
+}
+
+/// What the runner did for one campaign invocation.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// All run records, in canonical matrix order (freshly executed and
+    /// resumed ones alike).
+    pub records: Vec<RunRecord>,
+    /// Runs executed by this invocation.
+    pub executed: usize,
+    /// Runs skipped because a valid artifact already existed.
+    pub skipped: usize,
+    /// Worker threads used (1 when everything was resumed).
+    pub threads: usize,
+}
+
+/// Executes (or resumes) a campaign spec into `opts.dir`.
+///
+/// Writes `manifest.json` and one `runs/run-<hash>.jsonl` per run, then
+/// returns every record in canonical order.
+pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<CampaignReport> {
+    spec.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let runs_dir = opts.dir.join("runs");
+    std::fs::create_dir_all(&runs_dir)?;
+    let plans = expand(spec);
+    write_atomic(
+        &opts.dir.join("manifest.json"),
+        &manifest(spec, &plans).render(),
+    )?;
+
+    // Partition into resumable and pending runs.
+    let mut records: Vec<Option<RunRecord>> = Vec::with_capacity(plans.len());
+    let mut pending: Vec<&RunPlan> = Vec::new();
+    for plan in &plans {
+        match resume_record(&runs_dir, plan) {
+            Some(record) => records.push(Some(record)),
+            None => {
+                records.push(None);
+                pending.push(plan);
+            }
+        }
+    }
+    let skipped = plans.len() - pending.len();
+    let threads = opts.effective_threads(pending.len());
+
+    if !pending.is_empty() {
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let fresh: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::with_capacity(pending.len()));
+        let io_error: Mutex<Option<io::Error>> = Mutex::new(None);
+        let progress = Progress::new(pending.len(), skipped, opts.quiet);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(plan) = pending.get(i) else { break };
+                    let outcome = clocksync::scenario::run(plan.config.clone());
+                    let record = RunRecord::new(&spec.name, plan, &outcome.result);
+                    if let Err(e) = write_atomic(&artifact_path(&runs_dir, plan), &record.encode())
+                    {
+                        let mut slot = io_error.lock().expect("io_error lock");
+                        slot.get_or_insert(e);
+                        break;
+                    }
+                    fresh
+                        .lock()
+                        .expect("records lock")
+                        .push((plan.index, record));
+                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    progress.report(completed);
+                });
+            }
+        });
+        progress.finish();
+        if let Some(e) = io_error.into_inner().expect("io_error lock") {
+            return Err(e);
+        }
+        for (index, record) in fresh.into_inner().expect("records lock") {
+            records[index] = Some(record);
+        }
+    }
+
+    let executed = pending.len();
+    let records = records
+        .into_iter()
+        .map(|r| r.expect("every run resolved"))
+        .collect();
+    Ok(CampaignReport {
+        records,
+        executed,
+        skipped,
+        threads,
+    })
+}
+
+/// Loads every artifact of a previously executed campaign directory, in
+/// canonical order. Fails if any run is missing (the campaign must be
+/// `run` to completion first).
+pub fn load(spec: &CampaignSpec, dir: &Path) -> io::Result<Vec<RunRecord>> {
+    let runs_dir = dir.join("runs");
+    expand(spec)
+        .iter()
+        .map(|plan| {
+            resume_record(&runs_dir, plan).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!(
+                        "missing or unreadable artifact for {} (expected {})",
+                        plan.coord.label(),
+                        artifact_path(&runs_dir, plan).display()
+                    ),
+                )
+            })
+        })
+        .collect()
+}
+
+fn artifact_path(runs_dir: &Path, plan: &RunPlan) -> PathBuf {
+    runs_dir.join(format!("run-{}.jsonl", plan.hash))
+}
+
+fn resume_record(runs_dir: &Path, plan: &RunPlan) -> Option<RunRecord> {
+    let text = std::fs::read_to_string(artifact_path(runs_dir, plan)).ok()?;
+    let record = RunRecord::decode(&text)?;
+    (record.hash == plan.hash).then_some(record)
+}
+
+/// Writes a file atomically (temp file + rename) so a crashed run never
+/// leaves a half-written artifact that resume would trust.
+fn write_atomic(path: &Path, content: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn manifest(spec: &CampaignSpec, plans: &[RunPlan]) -> crate::json::Json {
+    use crate::json::Json;
+    Json::object(vec![
+        ("schema", Json::UInt(crate::artifact::ARTIFACT_SCHEMA)),
+        ("spec", spec.to_json()),
+        ("total_runs", Json::UInt(plans.len() as u64)),
+        (
+            "runs",
+            Json::Array(
+                plans
+                    .iter()
+                    .map(|p| {
+                        Json::object(vec![
+                            ("hash", Json::Str(p.hash.clone())),
+                            ("label", Json::Str(p.coord.label())),
+                            ("run_seed", Json::UInt(p.seed)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serialized progress reporting on stderr: completed/total and an ETA
+/// extrapolated from the mean run time so far. Wall-clock time feeds
+/// only this display, never the artifacts.
+struct Progress {
+    total: usize,
+    skipped: usize,
+    started: Instant,
+    quiet: bool,
+    line: Mutex<()>,
+}
+
+impl Progress {
+    fn new(total: usize, skipped: usize, quiet: bool) -> Progress {
+        let p = Progress {
+            total,
+            skipped,
+            started: Instant::now(),
+            quiet,
+            line: Mutex::new(()),
+        };
+        if !p.quiet && p.skipped > 0 {
+            eprintln!("resume: {} run(s) already complete, skipping", p.skipped);
+        }
+        p
+    }
+
+    fn report(&self, completed: usize) {
+        if self.quiet {
+            return;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let per_run = elapsed / completed as f64;
+        let eta = per_run * (self.total - completed) as f64;
+        let _guard = self.line.lock().expect("progress lock");
+        eprint!(
+            "\r[{completed}/{}] runs complete, elapsed {}, ETA {}   ",
+            self.total,
+            fmt_secs(elapsed),
+            fmt_secs(eta),
+        );
+        let _ = io::stderr().flush();
+    }
+
+    fn finish(&self) {
+        if !self.quiet && self.total > 0 {
+            eprintln!();
+        }
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    let s = s.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_formatting() {
+        assert_eq!(fmt_secs(12.2), "12s");
+        assert_eq!(fmt_secs(75.0), "1m15s");
+        assert_eq!(fmt_secs(3. * 3600. + 125.), "3h02m");
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let dir = std::env::temp_dir().join(format!("tsn-campaign-aw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.jsonl");
+        write_atomic(&path, "one\n").unwrap();
+        write_atomic(&path, "two\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two\n");
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

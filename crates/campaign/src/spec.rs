@@ -1,0 +1,582 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] is a base testbed configuration plus a parameter
+//! grid: scenarios × seeds × domains M × sync interval S × kernel
+//! assignment × injector rates × clock discipline. The spec is plain
+//! data — expanding it into concrete runs is [`crate::matrix`]'s job —
+//! and has a canonical JSON form used both for spec files and for
+//! content-addressing run artifacts.
+
+use crate::json::{Json, JsonError};
+use clocksync::scenario::ScenarioKind;
+use clocksync::TestbedConfig;
+use tsn_hyp::SyncClockDiscipline;
+use tsn_time::Nanos;
+
+/// The named base configuration a spec starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// [`TestbedConfig::paper_default`] (1 h, paper §III-A1).
+    Paper,
+    /// [`TestbedConfig::quick`] (60 s, for tests and smoke runs).
+    Quick,
+}
+
+impl Preset {
+    /// The stable textual name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Paper => "paper",
+            Preset::Quick => "quick",
+        }
+    }
+
+    /// Parses a preset name.
+    pub fn parse(name: &str) -> Option<Preset> {
+        match name {
+            "paper" => Some(Preset::Paper),
+            "quick" => Some(Preset::Quick),
+            _ => None,
+        }
+    }
+}
+
+/// The base testbed configuration: a preset plus scalar overrides.
+///
+/// Only knobs that are not grid axes live here; everything else comes
+/// from the preset so specs stay small and the canonical form stays
+/// stable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseSpec {
+    /// The preset to start from.
+    pub preset: Preset,
+    /// Measured-duration override, in seconds.
+    pub duration_s: Option<i64>,
+    /// Warm-up override, in seconds.
+    pub warmup_s: Option<i64>,
+}
+
+impl BaseSpec {
+    /// A quick base with the given measured duration.
+    pub fn quick(duration_s: i64) -> BaseSpec {
+        BaseSpec {
+            preset: Preset::Quick,
+            duration_s: Some(duration_s),
+            warmup_s: None,
+        }
+    }
+
+    /// Materializes the base configuration for one run seed.
+    pub fn materialize(&self, seed: u64) -> TestbedConfig {
+        let mut cfg = match self.preset {
+            Preset::Paper => TestbedConfig::paper_default(seed),
+            Preset::Quick => TestbedConfig::quick(seed),
+        };
+        if let Some(s) = self.duration_s {
+            cfg.duration = Nanos::from_secs(s);
+        }
+        if let Some(s) = self.warmup_s {
+            cfg.warmup = Nanos::from_secs(s);
+        }
+        cfg
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![("preset", Json::Str(self.preset.name().to_string()))];
+        if let Some(s) = self.duration_s {
+            pairs.push(("duration_s", Json::Int(s)));
+        }
+        if let Some(s) = self.warmup_s {
+            pairs.push(("warmup_s", Json::Int(s)));
+        }
+        Json::object(pairs)
+    }
+
+    fn from_json(v: &Json) -> Result<BaseSpec, SpecError> {
+        let preset = v
+            .get("preset")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SpecError::field("base.preset"))?;
+        let preset =
+            Preset::parse(preset).ok_or_else(|| SpecError::value("base.preset", preset))?;
+        let duration_s = match v.get("duration_s") {
+            None => None,
+            Some(d) => Some(
+                d.as_i64()
+                    .ok_or_else(|| SpecError::field("base.duration_s"))?,
+            ),
+        };
+        let warmup_s = match v.get("warmup_s") {
+            None => None,
+            Some(w) => Some(
+                w.as_i64()
+                    .ok_or_else(|| SpecError::field("base.warmup_s"))?,
+            ),
+        };
+        Ok(BaseSpec {
+            preset,
+            duration_s,
+            warmup_s,
+        })
+    }
+}
+
+/// A kernel-assignment axis value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Every GM clock-sync VM runs the same (exploitable) kernel.
+    Identical,
+    /// Diversified kernels; one node stays exploitable.
+    Diverse,
+}
+
+impl KernelChoice {
+    /// The stable textual name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelChoice::Identical => "identical",
+            KernelChoice::Diverse => "diverse",
+        }
+    }
+
+    /// Parses an axis value.
+    pub fn parse(name: &str) -> Option<KernelChoice> {
+        match name {
+            "identical" => Some(KernelChoice::Identical),
+            "diverse" => Some(KernelChoice::Diverse),
+            _ => None,
+        }
+    }
+}
+
+/// Textual names for [`SyncClockDiscipline`] (the campaign layer owns
+/// the naming; core keeps only the enum).
+pub fn discipline_name(d: SyncClockDiscipline) -> &'static str {
+    match d {
+        SyncClockDiscipline::FeedForward => "feed_forward",
+        SyncClockDiscipline::Feedback => "feedback",
+    }
+}
+
+/// Parses a [`SyncClockDiscipline`] name.
+pub fn parse_discipline(name: &str) -> Option<SyncClockDiscipline> {
+    match name {
+        "feed_forward" => Some(SyncClockDiscipline::FeedForward),
+        "feedback" => Some(SyncClockDiscipline::Feedback),
+        _ => None,
+    }
+}
+
+/// The parameter grid. Every axis except `seeds` may be empty, meaning
+/// "keep the base/scenario value"; the run matrix is the cross product
+/// of all non-empty axes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Grid {
+    /// Experiment seeds (the replication axis; must be non-empty).
+    pub seeds: Vec<u64>,
+    /// Domain counts M (sets `nodes` and `aggregation.domains`, ABL2).
+    pub domains: Vec<usize>,
+    /// Sync intervals S in milliseconds (staleness follows as 4·S, ABL3).
+    pub sync_interval_ms: Vec<u64>,
+    /// Kernel assignments (overrides the scenario's choice).
+    pub kernels: Vec<KernelChoice>,
+    /// Injector rates: random redundant-VM shutdowns per node per hour
+    /// (sets `random_per_hour_max`, enabling the injector if needed).
+    pub fault_rate_per_hour: Vec<u32>,
+    /// `CLOCK_SYNCTIME` disciplines.
+    pub disciplines: Vec<SyncClockDiscipline>,
+}
+
+impl Grid {
+    /// Number of runs this grid expands to (per scenario).
+    pub fn runs_per_scenario(&self) -> usize {
+        fn axis(len: usize) -> usize {
+            len.max(1)
+        }
+        self.seeds.len()
+            * axis(self.domains.len())
+            * axis(self.sync_interval_ms.len())
+            * axis(self.kernels.len())
+            * axis(self.fault_rate_per_hour.len())
+            * axis(self.disciplines.len())
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            (
+                "seeds",
+                Json::Array(self.seeds.iter().map(|&s| Json::UInt(s)).collect()),
+            ),
+            (
+                "domains",
+                Json::Array(self.domains.iter().map(|&m| Json::UInt(m as u64)).collect()),
+            ),
+            (
+                "sync_interval_ms",
+                Json::Array(
+                    self.sync_interval_ms
+                        .iter()
+                        .map(|&s| Json::UInt(s))
+                        .collect(),
+                ),
+            ),
+            (
+                "kernels",
+                Json::Array(
+                    self.kernels
+                        .iter()
+                        .map(|k| Json::Str(k.name().to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "fault_rate_per_hour",
+                Json::Array(
+                    self.fault_rate_per_hour
+                        .iter()
+                        .map(|&r| Json::UInt(u64::from(r)))
+                        .collect(),
+                ),
+            ),
+            (
+                "disciplines",
+                Json::Array(
+                    self.disciplines
+                        .iter()
+                        .map(|&d| Json::Str(discipline_name(d).to_string()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Grid, SpecError> {
+        fn list<T>(
+            v: &Json,
+            key: &str,
+            mut item: impl FnMut(&Json) -> Option<T>,
+        ) -> Result<Vec<T>, SpecError> {
+            match v.get(key) {
+                None => Ok(Vec::new()),
+                Some(arr) => arr
+                    .as_array()
+                    .ok_or_else(|| SpecError::field(&format!("grid.{key}")))?
+                    .iter()
+                    .map(|x| item(x).ok_or_else(|| SpecError::field(&format!("grid.{key}[]"))))
+                    .collect(),
+            }
+        }
+        Ok(Grid {
+            seeds: list(v, "seeds", Json::as_u64)?,
+            domains: list(v, "domains", |x| x.as_u64().map(|m| m as usize))?,
+            sync_interval_ms: list(v, "sync_interval_ms", Json::as_u64)?,
+            kernels: list(v, "kernels", |x| x.as_str().and_then(KernelChoice::parse))?,
+            fault_rate_per_hour: list(v, "fault_rate_per_hour", |x| {
+                x.as_u64().and_then(|r| u32::try_from(r).ok())
+            })?,
+            disciplines: list(v, "disciplines", |x| x.as_str().and_then(parse_discipline))?,
+        })
+    }
+}
+
+/// Spec schema version, bumped on incompatible format changes.
+pub const SPEC_SCHEMA: u64 = 1;
+
+/// A declarative experiment campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Human-readable campaign name (also the default directory name).
+    pub name: String,
+    /// The base configuration.
+    pub base: BaseSpec,
+    /// Scenarios to sweep (at least one).
+    pub scenarios: Vec<ScenarioKind>,
+    /// The parameter grid.
+    pub grid: Grid,
+}
+
+/// A spec validation/parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// A required field is missing or has the wrong type.
+    Field(String),
+    /// A field has an unknown value.
+    Value(String, String),
+    /// The spec is structurally invalid.
+    Invalid(String),
+}
+
+impl SpecError {
+    fn field(name: &str) -> SpecError {
+        SpecError::Field(name.to_string())
+    }
+
+    fn value(name: &str, got: &str) -> SpecError {
+        SpecError::Value(name.to_string(), got.to_string())
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "invalid JSON: {e}"),
+            SpecError::Field(name) => write!(f, "missing or mistyped field `{name}`"),
+            SpecError::Value(name, got) => write!(f, "unknown value {got:?} for `{name}`"),
+            SpecError::Invalid(msg) => write!(f, "invalid spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError::Json(e)
+    }
+}
+
+impl CampaignSpec {
+    /// Total number of runs the spec expands to.
+    pub fn total_runs(&self) -> usize {
+        self.scenarios.len() * self.grid.runs_per_scenario()
+    }
+
+    /// Checks structural invariants (non-empty axes, domain counts the
+    /// FTA topology supports, positive durations).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(SpecError::Invalid(
+                "name must be non-empty [A-Za-z0-9_-]".to_string(),
+            ));
+        }
+        if self.scenarios.is_empty() {
+            return Err(SpecError::Invalid("no scenarios".to_string()));
+        }
+        if self.grid.seeds.is_empty() {
+            return Err(SpecError::Invalid("grid.seeds is empty".to_string()));
+        }
+        if let Some(&m) = self.grid.domains.iter().find(|&&m| !(4..=16).contains(&m)) {
+            return Err(SpecError::Invalid(format!(
+                "domains axis value {m} outside the supported 4..=16 (FTA needs N > 3f)"
+            )));
+        }
+        if self.grid.sync_interval_ms.contains(&0) {
+            return Err(SpecError::Invalid("sync interval of 0 ms".to_string()));
+        }
+        if self.base.duration_s.is_some_and(|d| d <= 0) {
+            return Err(SpecError::Invalid("non-positive duration".to_string()));
+        }
+        if self.base.warmup_s.is_some_and(|w| w < 0) {
+            return Err(SpecError::Invalid("negative warmup".to_string()));
+        }
+        Ok(())
+    }
+
+    /// The canonical JSON form (deterministic; also what spec files use).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema", Json::UInt(SPEC_SCHEMA)),
+            ("name", Json::Str(self.name.clone())),
+            ("base", self.base.to_json()),
+            (
+                "scenarios",
+                Json::Array(
+                    self.scenarios
+                        .iter()
+                        .map(|s| Json::Str(s.name().to_string()))
+                        .collect(),
+                ),
+            ),
+            ("grid", self.grid.to_json()),
+        ])
+    }
+
+    /// Renders the spec as pretty-enough JSON (one canonical line).
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses and validates a spec document.
+    pub fn parse(text: &str) -> Result<CampaignSpec, SpecError> {
+        let v = Json::parse(text)?;
+        if let Some(schema) = v.get("schema") {
+            let schema = schema.as_u64().ok_or_else(|| SpecError::field("schema"))?;
+            if schema != SPEC_SCHEMA {
+                return Err(SpecError::Invalid(format!(
+                    "unsupported schema {schema} (this build reads {SPEC_SCHEMA})"
+                )));
+            }
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SpecError::field("name"))?
+            .to_string();
+        let base = BaseSpec::from_json(v.get("base").ok_or_else(|| SpecError::field("base"))?)?;
+        let scenarios = v
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .ok_or_else(|| SpecError::field("scenarios"))?
+            .iter()
+            .map(|s| {
+                let name = s.as_str().ok_or_else(|| SpecError::field("scenarios[]"))?;
+                ScenarioKind::parse(name).ok_or_else(|| SpecError::value("scenarios[]", name))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let grid = Grid::from_json(v.get("grid").ok_or_else(|| SpecError::field("grid"))?)?;
+        let spec = CampaignSpec {
+            name,
+            base,
+            scenarios,
+            grid,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Names of the built-in specs (see [`CampaignSpec::builtin`]).
+    pub const BUILTINS: [&'static str; 4] = [
+        "quick-baseline",
+        "repro-all",
+        "abl2-domains",
+        "abl3-sync-interval",
+    ];
+
+    /// A built-in spec by name.
+    ///
+    /// * `quick-baseline` — 8 seeds × 2 disciplines of the quick
+    ///   baseline (16 runs; the acceptance smoke campaign);
+    /// * `repro-all` — all five paper scenarios × 3 seeds (the
+    ///   campaign-engine port of the `repro_all` figure runner);
+    /// * `abl2-domains` — domains M ∈ {4,5,6,7} × 4 seeds (ABL2);
+    /// * `abl3-sync-interval` — S ∈ {62,125,250,500} ms × 4 seeds,
+    ///   staleness = 4·S (ABL3).
+    pub fn builtin(name: &str) -> Option<CampaignSpec> {
+        let spec = match name {
+            "quick-baseline" => CampaignSpec {
+                name: "quick-baseline".to_string(),
+                base: BaseSpec::quick(60),
+                scenarios: vec![ScenarioKind::Baseline],
+                grid: Grid {
+                    seeds: (1..=8).collect(),
+                    disciplines: vec![
+                        SyncClockDiscipline::Feedback,
+                        SyncClockDiscipline::FeedForward,
+                    ],
+                    ..Grid::default()
+                },
+            },
+            "repro-all" => CampaignSpec {
+                name: "repro-all".to_string(),
+                base: BaseSpec {
+                    preset: Preset::Quick,
+                    duration_s: Some(300),
+                    warmup_s: Some(30),
+                },
+                scenarios: ScenarioKind::ALL.to_vec(),
+                grid: Grid {
+                    seeds: vec![7, 8, 9],
+                    ..Grid::default()
+                },
+            },
+            "abl2-domains" => CampaignSpec {
+                name: "abl2-domains".to_string(),
+                base: BaseSpec::quick(90),
+                scenarios: vec![ScenarioKind::Baseline],
+                grid: Grid {
+                    seeds: vec![11, 12, 13, 14],
+                    domains: vec![4, 5, 6, 7],
+                    ..Grid::default()
+                },
+            },
+            "abl3-sync-interval" => CampaignSpec {
+                name: "abl3-sync-interval".to_string(),
+                base: BaseSpec::quick(90),
+                scenarios: vec![ScenarioKind::Baseline],
+                grid: Grid {
+                    seeds: vec![13, 14, 15, 16],
+                    sync_interval_ms: vec![62, 125, 250, 500],
+                    ..Grid::default()
+                },
+            },
+            _ => return None,
+        };
+        debug_assert!(spec.validate().is_ok());
+        Some(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_roundtrip_through_json() {
+        for name in CampaignSpec::BUILTINS {
+            let spec = CampaignSpec::builtin(name).unwrap();
+            spec.validate().unwrap();
+            let text = spec.render();
+            let back = CampaignSpec::parse(&text).unwrap();
+            assert_eq!(back, spec, "{name} did not roundtrip");
+        }
+        assert!(CampaignSpec::builtin("nope").is_none());
+    }
+
+    #[test]
+    fn quick_baseline_has_sixteen_runs() {
+        let spec = CampaignSpec::builtin("quick-baseline").unwrap();
+        assert_eq!(spec.total_runs(), 16);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(CampaignSpec::parse("{}").is_err());
+        // Empty seeds.
+        let bad = r#"{"name":"x","base":{"preset":"quick"},"scenarios":["baseline"],"grid":{"seeds":[]}}"#;
+        assert!(matches!(
+            CampaignSpec::parse(bad),
+            Err(SpecError::Invalid(_))
+        ));
+        // Unknown scenario.
+        let bad =
+            r#"{"name":"x","base":{"preset":"quick"},"scenarios":["warp"],"grid":{"seeds":[1]}}"#;
+        assert!(matches!(
+            CampaignSpec::parse(bad),
+            Err(SpecError::Value(..))
+        ));
+        // Unsupported domain count (FTA needs N > 3f).
+        let bad = r#"{"name":"x","base":{"preset":"quick"},"scenarios":["baseline"],"grid":{"seeds":[1],"domains":[3]}}"#;
+        assert!(matches!(
+            CampaignSpec::parse(bad),
+            Err(SpecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn omitted_axes_default_to_empty() {
+        let text = r#"{"name":"tiny","base":{"preset":"quick","duration_s":10},"scenarios":["baseline"],"grid":{"seeds":[1,2]}}"#;
+        let spec = CampaignSpec::parse(text).unwrap();
+        assert_eq!(spec.total_runs(), 2);
+        assert!(spec.grid.domains.is_empty());
+    }
+
+    #[test]
+    fn base_materializes_overrides() {
+        let base = BaseSpec {
+            preset: Preset::Quick,
+            duration_s: Some(10),
+            warmup_s: Some(5),
+        };
+        let cfg = base.materialize(99);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.duration, Nanos::from_secs(10));
+        assert_eq!(cfg.warmup, Nanos::from_secs(5));
+    }
+}

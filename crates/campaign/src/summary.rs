@@ -1,0 +1,440 @@
+//! Cross-seed summarization and baseline comparison of run artifacts.
+//!
+//! Runs are grouped by every grid coordinate except the seed; each
+//! group's per-run scalars (mean/max/quantiles of Π*_s, bound-violation
+//! rate, fault counters) are aggregated across seeds with
+//! [`SampleSummary`]. The diff mode compares two summarized campaigns
+//! group by group and classifies the result as parity or regression
+//! with explicit tolerances.
+
+use crate::artifact::RunRecord;
+use crate::json::Json;
+use crate::matrix::Coord;
+use crate::spec::{discipline_name, KernelChoice};
+use clocksync::scenario::ScenarioKind;
+use tsn_hyp::SyncClockDiscipline;
+use tsn_metrics::SampleSummary;
+
+/// A grid point minus the seed axis: the unit of cross-seed grouping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupKey {
+    /// The scenario.
+    pub scenario: ScenarioKind,
+    /// Domain count, if swept.
+    pub domains: Option<usize>,
+    /// Sync interval in ms, if swept.
+    pub sync_interval_ms: Option<u64>,
+    /// Kernel assignment, if swept.
+    pub kernel: Option<KernelChoice>,
+    /// Injector rate, if swept.
+    pub fault_rate_per_hour: Option<u32>,
+    /// Clock discipline, if swept.
+    pub discipline: Option<SyncClockDiscipline>,
+}
+
+impl GroupKey {
+    /// The grouping key of a run.
+    pub fn of(coord: &Coord) -> GroupKey {
+        GroupKey {
+            scenario: coord.scenario,
+            domains: coord.domains,
+            sync_interval_ms: coord.sync_interval_ms,
+            kernel: coord.kernel,
+            fault_rate_per_hour: coord.fault_rate_per_hour,
+            discipline: coord.discipline,
+        }
+    }
+
+    /// A compact human-readable label, listing only active axes.
+    pub fn label(&self) -> String {
+        let mut parts = vec![self.scenario.name().to_string()];
+        if let Some(m) = self.domains {
+            parts.push(format!("M={m}"));
+        }
+        if let Some(s) = self.sync_interval_ms {
+            parts.push(format!("S={s}ms"));
+        }
+        if let Some(k) = self.kernel {
+            parts.push(format!("kernels={}", k.name()));
+        }
+        if let Some(r) = self.fault_rate_per_hour {
+            parts.push(format!("rate={r}/h"));
+        }
+        if let Some(d) = self.discipline {
+            parts.push(discipline_name(d).to_string());
+        }
+        parts.join(" ")
+    }
+}
+
+/// Cross-seed aggregates of one grid point.
+#[derive(Debug, Clone)]
+pub struct GroupSummary {
+    /// The grid point.
+    pub key: GroupKey,
+    /// Number of runs (seeds) aggregated.
+    pub runs: usize,
+    /// Per-run mean Π*_s, aggregated across seeds (ns).
+    pub pi_star_mean: Option<SampleSummary>,
+    /// Per-run median Π*_s across seeds (ns).
+    pub pi_star_p50: Option<SampleSummary>,
+    /// Per-run p95 of Π*_s across seeds (ns).
+    pub pi_star_p95: Option<SampleSummary>,
+    /// Per-run p99 of Π*_s across seeds (ns).
+    pub pi_star_p99: Option<SampleSummary>,
+    /// Per-run maximum Π*_s across seeds (ns).
+    pub pi_star_max: Option<SampleSummary>,
+    /// Per-run bound-violation rate (fraction outside Π + γ).
+    pub violation_rate: Option<SampleSummary>,
+    /// Injected fail-silent VM shutdowns per run.
+    pub vm_failures: Option<SampleSummary>,
+    /// Injected GM shutdowns per run.
+    pub gm_failures: Option<SampleSummary>,
+    /// Monitor takeovers per run.
+    pub takeovers: Option<SampleSummary>,
+    /// Mean derived bound Π + γ across seeds (ns).
+    pub bound_ns_mean: f64,
+}
+
+/// Groups records by non-seed coordinates (in first-appearance order,
+/// i.e. canonical matrix order) and aggregates each group.
+pub fn summarize(records: &[RunRecord]) -> Vec<GroupSummary> {
+    let mut groups: Vec<(GroupKey, Vec<&RunRecord>)> = Vec::new();
+    for r in records {
+        let key = GroupKey::of(&r.coord);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(r),
+            None => groups.push((key, vec![r])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(key, members)| {
+            let bound_ns_mean = members
+                .iter()
+                .map(|r| r.bounds.pi_plus_gamma_ns as f64)
+                .sum::<f64>()
+                / members.len() as f64;
+            GroupSummary {
+                key,
+                runs: members.len(),
+                pi_star_mean: RunRecord::summarize(&members, |r| r.precision_scalar(|p| p.mean_ns)),
+                pi_star_p50: RunRecord::summarize(&members, |r| {
+                    r.precision_scalar(|p| p.p50_ns as f64)
+                }),
+                pi_star_p95: RunRecord::summarize(&members, |r| {
+                    r.precision_scalar(|p| p.p95_ns as f64)
+                }),
+                pi_star_p99: RunRecord::summarize(&members, |r| {
+                    r.precision_scalar(|p| p.p99_ns as f64)
+                }),
+                pi_star_max: RunRecord::summarize(&members, |r| {
+                    r.precision_scalar(|p| p.max_ns as f64)
+                }),
+                violation_rate: RunRecord::summarize(&members, |r| Some(r.violation_rate())),
+                vm_failures: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.vm_failures as f64)
+                }),
+                gm_failures: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.gm_failures as f64)
+                }),
+                takeovers: RunRecord::summarize(&members, |r| Some(r.counters.takeovers as f64)),
+                bound_ns_mean,
+            }
+        })
+        .collect()
+}
+
+/// Renders summaries as a readable text report.
+pub fn render(groups: &[GroupSummary]) -> String {
+    let mut out = String::new();
+    for g in groups {
+        out.push_str(&format!("## {}  ({} seeds)\n", g.key.label(), g.runs));
+        out.push_str(&format!(
+            "bound Pi+gamma: {:.0} ns (mean)\n",
+            g.bound_ns_mean
+        ));
+        let rows: [(&str, &Option<SampleSummary>); 6] = [
+            ("Pi* mean", &g.pi_star_mean),
+            ("Pi* p50 ", &g.pi_star_p50),
+            ("Pi* p95 ", &g.pi_star_p95),
+            ("Pi* p99 ", &g.pi_star_p99),
+            ("Pi* max ", &g.pi_star_max),
+            ("viol rate", &g.violation_rate),
+        ];
+        for (name, s) in rows {
+            if let Some(s) = s {
+                out.push_str(&format!(
+                    "  {name}: mean {:10.1}  std {:9.1}  min {:10.1}  p50 {:10.1}  p95 {:10.1}  p99 {:10.1}  max {:10.1}\n",
+                    s.mean, s.std, s.min, s.p50, s.p95, s.p99, s.max
+                ));
+            }
+        }
+        if let (Some(vm), Some(gm), Some(tk)) = (&g.vm_failures, &g.gm_failures, &g.takeovers) {
+            out.push_str(&format!(
+                "  faults/run: vm mean {:.1} (max {:.0})  gm mean {:.1} (max {:.0})  takeovers mean {:.1} (max {:.0})\n",
+                vm.mean, vm.max, gm.mean, gm.max, tk.mean, tk.max
+            ));
+        }
+    }
+    out
+}
+
+/// Renders summaries as a JSON document (for scripting).
+pub fn render_json(groups: &[GroupSummary]) -> String {
+    fn stat(s: &Option<SampleSummary>) -> Json {
+        match s {
+            None => Json::Null,
+            Some(s) => Json::object(vec![
+                ("count", Json::UInt(s.count as u64)),
+                ("mean", Json::Float(s.mean)),
+                ("std", Json::Float(s.std)),
+                ("min", Json::Float(s.min)),
+                ("max", Json::Float(s.max)),
+                ("p50", Json::Float(s.p50)),
+                ("p95", Json::Float(s.p95)),
+                ("p99", Json::Float(s.p99)),
+            ]),
+        }
+    }
+    Json::Array(
+        groups
+            .iter()
+            .map(|g| {
+                Json::object(vec![
+                    ("group", Json::Str(g.key.label())),
+                    ("runs", Json::UInt(g.runs as u64)),
+                    ("bound_ns_mean", Json::Float(g.bound_ns_mean)),
+                    ("pi_star_mean_ns", stat(&g.pi_star_mean)),
+                    ("pi_star_p50_ns", stat(&g.pi_star_p50)),
+                    ("pi_star_p95_ns", stat(&g.pi_star_p95)),
+                    ("pi_star_p99_ns", stat(&g.pi_star_p99)),
+                    ("pi_star_max_ns", stat(&g.pi_star_max)),
+                    ("violation_rate", stat(&g.violation_rate)),
+                    ("vm_failures", stat(&g.vm_failures)),
+                    ("gm_failures", stat(&g.gm_failures)),
+                    ("takeovers", stat(&g.takeovers)),
+                ])
+            })
+            .collect(),
+    )
+    .render()
+}
+
+/// Diff tolerances (a campaign is stochastic; exact equality across
+/// code changes is not the bar — staying within these margins is).
+#[derive(Debug, Clone, Copy)]
+pub struct DiffTolerance {
+    /// Absolute slack on the mean violation rate (default 0.02).
+    pub violation_abs: f64,
+    /// Relative slack on the mean per-run p95 of Π*_s (default 10%).
+    pub p95_rel: f64,
+    /// Absolute slack on the same (default 500 ns), so near-zero
+    /// baselines don't flag noise.
+    pub p95_abs_ns: f64,
+}
+
+impl Default for DiffTolerance {
+    fn default() -> Self {
+        DiffTolerance {
+            violation_abs: 0.02,
+            p95_rel: 0.10,
+            p95_abs_ns: 500.0,
+        }
+    }
+}
+
+/// Verdict of a baseline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffVerdict {
+    /// Candidate is within tolerance of (or better than) the baseline.
+    Parity,
+    /// Candidate is worse than the baseline beyond tolerance.
+    Regression,
+    /// The campaigns are not comparable (mismatched groups).
+    Incomparable,
+}
+
+impl DiffVerdict {
+    /// The CLI exit code: 0 parity, 1 regression, 2 error.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            DiffVerdict::Parity => 0,
+            DiffVerdict::Regression => 1,
+            DiffVerdict::Incomparable => 2,
+        }
+    }
+}
+
+/// Result of comparing a candidate campaign against a baseline.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// Overall verdict.
+    pub verdict: DiffVerdict,
+    /// One human-readable line per group (plus mismatch notes).
+    pub lines: Vec<String>,
+}
+
+/// Compares summarized campaigns: every baseline group must exist in
+/// the candidate; each group's violation rate and p95 are checked
+/// against `tol`.
+pub fn diff(
+    baseline: &[GroupSummary],
+    candidate: &[GroupSummary],
+    tol: DiffTolerance,
+) -> DiffReport {
+    let mut lines = Vec::new();
+    let mut verdict = DiffVerdict::Parity;
+    for b in baseline {
+        let Some(c) = candidate.iter().find(|c| c.key == b.key) else {
+            lines.push(format!(
+                "MISSING  {}: group absent from candidate",
+                b.key.label()
+            ));
+            verdict = DiffVerdict::Incomparable;
+            continue;
+        };
+        let mut worst: Option<String> = None;
+        if let (Some(bv), Some(cv)) = (&b.violation_rate, &c.violation_rate) {
+            if cv.mean > bv.mean + tol.violation_abs {
+                worst = Some(format!(
+                    "violation rate {:.4} -> {:.4} (tol +{:.4})",
+                    bv.mean, cv.mean, tol.violation_abs
+                ));
+            }
+        }
+        if worst.is_none() {
+            if let (Some(bp), Some(cp)) = (&b.pi_star_p95, &c.pi_star_p95) {
+                let limit = bp.mean * (1.0 + tol.p95_rel) + tol.p95_abs_ns;
+                if cp.mean > limit {
+                    worst = Some(format!(
+                        "Pi* p95 {:.0} ns -> {:.0} ns (limit {:.0} ns)",
+                        bp.mean, cp.mean, limit
+                    ));
+                }
+            }
+        }
+        match worst {
+            Some(reason) => {
+                lines.push(format!("REGRESS  {}: {reason}", b.key.label()));
+                if verdict == DiffVerdict::Parity {
+                    verdict = DiffVerdict::Regression;
+                }
+            }
+            None => lines.push(format!("ok       {}", b.key.label())),
+        }
+    }
+    for c in candidate {
+        if !baseline.iter().any(|b| b.key == c.key) {
+            lines.push(format!(
+                "extra    {}: group absent from baseline (ignored)",
+                c.key.label()
+            ));
+        }
+    }
+    if baseline.is_empty() {
+        lines.push("baseline has no groups".to_string());
+        verdict = DiffVerdict::Incomparable;
+    }
+    DiffReport { verdict, lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{BoundsRecord, PrecisionRecord};
+    use clocksync::RunCounters;
+
+    fn rec(seed: u64, discipline: SyncClockDiscipline, p95: i64, within: f64) -> RunRecord {
+        RunRecord {
+            campaign: "t".to_string(),
+            hash: format!("{seed:x}-{}", discipline_name(discipline)),
+            coord: Coord {
+                scenario: ScenarioKind::Baseline,
+                seed,
+                domains: None,
+                sync_interval_ms: None,
+                kernel: None,
+                fault_rate_per_hour: None,
+                discipline: Some(discipline),
+            },
+            seed: seed * 1000,
+            counters: RunCounters::default(),
+            bounds: BoundsRecord {
+                d_min_ns: 0,
+                d_max_ns: 0,
+                reading_error_ns: 0,
+                drift_offset_ns: 0,
+                pi_ns: 12_000,
+                gamma_ns: 1_000,
+                pi_plus_gamma_ns: 13_000,
+            },
+            precision: Some(PrecisionRecord {
+                count: 10,
+                mean_ns: p95 as f64 / 2.0,
+                std_ns: 10.0,
+                min_ns: 100,
+                max_ns: p95 + 1000,
+                p50_ns: p95 / 2,
+                p90_ns: p95 - 100,
+                p95_ns: p95,
+                p99_ns: p95 + 500,
+            }),
+            fraction_within_bound: within,
+        }
+    }
+
+    fn records(p95: i64, within: f64) -> Vec<RunRecord> {
+        let mut v = Vec::new();
+        for seed in 1..=4 {
+            v.push(rec(seed, SyncClockDiscipline::Feedback, p95, within));
+            v.push(rec(seed, SyncClockDiscipline::FeedForward, p95 / 2, within));
+        }
+        v
+    }
+
+    #[test]
+    fn groups_by_non_seed_axes() {
+        let groups = summarize(&records(4000, 1.0));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].runs, 4);
+        let s = groups[0].pi_star_p95.as_ref().unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 4000.0);
+        assert_eq!(groups[1].pi_star_p95.as_ref().unwrap().mean, 2000.0);
+        assert!(render(&groups).contains("feed_forward"));
+        assert!(render_json(&groups).contains("\"runs\":4"));
+    }
+
+    #[test]
+    fn diff_detects_parity_and_regression() {
+        let base = summarize(&records(4000, 1.0));
+        // Slightly different but within tolerance.
+        let ok = summarize(&records(4200, 0.99));
+        let d = diff(&base, &ok, DiffTolerance::default());
+        assert_eq!(d.verdict, DiffVerdict::Parity);
+        assert_eq!(d.verdict.exit_code(), 0);
+        // p95 blowup → regression.
+        let bad = summarize(&records(9000, 1.0));
+        let d = diff(&base, &bad, DiffTolerance::default());
+        assert_eq!(d.verdict, DiffVerdict::Regression);
+        assert_eq!(d.verdict.exit_code(), 1);
+        assert!(d.lines.iter().any(|l| l.starts_with("REGRESS")));
+        // Violation-rate blowup → regression even with identical p95.
+        let bad = summarize(&records(4000, 0.90));
+        let d = diff(&base, &bad, DiffTolerance::default());
+        assert_eq!(d.verdict, DiffVerdict::Regression);
+    }
+
+    #[test]
+    fn diff_flags_missing_groups() {
+        let base = summarize(&records(4000, 1.0));
+        let partial: Vec<RunRecord> = records(4000, 1.0)
+            .into_iter()
+            .filter(|r| r.coord.discipline == Some(SyncClockDiscipline::Feedback))
+            .collect();
+        let d = diff(&base, &summarize(&partial), DiffTolerance::default());
+        assert_eq!(d.verdict, DiffVerdict::Incomparable);
+        assert_eq!(d.verdict.exit_code(), 2);
+    }
+}

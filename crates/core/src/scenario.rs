@@ -1,4 +1,11 @@
 //! Ready-made experiment scenarios mirroring the paper's evaluation.
+//!
+//! Each scenario is a named layer of settings over a [`TestbedConfig`]:
+//! [`ScenarioKind::apply`] materializes the layer onto an arbitrary base
+//! configuration, which is what the campaign engine (`tsn-campaign`)
+//! uses to run scenario × parameter-grid sweeps, and the classic
+//! `fn(seed, duration)` entry points below remain as conveniences over
+//! the paper's defaults.
 
 use crate::config::TestbedConfig;
 use crate::world::{RunResult, World};
@@ -13,55 +20,150 @@ pub struct ScenarioOutcome {
     pub result: RunResult,
 }
 
+/// The named experiment scenarios of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ScenarioKind {
+    /// No faults, no attack (sanity baseline).
+    Baseline,
+    /// Fig. 3a: all virtual GMs run the exploitable kernel; the attacker
+    /// roots two of them and synchronization is lost.
+    CyberIdenticalKernels,
+    /// Fig. 3b: diversified kernels; the second strike fails and the FTA
+    /// masks the single Byzantine GM.
+    CyberDiverseKernels,
+    /// Fig. 4/5: sequential GM shutdowns plus random redundant-VM
+    /// shutdowns.
+    FaultInjection,
+    /// The prior-work end-system design the paper critiques (Kyriakakis
+    /// et al.): clients aggregate, grandmasters free-run.
+    PriorWorkBaseline,
+}
+
+impl ScenarioKind {
+    /// All scenarios, in their canonical order.
+    pub const ALL: [ScenarioKind; 5] = [
+        ScenarioKind::Baseline,
+        ScenarioKind::CyberIdenticalKernels,
+        ScenarioKind::CyberDiverseKernels,
+        ScenarioKind::FaultInjection,
+        ScenarioKind::PriorWorkBaseline,
+    ];
+
+    /// The stable textual name (used in campaign specs and artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Baseline => "baseline",
+            ScenarioKind::CyberIdenticalKernels => "cyber_identical_kernels",
+            ScenarioKind::CyberDiverseKernels => "cyber_diverse_kernels",
+            ScenarioKind::FaultInjection => "fault_injection",
+            ScenarioKind::PriorWorkBaseline => "prior_work_baseline",
+        }
+    }
+
+    /// Parses a scenario name as produced by [`ScenarioKind::name`].
+    pub fn parse(name: &str) -> Option<ScenarioKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Layers this scenario's settings onto `config`.
+    ///
+    /// The base configuration keeps its seed, duration, node count, and
+    /// sweep overrides; the scenario decides kernels, attack plan, fault
+    /// injection, and GM mutual synchronization. Node-count-dependent
+    /// pieces (kernel assignment, injector node count, target of the
+    /// second strike) follow `config.nodes`.
+    pub fn apply(self, config: &mut TestbedConfig) {
+        match self {
+            ScenarioKind::Baseline => {}
+            ScenarioKind::CyberIdenticalKernels => {
+                config.kernels = KernelAssignment::identical(config.nodes);
+                config.attack = AttackPlan::paper_default();
+            }
+            ScenarioKind::CyberDiverseKernels => {
+                // The paper leaves only GM c1_4 (node 3) exploitable;
+                // clamp for smaller sweeps.
+                let exploitable = 3.min(config.nodes - 1);
+                config.kernels = KernelAssignment::diverse(config.nodes, exploitable);
+                config.attack = AttackPlan::paper_default();
+            }
+            ScenarioKind::FaultInjection => {
+                config.fault_injection = Some(InjectorConfig {
+                    duration: config.duration,
+                    nodes: config.nodes,
+                    ..InjectorConfig::paper_default()
+                });
+            }
+            ScenarioKind::PriorWorkBaseline => {
+                config.gm_mutual_sync = false;
+            }
+        }
+    }
+}
+
+/// Error returned by [`run_named`] for an unknown scenario name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScenario(pub String);
+
+impl std::fmt::Display for UnknownScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scenario {:?} (known: {})",
+            self.0,
+            ScenarioKind::ALL.map(|k| k.name()).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownScenario {}
+
+/// The serde-run entry point: applies the named scenario to `config` and
+/// runs it. This is the single function an orchestrator needs: a
+/// scenario name plus a (deserialized) [`TestbedConfig`] yields a
+/// [`RunResult`].
+pub fn run_named(
+    name: &str,
+    mut config: TestbedConfig,
+) -> Result<ScenarioOutcome, UnknownScenario> {
+    let kind = ScenarioKind::parse(name).ok_or_else(|| UnknownScenario(name.to_string()))?;
+    kind.apply(&mut config);
+    Ok(run(config))
+}
+
 /// Runs the testbed with no faults and no attack (sanity baseline).
 pub fn baseline(config: TestbedConfig) -> ScenarioOutcome {
     run(config)
 }
 
-/// The paper's first cyber-resilience experiment (Fig. 3a): all virtual
-/// GMs run the exploitable kernel v4.19.1; the attacker roots two of
-/// them and synchronization is lost.
+/// The paper's first cyber-resilience experiment (Fig. 3a); see
+/// [`ScenarioKind::CyberIdenticalKernels`].
 pub fn cyber_identical_kernels(seed: u64, duration: Nanos) -> ScenarioOutcome {
-    let mut cfg = TestbedConfig::paper_default(seed);
-    cfg.duration = duration;
-    cfg.kernels = KernelAssignment::identical(cfg.nodes);
-    cfg.attack = AttackPlan::paper_default();
-    run(cfg)
+    from_paper_default(ScenarioKind::CyberIdenticalKernels, seed, duration)
 }
 
-/// The paper's second cyber-resilience experiment (Fig. 3b): diversified
-/// kernels — only GM c1_4 (node 3) is exploitable, so the second strike
-/// fails and the FTA masks the single Byzantine GM.
+/// The paper's second cyber-resilience experiment (Fig. 3b); see
+/// [`ScenarioKind::CyberDiverseKernels`].
 pub fn cyber_diverse_kernels(seed: u64, duration: Nanos) -> ScenarioOutcome {
-    let mut cfg = TestbedConfig::paper_default(seed);
-    cfg.duration = duration;
-    cfg.kernels = KernelAssignment::diverse(cfg.nodes, 3);
-    cfg.attack = AttackPlan::paper_default();
-    run(cfg)
+    from_paper_default(ScenarioKind::CyberDiverseKernels, seed, duration)
 }
 
-/// The paper's 24 h fault-injection experiment (Fig. 4/5): sequential GM
-/// shutdowns plus random redundant-VM shutdowns. Pass a shorter
-/// `duration` for tests; the figure regenerators use the full 24 h.
+/// The paper's 24 h fault-injection experiment (Fig. 4/5); see
+/// [`ScenarioKind::FaultInjection`]. Pass a shorter `duration` for
+/// tests; the figure regenerators use the full 24 h.
 pub fn fault_injection(seed: u64, duration: Nanos) -> ScenarioOutcome {
-    let mut cfg = TestbedConfig::paper_default(seed);
-    cfg.duration = duration;
-    cfg.fault_injection = Some(InjectorConfig {
-        duration,
-        ..InjectorConfig::paper_default()
-    });
-    run(cfg)
+    from_paper_default(ScenarioKind::FaultInjection, seed, duration)
 }
 
-/// The prior-work baseline the paper critiques (Kyriakakis et al.):
-/// multi-domain FTA on the clients only, grandmasters free-running. The
-/// GM ensemble's spread grows without bound, which is what breaks the
-/// design's Byzantine fault tolerance "in real-world systems" (paper
-/// §I).
+/// The prior-work baseline the paper critiques; see
+/// [`ScenarioKind::PriorWorkBaseline`].
 pub fn prior_work_baseline(seed: u64, duration: Nanos) -> ScenarioOutcome {
+    from_paper_default(ScenarioKind::PriorWorkBaseline, seed, duration)
+}
+
+fn from_paper_default(kind: ScenarioKind, seed: u64, duration: Nanos) -> ScenarioOutcome {
     let mut cfg = TestbedConfig::paper_default(seed);
     cfg.duration = duration;
-    cfg.gm_mutual_sync = false;
+    kind.apply(&mut cfg);
     run(cfg)
 }
 
@@ -70,4 +172,40 @@ pub fn run(config: TestbedConfig) -> ScenarioOutcome {
     let world = World::new(config.clone());
     let result = world.run();
     ScenarioOutcome { config, result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in ScenarioKind::ALL {
+            assert_eq!(ScenarioKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ScenarioKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn apply_respects_node_count() {
+        let mut cfg = TestbedConfig::quick(1);
+        cfg.nodes = 6;
+        cfg.aggregation.domains = 6;
+        ScenarioKind::CyberIdenticalKernels.apply(&mut cfg);
+        assert_eq!(cfg.kernels.len(), 6);
+        let mut cfg = TestbedConfig::quick(1);
+        ScenarioKind::FaultInjection.apply(&mut cfg);
+        let fi = cfg.fault_injection.expect("injector configured");
+        assert_eq!(fi.nodes, cfg.nodes);
+        assert_eq!(fi.duration, cfg.duration);
+        cfg.validate();
+    }
+
+    #[test]
+    fn run_named_rejects_unknown() {
+        let Err(err) = run_named("bogus", TestbedConfig::quick(1)) else {
+            panic!("unknown scenario must be rejected");
+        };
+        assert!(err.to_string().contains("bogus"));
+    }
 }

@@ -11,7 +11,9 @@
 //! * [`Histogram`] — the Fig. 4b distribution;
 //! * [`EventLog`] — the Fig. 5 event annotations;
 //! * [`render_series`] / [`render_histogram`] / CSV exports — figure
-//!   regeneration output.
+//!   regeneration output;
+//! * [`SampleSummary`] — cross-run (per-seed) aggregate statistics for
+//!   experiment campaigns.
 
 //! # Example
 //!
@@ -35,6 +37,7 @@ mod histogram;
 mod precision;
 mod render;
 mod stability;
+mod summary;
 
 pub use bounds::{drift_offset, precision_bound, u_factor, BoundsReport};
 pub use events::{EventLog, ExperimentEvent, TransientKind};
@@ -42,3 +45,4 @@ pub use histogram::Histogram;
 pub use precision::{precision_of, PrecisionSample, PrecisionSeries, SeriesStats, WindowStat};
 pub use render::{histogram_csv, render_histogram, render_series, series_csv};
 pub use stability::TimeErrorSeries;
+pub use summary::{nearest_rank, SampleSummary};

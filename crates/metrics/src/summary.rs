@@ -1,0 +1,115 @@
+//! Cross-run aggregate statistics.
+//!
+//! The campaign engine replicates every grid point across seeds; this
+//! module turns the per-run scalars (mean Π*_s, per-run quantiles,
+//! bound-violation rates, fault counts, …) into cross-seed aggregates:
+//! mean/std/min/max plus nearest-rank p50/p95/p99.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a sample of scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard deviation (population).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+impl SampleSummary {
+    /// Summarizes a sample. Returns `None` for an empty sample; NaN
+    /// values are rejected the same way (they would poison the order
+    /// statistics silently otherwise).
+    pub fn from_values(values: &[f64]) -> Option<SampleSummary> {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(SampleSummary {
+            count: values.len(),
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: nearest_rank(&sorted, 0.50),
+            p95: nearest_rank(&sorted, 0.95),
+            p99: nearest_rank(&sorted, 0.99),
+        })
+    }
+}
+
+/// The nearest-rank `q`-quantile of an ascending-sorted sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let idx = ((q * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = SampleSummary::from_values(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.p95, 4.0);
+        assert_eq!(s.p99, 4.0);
+    }
+
+    #[test]
+    fn quantiles_match_series_convention() {
+        // Same nearest-rank convention as PrecisionSeries::quantile.
+        let sorted: Vec<f64> = (1..=100).map(|i| (i * 10) as f64).collect();
+        assert_eq!(nearest_rank(&sorted, 0.5), 500.0);
+        assert_eq!(nearest_rank(&sorted, 0.99), 990.0);
+        assert_eq!(nearest_rank(&sorted, 0.0), 10.0);
+        assert_eq!(nearest_rank(&sorted, 1.0), 1000.0);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert!(SampleSummary::from_values(&[]).is_none());
+        assert!(SampleSummary::from_values(&[1.0, f64::NAN]).is_none());
+        let s = SampleSummary::from_values(&[7.0]).unwrap();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let s = SampleSummary::from_values(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.p50, 5.0);
+    }
+}

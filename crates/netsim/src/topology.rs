@@ -253,6 +253,12 @@ impl Topology {
         &self.devices[id.0].name
     }
 
+    /// The station's MAC address (`None` for bridges, which forward on
+    /// all ports rather than terminate traffic).
+    pub fn mac(&self, id: DeviceId) -> Option<MacAddr> {
+        self.devices[id.0].mac
+    }
+
     /// Number of devices.
     pub fn device_count(&self) -> usize {
         self.devices.len()

@@ -1,0 +1,190 @@
+//! Offline in-tree stand-in for `criterion`.
+//!
+//! Keeps the workspace's benches compiling and runnable without
+//! crates-io access. It is a *timer*, not a statistics engine: each
+//! benchmark runs one warm-up plus a few timed iterations and prints
+//! the mean wall-clock time. Benchmarks execute only when the binary is
+//! invoked with `--bench` (which `cargo bench` passes), so `cargo test`
+//! never pays for them.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value barrier; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Runs one benchmark routine.
+pub struct Bencher {
+    iters: u32,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / f64::from(self.iters);
+    }
+}
+
+/// The benchmark driver (API subset of `criterion::Criterion`).
+pub struct Criterion {
+    enabled: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes bench binaries with `--bench`; anything
+        // else (notably `cargo test` building/running bench targets) gets
+        // a no-op driver so the test suite stays fast.
+        let enabled = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            enabled,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(&mut self, id: N, f: F) {
+        let name = id.to_string();
+        self.run_one(&name, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if !self.enabled {
+            return;
+        }
+        // A handful of timed iterations; enough for a smoke signal
+        // without criterion's statistical machinery.
+        let iters = self.sample_size.clamp(1, 10) as u32;
+        let mut b = Bencher {
+            iters,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("bench {name:<48} {:>14.0} ns/iter", b.last_mean_ns);
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(&mut self, id: N, f: F) {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, f);
+    }
+
+    /// Benchmarks a function against one input value.
+    pub fn bench_with_input<I: ?Sized, N: Display, F>(&mut self, id: N, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&name, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_without_bench_flag() {
+        // Under `cargo test` there is no --bench argument, so routines
+        // must not execute.
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| {});
+            ran = true;
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn ids_format_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("agg", 4).to_string(), "agg/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,50 @@
+//! `any::<T>()` and the [`Arbitrary`] trait.
+
+use crate::strategy::Strategy;
+use rand::distributions::{Distribution, Standard};
+use rand::rngs::StdRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range generation strategy.
+pub trait Arbitrary {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                Standard.sample(rng)
+            }
+        }
+    )*};
+}
+arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+impl<A: Arbitrary, const N: usize> Arbitrary for [A; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        std::array::from_fn(|_| A::arbitrary(rng))
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<A>(PhantomData<A>);
+
+impl<A> Clone for Any<A> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut StdRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}

@@ -1,0 +1,227 @@
+//! Offline in-tree mini property-testing framework exposing the subset
+//! of the `proptest` API this workspace uses.
+//!
+//! Differences from the real crate, deliberate for hermeticity and
+//! speed: no shrinking (a failing case reports its case number and the
+//! deterministic per-test seed instead of a minimized input), rejection
+//! via `prop_assume!` skips the case rather than retrying, and the
+//! default case count is 64. Each test's RNG is seeded from a stable
+//! hash of its module path and name, so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+// The `proptest!` macro expansion needs the vendored `rand`; re-export
+// it so consuming crates don't need their own dev-dependency on it.
+#[doc(hidden)]
+pub use rand;
+
+/// The `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Stable FNV-1a hash used to derive per-test seeds.
+pub fn fnv1a(label: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `#[test]`
+/// functions whose arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let __config: $crate::test_runner::Config = $cfg;
+            let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng =
+                <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__config.cases {
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(let $arg = ($strat).generate(&mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    panic!(
+                        "property failed at case {}/{} (seed {:#x}): {}",
+                        __case + 1,
+                        __config.cases,
+                        __seed,
+                        __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {:?} == {:?}", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {:?} == {:?}: {}",
+                l,
+                r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {:?} != {:?}",
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when the assumption does not hold. (The real
+/// crate resamples; this implementation just moves to the next case.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Picks uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in -4i64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u8..4).prop_map(|x| x as u16),
+            (10u8..14).prop_map(|x| x as u16),
+        ]) {
+            prop_assert!(v < 4 || (10..14).contains(&v));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u8..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn options_and_tuples(o in crate::option::of((0u8..2, any::<bool>()))) {
+            if let Some((b, _)) = o {
+                prop_assert!(b < 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case_info() {
+        // No inner `#[test]` attribute: rustc cannot register tests on
+        // inner items, and the function is invoked directly below.
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,27 @@
+//! Option strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy yielding `None` or `Some(inner)` (50/50).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(0.5) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Offline in-tree stand-in for `serde`.
+//!
+//! The workspace build must be hermetic (no crates-io access), and the
+//! simulation never serializes through serde itself — concrete encoders
+//! (the campaign engine's JSON writer, the CSV exporters) do their own
+//! formatting. Config types still derive `Serialize`/`Deserialize` so
+//! the public API keeps serde's shape; here those are marker traits,
+//! blanket-implemented for every type, and the derive macros are no-ops.
+//!
+//! If real serialization is ever needed, drop in the real `serde` via a
+//! path or registry dependency — the consuming code is already
+//! attribute-compatible.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Deserialization marker traits (`serde::de`).
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_arbitrary_types() {
+        fn assert_serde<T: crate::Serialize + crate::de::DeserializeOwned>() {}
+        struct Local {
+            _x: u8,
+        }
+        assert_serde::<Local>();
+        assert_serde::<Vec<String>>();
+    }
+}

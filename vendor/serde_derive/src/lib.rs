@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the in-tree serde
+//! stand-in. The traits are blanket-implemented in the `serde` facade,
+//! so the derives only need to accept (and discard) the input — they
+//! still validate that `#[serde(...)]` attributes parse as attributes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
