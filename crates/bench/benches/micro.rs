@@ -1,6 +1,7 @@
 //! Microbenchmarks of the hot paths: FTA aggregation, gPTP codecs, the
-//! PI servo, and the discrete-event queue.
+//! PI servo, the discrete-event queue, and world checkpoint/restore.
 
+use clocksync::{TestbedConfig, World, WorldSnapshot};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use tsn_fta::{fault_tolerant_average, AggregationMethod};
 use tsn_gptp::msg::{FollowUpTlv, Header, Message, MessageType};
@@ -94,11 +95,34 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    let cfg = TestbedConfig {
+        warmup: Nanos::from_secs(3),
+        duration: Nanos::from_secs(3),
+        ..TestbedConfig::quick(1)
+    };
+    let mut world = World::new(cfg.clone());
+    world.run_until(SimTime::from_secs(3));
+    group.bench_function("capture", |b| b.iter(|| world.snapshot()));
+    let snap = world.snapshot();
+    group.bench_function("encode", |b| b.iter(|| black_box(&snap).encode()));
+    let bytes = snap.encode();
+    group.bench_function("decode", |b| {
+        b.iter(|| WorldSnapshot::decode(black_box(&bytes)).unwrap())
+    });
+    group.bench_function("restore", |b| {
+        b.iter(|| World::restore(cfg.clone(), black_box(&snap)).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fta,
     bench_codec,
     bench_servo,
-    bench_event_queue
+    bench_event_queue,
+    bench_snapshot
 );
 criterion_main!(benches);

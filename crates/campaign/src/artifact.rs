@@ -16,7 +16,11 @@ use clocksync::{RunCounters, RunResult};
 use tsn_metrics::SampleSummary;
 
 /// Artifact schema version, bumped on incompatible format changes.
-pub const ARTIFACT_SCHEMA: u64 = 1;
+///
+/// 2: run seeds are derived from the prefix-relevant coordinates only
+/// (see [`Coord::derived_seed`]), so records produced under schema 1
+/// carry different seeds and must not be resumed.
+pub const ARTIFACT_SCHEMA: u64 = 2;
 
 /// Per-run precision statistics (all times in nanoseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -372,7 +376,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_other_schemas_and_garbage() {
-        let line = record().encode().replace("\"schema\":1", "\"schema\":2");
+        let line = record().encode().replace("\"schema\":2", "\"schema\":1");
         assert!(RunRecord::decode(&line).is_none());
         assert!(RunRecord::decode("not json").is_none());
         assert!(RunRecord::decode("{}").is_none());

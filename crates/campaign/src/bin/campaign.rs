@@ -2,8 +2,8 @@
 //! campaigns.
 //!
 //! ```text
-//! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet]
-//! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet]
+//! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork]
+//! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork]
 //! campaign summarize --dir DIR [--json]
 //! campaign diff      --baseline DIR --candidate DIR [--tol-violation F]
 //!                    [--tol-p95-rel F] [--tol-p95-ns F]
@@ -23,8 +23,8 @@ use tsn_campaign::json::Json;
 use tsn_campaign::{runner, summary, CampaignSpec, DiffTolerance, RunnerOptions};
 
 const USAGE: &str = "usage:
-  campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet]
-  campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet]
+  campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork]
+  campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork]
   campaign summarize --dir DIR [--json]
   campaign diff      --baseline DIR --candidate DIR [--tol-violation F] [--tol-p95-rel F] [--tol-p95-ns F]
   campaign spec      --builtin NAME
@@ -139,7 +139,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(
         args,
         &["--builtin", "--spec", "--dir", "--threads"],
-        &["--quiet"],
+        &["--quiet", "--fork"],
     )?;
     let spec = load_spec(&flags)?;
     let dir = flags
@@ -150,6 +150,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         dir: dir.clone(),
         threads: flags.get_parsed::<usize>("--threads")?.unwrap_or(0),
         quiet: flags.has("--quiet"),
+        fork: flags.has("--fork"),
     };
     let report = runner::execute(&spec, &opts).map_err(|e| e.to_string())?;
     println!(
@@ -161,6 +162,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         report.threads,
         dir.display()
     );
+    if report.forked_groups > 0 {
+        println!(
+            "fork: {} group(s) shared {} warm prefix run(s), {} event(s) skipped",
+            report.forked_groups, report.prefix_runs, report.prefix_events_skipped
+        );
+    }
     print!("{}", summary::render(&summary::summarize(&report.records)));
     Ok(ExitCode::SUCCESS)
 }
@@ -175,12 +182,22 @@ fn spec_of_dir(dir: &Path) -> Result<CampaignSpec, String> {
     let spec = manifest
         .get("spec")
         .ok_or_else(|| format!("{} has no `spec`", path.display()))?;
-    CampaignSpec::parse(&spec.render()).map_err(|e| format!("{}: {e}", path.display()))
+    let spec =
+        CampaignSpec::parse(&spec.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+    spec.validate()
+        .map_err(|e| format!("{} holds an invalid spec: {e}", path.display()))?;
+    Ok(spec)
 }
 
 fn load_summaries(dir: &Path) -> Result<Vec<summary::GroupSummary>, String> {
     let spec = spec_of_dir(dir)?;
     let records = runner::load(&spec, dir).map_err(|e| e.to_string())?;
+    if records.is_empty() {
+        return Err(format!(
+            "campaign at {} has no completed runs to summarize (run it first)",
+            dir.display()
+        ));
+    }
     Ok(summary::summarize(&records))
 }
 

@@ -56,11 +56,36 @@ impl Coord {
         )
     }
 
+    /// The coordinates that shape a run's warm prefix: the grid seed and
+    /// the axes that alter the world before any intervention can act
+    /// (topology size, sync interval, clock discipline). Scenario,
+    /// kernel assignment, and injector rate only influence post-warmup
+    /// behavior and are deliberately excluded.
+    pub fn prefix_label(&self) -> String {
+        fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+            v.map_or_else(|| "-".to_string(), |v| v.to_string())
+        }
+        format!(
+            "seed={}/domains={}/sync_ms={}/discipline={}",
+            self.seed,
+            opt(self.domains),
+            opt(self.sync_interval_ms),
+            opt(self.discipline.map(crate::spec::discipline_name)),
+        )
+    }
+
     /// The run's derived seed: splittable hash of the grid seed and the
-    /// non-seed coordinates, so neighboring grid points get independent
-    /// randomness even for consecutive grid seeds.
+    /// prefix-relevant coordinates ([`Coord::prefix_label`]), so
+    /// neighboring grid points get independent randomness even for
+    /// consecutive grid seeds.
+    ///
+    /// Intervention-only axes (scenario, kernel, fault rate) are *not*
+    /// folded in: variants along them share one seed and therefore one
+    /// warm prefix. That makes them paired comparisons — the same world,
+    /// the same noise, differing only in the intervention — and lets
+    /// fork-based execution simulate the shared prefix once.
     pub fn derived_seed(&self) -> u64 {
-        SeedSplitter::new(self.seed).seed(&format!("campaign/{}", self.label()))
+        SeedSplitter::new(self.seed).seed(&format!("campaign/{}", self.prefix_label()))
     }
 }
 
@@ -253,6 +278,19 @@ mod tests {
         // Different grid points with the same grid seed still get
         // different derived seeds.
         assert_ne!(a[0].seed, a[2].seed);
+    }
+
+    #[test]
+    fn intervention_axes_share_derived_seeds() {
+        // tiny_spec order: scenario outermost, domains, seeds innermost.
+        // (Baseline, dom=4, seed=1) is index 0; (PriorWorkBaseline,
+        // dom=4, seed=1) is index 4: same prefix coordinates, so the
+        // scenario variants are paired (same derived seed) while their
+        // artifacts stay distinct (different content hashes).
+        let plans = expand(&tiny_spec());
+        assert_eq!(plans[0].seed, plans[4].seed);
+        assert_ne!(plans[0].hash, plans[4].hash);
+        assert_eq!(plans[0].coord.prefix_label(), plans[4].coord.prefix_label());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 use crate::artifact::RunRecord;
 use crate::matrix::{expand, RunPlan};
 use crate::spec::CampaignSpec;
+use clocksync::snapshot::{checkpoint_time, warm_prefix_config, warm_prefix_fingerprint};
+use clocksync::{World, WorldSnapshot};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,15 +34,23 @@ pub struct RunnerOptions {
     pub threads: usize,
     /// Suppress the progress line (tests, scripting).
     pub quiet: bool,
+    /// Fork-based execution: runs sharing a warm prefix (same
+    /// prefix-relevant coordinates, interventions stripped) simulate the
+    /// prefix once to a checkpoint and fork their divergent
+    /// continuations from it. Artifacts are byte-identical to cold
+    /// execution; only the work is shared.
+    pub fork: bool,
 }
 
 impl RunnerOptions {
-    /// Options for a campaign directory, with auto thread count.
+    /// Options for a campaign directory, with auto thread count and cold
+    /// (non-forking) execution.
     pub fn new(dir: impl Into<PathBuf>) -> RunnerOptions {
         RunnerOptions {
             dir: dir.into(),
             threads: 0,
             quiet: false,
+            fork: false,
         }
     }
 
@@ -67,6 +77,14 @@ pub struct CampaignReport {
     pub skipped: usize,
     /// Worker threads used (1 when everything was resumed).
     pub threads: usize,
+    /// Warm-prefix groups of two or more runs that forked a shared
+    /// checkpoint (0 unless [`RunnerOptions::fork`] was set).
+    pub forked_groups: usize,
+    /// Prefix simulations executed for those groups (one per group).
+    pub prefix_runs: usize,
+    /// Events that were *not* re-simulated thanks to forking: for each
+    /// group, (members − 1) × events in the shared prefix.
+    pub prefix_events_skipped: u64,
 }
 
 /// Executes (or resumes) a campaign spec into `opts.dir`.
@@ -99,6 +117,82 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
     let skipped = plans.len() - pending.len();
     let threads = opts.effective_threads(pending.len());
 
+    // Fork mode: group pending runs whose configurations project to the
+    // same warm prefix. A group of two or more simulates the prefix once
+    // (phase 1) and every member forks its continuation from that
+    // checkpoint (phase 2). Singleton groups gain nothing and run cold.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of: Vec<Option<usize>> = vec![None; pending.len()];
+    if opts.fork {
+        let mut by_fp: Vec<(u64, usize)> = Vec::new();
+        for (i, plan) in pending.iter().enumerate() {
+            if checkpoint_time(&plan.config).is_none() {
+                continue; // no warm-up, nothing to share
+            }
+            let fp = warm_prefix_fingerprint(&plan.config);
+            let g = match by_fp.iter().find(|(f, _)| *f == fp) {
+                Some(&(_, g)) => g,
+                None => {
+                    by_fp.push((fp, groups.len()));
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                }
+            };
+            groups[g].push(i);
+            group_of[i] = Some(g);
+        }
+        for group in &mut groups {
+            if group.len() < 2 {
+                for &i in group.iter() {
+                    group_of[i] = None;
+                }
+                group.clear();
+            }
+        }
+    }
+    let forkable: Vec<usize> = (0..groups.len())
+        .filter(|&g| groups[g].len() >= 2)
+        .collect();
+    let forked_groups = forkable.len();
+    let prefix_runs = forkable.len();
+    let mut prefix_events_skipped = 0u64;
+
+    // Phase 1: one shared-prefix simulation per forkable group.
+    let mut snapshots: Vec<Option<WorldSnapshot>> = (0..groups.len()).map(|_| None).collect();
+    if !forkable.is_empty() {
+        if !opts.quiet {
+            let members: usize = forkable.iter().map(|&g| groups[g].len()).sum();
+            eprintln!(
+                "fork: simulating {forked_groups} shared warm prefix(es) for {members} run(s)"
+            );
+        }
+        let next = AtomicUsize::new(0);
+        let made: Mutex<Vec<(usize, WorldSnapshot)>> =
+            Mutex::new(Vec::with_capacity(forkable.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(forkable.len()) {
+                scope.spawn(|| loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&g) = forkable.get(j) else { break };
+                    let cfg = &pending[groups[g][0]].config;
+                    let at = checkpoint_time(cfg).expect("forkable groups have a warm-up");
+                    let mut world = World::new(warm_prefix_config(cfg));
+                    world.run_until(at);
+                    made.lock()
+                        .expect("prefix lock")
+                        .push((g, world.snapshot()));
+                });
+            }
+        });
+        for (g, snap) in made.into_inner().expect("prefix lock") {
+            prefix_events_skipped += (groups[g].len() as u64 - 1) * snap.events_processed;
+            snapshots[g] = Some(snap);
+        }
+    }
+
+    // Phase 2: every pending run — forked members restore the group's
+    // checkpoint and continue; the rest run cold from t = 0. Either way
+    // the artifact bytes are identical (checked by tests/fork.rs).
     if !pending.is_empty() {
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
@@ -110,8 +204,15 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(plan) = pending.get(i) else { break };
-                    let outcome = clocksync::scenario::run(plan.config.clone());
-                    let record = RunRecord::new(&spec.name, plan, &outcome.result);
+                    let snap = group_of[i].and_then(|g| snapshots[g].as_ref());
+                    let record = match run_one(spec, plan, snap) {
+                        Ok(record) => record,
+                        Err(e) => {
+                            let mut slot = io_error.lock().expect("io_error lock");
+                            slot.get_or_insert(e);
+                            break;
+                        }
+                    };
                     if let Err(e) = write_atomic(&artifact_path(&runs_dir, plan), &record.encode())
                     {
                         let mut slot = io_error.lock().expect("io_error lock");
@@ -137,22 +238,60 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
     }
 
     let executed = pending.len();
-    let records = records
-        .into_iter()
-        .map(|r| r.expect("every run resolved"))
-        .collect();
+    let records = plans
+        .iter()
+        .zip(records)
+        .map(|(plan, record)| {
+            record.ok_or_else(|| {
+                io::Error::other(format!(
+                    "run {} produced no artifact (expected {})",
+                    plan.coord.label(),
+                    artifact_path(&runs_dir, plan).display()
+                ))
+            })
+        })
+        .collect::<io::Result<Vec<RunRecord>>>()?;
     Ok(CampaignReport {
         records,
         executed,
         skipped,
         threads,
+        forked_groups,
+        prefix_runs,
+        prefix_events_skipped,
     })
+}
+
+/// Executes one run, either cold from `t = 0` or forked from a shared
+/// warm-prefix checkpoint. Both paths end in the same [`RunRecord`].
+fn run_one(
+    spec: &CampaignSpec,
+    plan: &RunPlan,
+    snap: Option<&WorldSnapshot>,
+) -> io::Result<RunRecord> {
+    let result = match snap {
+        Some(snap) => {
+            let mut world = World::restore(plan.config.clone(), snap).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("fork restore for {}: {e}", plan.coord.label()),
+                )
+            })?;
+            let end = world.end_time();
+            world.run_until(end);
+            world.into_result()
+        }
+        None => clocksync::scenario::run(plan.config.clone()).result,
+    };
+    Ok(RunRecord::new(&spec.name, plan, &result))
 }
 
 /// Loads every artifact of a previously executed campaign directory, in
 /// canonical order. Fails if any run is missing (the campaign must be
 /// `run` to completion first).
 pub fn load(spec: &CampaignSpec, dir: &Path) -> io::Result<Vec<RunRecord>> {
+    spec.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     let runs_dir = dir.join("runs");
     expand(spec)
         .iter()

@@ -1,0 +1,129 @@
+//! CLI contract tests: error paths must print a clear message and exit
+//! 2 instead of panicking, and the `snapshot` binary's save / info /
+//! restore / verify loop must close.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn campaign(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(args)
+        .output()
+        .expect("campaign binary runs")
+}
+
+fn snapshot(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_snapshot"))
+        .args(args)
+        .output()
+        .expect("snapshot binary runs")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsn-campaign-cli-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn summarize_of_missing_campaign_exits_two_with_message() {
+    let dir = scratch("missing");
+    let out = campaign(&["summarize", "--dir", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "no error message: {stderr}");
+}
+
+#[test]
+fn summarize_of_empty_campaign_exits_two_with_message() {
+    // A campaign directory that exists but holds no completed runs: the
+    // manifest is present, the runs directory is empty.
+    let dir = scratch("empty");
+    std::fs::create_dir_all(dir.join("runs")).unwrap();
+    let manifest = r#"{"schema":2,"spec":{"name":"empty","base":{"preset":"quick"},"scenarios":["baseline"],"grid":{"seeds":[1]}},"total_runs":1,"runs":[]}"#;
+    std::fs::write(dir.join("manifest.json"), manifest).unwrap();
+
+    let out = campaign(&["summarize", "--dir", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("missing or unreadable artifact") || stderr.contains("no completed runs"),
+        "unhelpful message: {stderr}"
+    );
+
+    let diff = campaign(&[
+        "diff",
+        "--baseline",
+        dir.to_str().unwrap(),
+        "--candidate",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(diff.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn summarize_of_zero_run_manifest_exits_two_instead_of_panicking() {
+    // A hand-edited (or truncated) manifest whose spec expands to zero
+    // runs used to panic inside `expand`; it must now be a plain error.
+    let dir = scratch("zero");
+    std::fs::create_dir_all(dir.join("runs")).unwrap();
+    let manifest = r#"{"schema":2,"spec":{"name":"zero","base":{"preset":"quick"},"scenarios":["baseline"],"grid":{"seeds":[]}},"total_runs":0,"runs":[]}"#;
+    std::fs::write(dir.join("manifest.json"), manifest).unwrap();
+
+    let out = campaign(&["summarize", "--dir", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "summarize panicked: {stderr}");
+    assert!(stderr.contains("error:"), "no error message: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_save_info_restore_verify_round_trip() {
+    let dir = scratch("snap");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("w.snap");
+    let cfg = [
+        "--preset",
+        "quick",
+        "--seed",
+        "7",
+        "--duration-s",
+        "4",
+        "--warmup-s",
+        "2",
+    ];
+
+    let mut save_args = vec!["save"];
+    save_args.extend(cfg);
+    save_args.extend(["--at", "2", "--out", file.to_str().unwrap()]);
+    let save = snapshot(&save_args);
+    assert!(save.status.success(), "{:?}", save);
+
+    let info = snapshot(&["info", "--file", file.to_str().unwrap()]);
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("state_hash"), "no state hash: {text}");
+
+    let mut restore_args = vec!["restore", "--file", file.to_str().unwrap()];
+    restore_args.extend(cfg);
+    let restore = snapshot(&restore_args);
+    assert!(restore.status.success(), "{:?}", restore);
+
+    // Restoring under a different configuration is refused (exit 2).
+    let wrong = snapshot(&["restore", "--file", file.to_str().unwrap(), "--seed", "8"]);
+    assert_eq!(wrong.status.code(), Some(2));
+
+    let mut verify_args = vec!["verify"];
+    verify_args.extend(cfg);
+    verify_args.extend(["--epoch-s", "1"]);
+    let verify = snapshot(&verify_args);
+    assert!(verify.status.success(), "{:?}", verify);
+    let text = String::from_utf8_lossy(&verify.stdout);
+    assert!(text.contains("no divergence"), "unexpected: {text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -49,6 +49,7 @@ fn opts(dir: &Path, threads: usize) -> RunnerOptions {
         dir: dir.to_path_buf(),
         threads,
         quiet: true,
+        fork: false,
     }
 }
 

@@ -1,0 +1,107 @@
+//! Fork-based campaign execution: runs that share a warm prefix (same
+//! prefix-relevant coordinates, interventions stripped) must produce
+//! artifacts **byte-identical** to cold execution while simulating the
+//! shared prefix exactly once per group.
+
+use clocksync::scenario::ScenarioKind;
+use std::path::{Path, PathBuf};
+use tsn_campaign::{runner, BaseSpec, CampaignSpec, Grid, RunnerOptions};
+
+/// Baseline plus an intervention scenario: with prefix-relative seed
+/// derivation, each seed yields one warm-prefix group of two runs.
+fn fork_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "fork".to_string(),
+        base: BaseSpec {
+            preset: tsn_campaign::Preset::Quick,
+            duration_s: Some(6),
+            warmup_s: Some(3),
+        },
+        scenarios: vec![ScenarioKind::Baseline, ScenarioKind::CyberIdenticalKernels],
+        grid: Grid {
+            seeds: vec![1, 2],
+            ..Grid::default()
+        },
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsn-campaign-fork-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(dir: &Path, fork: bool) -> RunnerOptions {
+    RunnerOptions {
+        dir: dir.to_path_buf(),
+        threads: 2,
+        quiet: true,
+        fork,
+    }
+}
+
+fn artifact_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir.join("runs"))
+        .expect("runs dir exists")
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn forked_campaign_matches_cold_campaign_byte_for_byte() {
+    let spec = fork_spec();
+    let cold_dir = scratch("cold");
+    let fork_dir = scratch("fork");
+
+    let cold = runner::execute(&spec, &opts(&cold_dir, false)).expect("cold campaign");
+    assert_eq!(cold.executed, 4);
+    assert_eq!(cold.forked_groups, 0);
+    assert_eq!(cold.prefix_events_skipped, 0);
+
+    let forked = runner::execute(&spec, &opts(&fork_dir, true)).expect("forked campaign");
+    assert_eq!(forked.executed, 4);
+    // One group per seed, each sharing Baseline + CyberIdenticalKernels.
+    assert_eq!(forked.forked_groups, 2);
+    assert_eq!(forked.prefix_runs, 2);
+    assert!(
+        forked.prefix_events_skipped > 0,
+        "shared prefixes must skip re-simulated events"
+    );
+
+    let a = artifact_bytes(&cold_dir);
+    let b = artifact_bytes(&fork_dir);
+    assert_eq!(a.len(), 4);
+    assert_eq!(a, b, "forked artifacts differ from cold artifacts");
+    for (x, y) in cold.records.iter().zip(&forked.records) {
+        assert_eq!(x, y);
+    }
+
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    let _ = std::fs::remove_dir_all(&fork_dir);
+}
+
+#[test]
+fn fork_resume_skips_completed_runs() {
+    let spec = fork_spec();
+    let dir = scratch("resume");
+
+    let first = runner::execute(&spec, &opts(&dir, true)).expect("first invocation");
+    assert_eq!(first.executed, 4);
+
+    // Everything resumed: no runs pending, so no prefixes simulated.
+    let second = runner::execute(&spec, &opts(&dir, true)).expect("second invocation");
+    assert_eq!(second.executed, 0);
+    assert_eq!(second.skipped, 4);
+    assert_eq!(second.forked_groups, 0);
+    assert_eq!(second.records, first.records);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -36,10 +36,13 @@
 mod config;
 pub mod node;
 pub mod scenario;
+pub mod snapshot;
 mod world;
 
 pub use config::{BackgroundTraffic, CorruptPublisher, HypMonitorMode, TestbedConfig};
 pub use world::{RunCounters, RunResult, World};
+
+pub use tsn_snapshot::WorldSnapshot;
 
 pub use tsn_faults as faults;
 pub use tsn_fta as fta;

@@ -541,15 +541,19 @@ impl World {
             Ev::ProbeTick { seq: 0 },
         );
         // Faults and strikes are offset by the warm-up so their paper
-        // times (e.g. 00:21:42) land on the measured axis.
+        // times (e.g. 00:21:42) land on the measured axis. They use the
+        // control sequence space so that configurations differing only
+        // in post-warmup interventions stay byte-identical through the
+        // warm-up (the fork-based campaign invariant, see
+        // `tsn_netsim::CTL_SEQ_BASE`).
         for (i, f) in self.schedule.iter().enumerate() {
             self.queue
-                .schedule_at(f.at + self.cfg.warmup, Ev::FaultAt(i));
+                .schedule_ctl_at(f.at + self.cfg.warmup, Ev::FaultAt(i));
         }
         let strikes: Vec<_> = self.cfg.attack.strikes().to_vec();
         for (i, s) in strikes.iter().enumerate() {
             self.queue
-                .schedule_at(s.at + self.cfg.warmup, Ev::StrikeAt(i));
+                .schedule_ctl_at(s.at + self.cfg.warmup, Ev::StrikeAt(i));
         }
     }
 
@@ -1716,6 +1720,439 @@ fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> i64 {
 fn log2_interval(interval: Nanos) -> i8 {
     let secs = interval.as_secs_f64();
     secs.log2().round() as i8
+}
+
+// ----- checkpoint / restore ------------------------------------------
+
+use crate::snapshot::{config_fingerprint, warm_prefix_fingerprint, WORLD_STATE_VERSION};
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, WorldSnapshot, Writer};
+
+impl Snap for TxCtx {
+    fn put(&self, w: &mut Writer) {
+        match self {
+            TxCtx::None => 0u8.put(w),
+            TxCtx::GmSync { node, seq } => {
+                1u8.put(w);
+                node.put(w);
+                seq.put(w);
+            }
+            TxCtx::BridgeSync { sw, domain, seq } => {
+                2u8.put(w);
+                sw.put(w);
+                domain.put(w);
+                seq.put(w);
+            }
+            TxCtx::PdelayReq { dev, seq } => {
+                3u8.put(w);
+                dev.put(w);
+                seq.put(w);
+            }
+            TxCtx::PdelayResp {
+                dev,
+                seq,
+                requesting,
+            } => {
+                4u8.put(w);
+                dev.put(w);
+                seq.put(w);
+                requesting.put(w);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match u8::get(r)? {
+            0 => TxCtx::None,
+            1 => TxCtx::GmSync {
+                node: Snap::get(r)?,
+                seq: Snap::get(r)?,
+            },
+            2 => TxCtx::BridgeSync {
+                sw: Snap::get(r)?,
+                domain: Snap::get(r)?,
+                seq: Snap::get(r)?,
+            },
+            3 => TxCtx::PdelayReq {
+                dev: Snap::get(r)?,
+                seq: Snap::get(r)?,
+            },
+            4 => TxCtx::PdelayResp {
+                dev: Snap::get(r)?,
+                seq: Snap::get(r)?,
+                requesting: Snap::get(r)?,
+            },
+            _ => return Err(SnapError::Malformed("tx context discriminant")),
+        })
+    }
+}
+
+impl Snap for Ev {
+    fn put(&self, w: &mut Writer) {
+        match self {
+            Ev::Transmit { from, frame, ctx } => {
+                0u8.put(w);
+                from.put(w);
+                frame.put(w);
+                ctx.put(w);
+            }
+            Ev::Arrive { to, frame } => {
+                1u8.put(w);
+                to.put(w);
+                frame.put(w);
+            }
+            Ev::GmSyncTick { node } => {
+                2u8.put(w);
+                node.put(w);
+            }
+            Ev::PdelayTick { port } => {
+                3u8.put(w);
+                port.put(w);
+            }
+            Ev::Phc2SysTick { node, slot } => {
+                4u8.put(w);
+                node.put(w);
+                slot.put(w);
+            }
+            Ev::MonitorTick { node } => {
+                5u8.put(w);
+                node.put(w);
+            }
+            Ev::WanderTick => 6u8.put(w),
+            Ev::ProbeTick { seq } => {
+                7u8.put(w);
+                seq.put(w);
+            }
+            Ev::FaultAt(i) => {
+                8u8.put(w);
+                i.put(w);
+            }
+            Ev::RebootAt(i) => {
+                9u8.put(w);
+                i.put(w);
+            }
+            Ev::StrikeAt(i) => {
+                10u8.put(w);
+                i.put(w);
+            }
+            Ev::PortFree { from } => {
+                11u8.put(w);
+                from.put(w);
+            }
+            Ev::BackgroundTick { port } => {
+                12u8.put(w);
+                port.put(w);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match u8::get(r)? {
+            0 => Ev::Transmit {
+                from: Snap::get(r)?,
+                frame: Snap::get(r)?,
+                ctx: Snap::get(r)?,
+            },
+            1 => Ev::Arrive {
+                to: Snap::get(r)?,
+                frame: Snap::get(r)?,
+            },
+            2 => Ev::GmSyncTick {
+                node: Snap::get(r)?,
+            },
+            3 => Ev::PdelayTick {
+                port: Snap::get(r)?,
+            },
+            4 => Ev::Phc2SysTick {
+                node: Snap::get(r)?,
+                slot: Snap::get(r)?,
+            },
+            5 => Ev::MonitorTick {
+                node: Snap::get(r)?,
+            },
+            6 => Ev::WanderTick,
+            7 => Ev::ProbeTick { seq: Snap::get(r)? },
+            8 => Ev::FaultAt(Snap::get(r)?),
+            9 => Ev::RebootAt(Snap::get(r)?),
+            10 => Ev::StrikeAt(Snap::get(r)?),
+            11 => Ev::PortFree {
+                from: Snap::get(r)?,
+            },
+            12 => Ev::BackgroundTick {
+                port: Snap::get(r)?,
+            },
+            _ => return Err(SnapError::Malformed("event discriminant")),
+        })
+    }
+}
+
+impl Snap for RunCounters {
+    fn put(&self, w: &mut Writer) {
+        self.tx_timestamp_timeouts.put(w);
+        self.deadline_misses.put(w);
+        self.vm_failures.put(w);
+        self.gm_failures.put(w);
+        self.takeovers.put(w);
+        self.aggregations.put(w);
+        self.no_quorum.put(w);
+        self.strikes_succeeded.put(w);
+        self.strikes_failed.put(w);
+        self.frames_queued.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(RunCounters {
+            tx_timestamp_timeouts: Snap::get(r)?,
+            deadline_misses: Snap::get(r)?,
+            vm_failures: Snap::get(r)?,
+            gm_failures: Snap::get(r)?,
+            takeovers: Snap::get(r)?,
+            aggregations: Snap::get(r)?,
+            no_quorum: Snap::get(r)?,
+            strikes_succeeded: Snap::get(r)?,
+            strikes_failed: Snap::get(r)?,
+            frames_queued: Snap::get(r)?,
+        })
+    }
+}
+
+impl SnapState for VmState {
+    // `nic_device` and NIC static parameters (MAC, jitter model, line
+    // rate) come from configuration; master/slave/aggregator structure is
+    // fixed per slot.
+    fn save_state(&self, w: &mut Writer) {
+        self.nic.phc.save_state(w);
+        self.osc.save_state(w);
+        self.running.put(w);
+        self.compromised.put(w);
+        self.master.is_some().put(w);
+        if let Some(m) = &self.master {
+            m.save_state(w);
+        }
+        self.gm_active.put(w);
+        for s in &self.slaves {
+            s.save_state(w);
+        }
+        self.aggregator.save_state(w);
+        self.pd.save_state(w);
+        self.phc2sys.save_state(w);
+        self.sync_servo.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.nic.phc.load_state(r)?;
+        self.osc.load_state(r)?;
+        self.running = Snap::get(r)?;
+        self.compromised = Snap::get(r)?;
+        if bool::get(r)? != self.master.is_some() {
+            return Err(SnapError::Malformed("sync master presence"));
+        }
+        if let Some(m) = &mut self.master {
+            m.load_state(r)?;
+        }
+        self.gm_active = Snap::get(r)?;
+        for s in &mut self.slaves {
+            s.load_state(r)?;
+        }
+        self.aggregator.load_state(r)?;
+        self.pd.load_state(r)?;
+        self.phc2sys.load_state(r)?;
+        self.sync_servo.load_state(r)
+    }
+}
+
+impl SnapState for NodeState {
+    fn save_state(&self, w: &mut Writer) {
+        self.host_phc.save_state(w);
+        self.host_osc.save_state(w);
+        for vm in &self.vms {
+            vm.save_state(w);
+        }
+        self.device.save_state(w);
+        if let Some(v) = &self.voting {
+            v.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.host_phc.load_state(r)?;
+        self.host_osc.load_state(r)?;
+        for vm in &mut self.vms {
+            vm.load_state(r)?;
+        }
+        self.device.load_state(r)?;
+        if let Some(v) = &mut self.voting {
+            v.load_state(r)?;
+        }
+        Ok(())
+    }
+}
+
+impl SnapState for SwitchState {
+    // The fabric (FDB, residence model) is static configuration; per-port
+    // pdelay services are keyed by a fixed port set.
+    fn save_state(&self, w: &mut Writer) {
+        self.phc.save_state(w);
+        self.osc.save_state(w);
+        for relay in &self.relays {
+            relay.save_state(w);
+        }
+        let mut ports: Vec<u8> = self.pd.keys().copied().collect();
+        ports.sort_unstable();
+        for p in ports {
+            self.pd[&p].save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.phc.load_state(r)?;
+        self.osc.load_state(r)?;
+        for relay in &mut self.relays {
+            relay.load_state(r)?;
+        }
+        let mut ports: Vec<u8> = self.pd.keys().copied().collect();
+        ports.sort_unstable();
+        for p in ports {
+            self.pd.get_mut(&p).expect("known port").load_state(r)?;
+        }
+        Ok(())
+    }
+}
+
+impl SnapState for World {
+    fn save_state(&self, w: &mut Writer) {
+        self.queue.save_state(w);
+        for node in &self.nodes {
+            node.save_state(w);
+        }
+        for sw in &self.switches {
+            sw.save_state(w);
+        }
+        // Egress ports materialize lazily; encode the populated set.
+        let mut ports: Vec<&PortAddr> = self.egress.keys().collect();
+        ports.sort_unstable();
+        ports.len().put(w);
+        for p in ports {
+            p.put(w);
+            self.egress[p].save_state(w);
+        }
+        self.trace.is_some().put(w);
+        if let Some(tr) = &self.trace {
+            tr.save_state(w);
+        }
+        self.transient.save_state(w);
+        self.frame_rng.put(w);
+        self.probes.put(w);
+        self.probe_sent_at.put(w);
+        self.ground_truth_ns.put(w);
+        self.discipline_error_ns.put(w);
+        self.series.save_state(w);
+        self.events.save_state(w);
+        self.counters.put(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.queue.load_state(r)?;
+        for node in &mut self.nodes {
+            node.load_state(r)?;
+        }
+        for sw in &mut self.switches {
+            sw.load_state(r)?;
+        }
+        let n = usize::get(r)?;
+        let mut egress = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let p = PortAddr::get(r)?;
+            let mut port = EgressPort::default();
+            port.load_state(r)?;
+            if egress.insert(p, port).is_some() {
+                return Err(SnapError::Malformed("duplicate egress port"));
+            }
+        }
+        self.egress = egress;
+        if bool::get(r)? != self.trace.is_some() {
+            return Err(SnapError::Malformed("frame trace presence"));
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.load_state(r)?;
+        }
+        self.transient.load_state(r)?;
+        self.frame_rng = Snap::get(r)?;
+        self.probes = Snap::get(r)?;
+        self.probe_sent_at = Snap::get(r)?;
+        self.ground_truth_ns = Snap::get(r)?;
+        self.discipline_error_ns = Snap::get(r)?;
+        self.series.load_state(r)?;
+        self.events.load_state(r)?;
+        self.counters = Snap::get(r)?;
+        Ok(())
+    }
+}
+
+impl World {
+    /// Current simulation time (the timestamp of the last handled event).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Events handled since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
+
+    /// Captures the complete mutable state as a versioned snapshot.
+    pub fn snapshot(&self) -> WorldSnapshot {
+        let mut w = Writer::new();
+        self.save_state(&mut w);
+        WorldSnapshot {
+            state_version: WORLD_STATE_VERSION,
+            config_fingerprint: config_fingerprint(&self.cfg),
+            at_ns: self.queue.now().as_nanos(),
+            events_processed: self.queue.events_processed(),
+            payload: w.into_bytes(),
+        }
+    }
+
+    /// FNV-1a hash of the complete encoded state — equal hashes mean
+    /// byte-identical worlds. The divergence check of `snapshot verify`
+    /// compares these per epoch.
+    pub fn state_hash(&self) -> u64 {
+        let mut w = Writer::new();
+        self.save_state(&mut w);
+        tsn_snapshot::fnv1a64(&w.into_bytes())
+    }
+
+    /// Rebuilds a world from `cfg` and overwrites its mutable state from
+    /// `snap` (reconstruct-then-overwrite).
+    ///
+    /// The snapshot must have been produced either by this exact
+    /// configuration or by its warm-prefix projection
+    /// ([`crate::snapshot::warm_prefix_config`]); in the latter case the
+    /// post-warmup interventions (faults, strikes) stripped from the
+    /// prefix are re-armed from the rebuilt world's own schedule.
+    pub fn restore(cfg: TestbedConfig, snap: &WorldSnapshot) -> Result<World, SnapError> {
+        if snap.state_version != WORLD_STATE_VERSION {
+            return Err(SnapError::UnsupportedVersion(snap.state_version));
+        }
+        if snap.config_fingerprint != config_fingerprint(&cfg)
+            && snap.config_fingerprint != warm_prefix_fingerprint(&cfg)
+        {
+            return Err(SnapError::Malformed(
+                "snapshot was produced by a different configuration",
+            ));
+        }
+        let mut world = World::new(cfg);
+        // Control events the full configuration armed at t=0. If the
+        // snapshot's queue never used the control space (a warm prefix
+        // with interventions stripped), re-arm them with their original
+        // sequence numbers; otherwise the snapshot already carries them.
+        let ctl = world.queue.drain_ctl();
+        let mut r = Reader::new(&snap.payload);
+        world.load_state(&mut r)?;
+        r.finish()?;
+        if world.queue.ctl_len() == 0 && world.queue.next_ctl_seq() == tsn_netsim::CTL_SEQ_BASE {
+            for (at, seq, ev) in ctl {
+                world.queue.insert_raw(at, seq, ev);
+            }
+        }
+        Ok(world)
+    }
 }
 
 #[cfg(test)]

@@ -321,6 +321,29 @@ impl MultiDomainAggregator {
     }
 }
 
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
+
+impl SnapState for MultiDomainAggregator {
+    // The shared region is saved through this aggregator (its owning
+    // VM), preserving the `Arc` identity on restore: `load_state`
+    // writes through the lock rather than replacing the region.
+    fn save_state(&self, w: &mut Writer) {
+        (matches!(self.mode, AggregationMode::FaultTolerant) as u8).put(w);
+        self.startup_ok_streak.put(w);
+        self.shmem.lock().save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.mode = match u8::get(r)? {
+            0 => AggregationMode::Startup,
+            1 => AggregationMode::FaultTolerant,
+            _ => return Err(SnapError::Malformed("aggregation mode discriminant")),
+        };
+        self.startup_ok_streak = Snap::get(r)?;
+        self.shmem.lock().load_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -261,6 +261,61 @@ impl BridgeRelay {
     }
 }
 
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
+
+impl Snap for UpstreamFu {
+    fn put(&self, w: &mut Writer) {
+        self.precise_origin.put(w);
+        self.correction.put(w);
+        self.cumulative_scaled_rate_offset.put(w);
+        self.rate_ratio_to_gm.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(UpstreamFu {
+            precise_origin: Snap::get(r)?,
+            correction: Snap::get(r)?,
+            cumulative_scaled_rate_offset: Snap::get(r)?,
+            rate_ratio_to_gm: Snap::get(r)?,
+        })
+    }
+}
+
+impl Snap for SeqState {
+    fn put(&self, w: &mut Writer) {
+        self.rx_ts.put(w);
+        self.tx_ts.put(w);
+        self.upstream.put(w);
+        self.done.put(w);
+        self.order.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(SeqState {
+            rx_ts: Snap::get(r)?,
+            tx_ts: Snap::get(r)?,
+            upstream: Snap::get(r)?,
+            done: Snap::get(r)?,
+            order: Snap::get(r)?,
+        })
+    }
+}
+
+impl SnapState for BridgeRelay {
+    fn save_state(&self, w: &mut Writer) {
+        self.log_sync_interval.put(w);
+        self.seqs.put(w);
+        self.next_order.put(w);
+        self.dropped_forwards.put(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.log_sync_interval = Snap::get(r)?;
+        self.seqs = Snap::get(r)?;
+        self.next_order = Snap::get(r)?;
+        self.dropped_forwards = Snap::get(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -205,6 +205,52 @@ impl SystemIdentity {
     }
 }
 
+use tsn_snapshot::{Reader, Snap, SnapError, Writer};
+
+impl Snap for ClockIdentity {
+    fn put(&self, w: &mut Writer) {
+        w.put_bytes(&self.0);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(ClockIdentity(r.take(8)?.try_into().expect("8-byte take")))
+    }
+}
+
+impl Snap for PortIdentity {
+    fn put(&self, w: &mut Writer) {
+        self.clock.put(w);
+        self.port.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(PortIdentity {
+            clock: Snap::get(r)?,
+            port: Snap::get(r)?,
+        })
+    }
+}
+
+impl Snap for PtpTimestamp {
+    fn put(&self, w: &mut Writer) {
+        self.seconds.put(w);
+        self.nanoseconds.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(PtpTimestamp {
+            seconds: Snap::get(r)?,
+            nanoseconds: Snap::get(r)?,
+        })
+    }
+}
+
+impl Snap for Correction {
+    fn put(&self, w: &mut Writer) {
+        self.scaled().put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Correction::from_scaled(i64::get(r)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -222,6 +222,72 @@ impl VotingMonitor {
 }
 
 #[cfg(test)]
+mod force_tests {
+    use super::*;
+
+    #[test]
+    fn force_takeover_picks_first_acceptable_standby() {
+        let mut dev =
+            DependentClockDevice::new(VmId(0), vec![VmId(1), VmId(2)], MonitorConfig::default());
+        // VM 1 is also faulty: promotion must skip it.
+        let t = dev.force_takeover(|vm| vm == VmId(2)).unwrap();
+        assert_eq!(
+            t,
+            Takeover {
+                from: VmId(0),
+                to: VmId(2)
+            }
+        );
+        assert_eq!(dev.active(), VmId(2));
+        assert_eq!(dev.standbys(), &[VmId(1), VmId(0)]);
+    }
+
+    #[test]
+    fn force_takeover_without_candidates_is_none() {
+        let mut dev = DependentClockDevice::new(VmId(0), vec![VmId(1)], MonitorConfig::default());
+        assert!(dev.force_takeover(|_| false).is_none());
+        assert_eq!(dev.active(), VmId(0));
+    }
+}
+
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
+
+impl SnapState for DependentClockDevice {
+    // `config` is static; active/standbys evolve through takeovers.
+    fn save_state(&self, w: &mut Writer) {
+        self.stshmem.save_state(w);
+        self.active.put(w);
+        self.standbys.put(w);
+        self.takeovers.put(w);
+        self.uncovered_failures.put(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.stshmem.load_state(r)?;
+        self.active = Snap::get(r)?;
+        self.standbys = Snap::get(r)?;
+        self.takeovers = Snap::get(r)?;
+        self.uncovered_failures = Snap::get(r)?;
+        Ok(())
+    }
+}
+
+impl SnapState for VotingMonitor {
+    fn save_state(&self, w: &mut Writer) {
+        self.slots.put(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let slots: Vec<Option<(ClockParams, ClockTime)>> = Snap::get(r)?;
+        if slots.len() != self.slots.len() {
+            return Err(SnapError::Malformed("voting monitor slot count"));
+        }
+        self.slots = slots;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -363,34 +429,5 @@ mod tests {
         // correct (this is exactly why fail-silent needs only f+1 but
         // fail-consistent needs 2f+1).
         assert_eq!(vm.vote(t), vec![false, false, true]);
-    }
-}
-
-#[cfg(test)]
-mod force_tests {
-    use super::*;
-
-    #[test]
-    fn force_takeover_picks_first_acceptable_standby() {
-        let mut dev =
-            DependentClockDevice::new(VmId(0), vec![VmId(1), VmId(2)], MonitorConfig::default());
-        // VM 1 is also faulty: promotion must skip it.
-        let t = dev.force_takeover(|vm| vm == VmId(2)).unwrap();
-        assert_eq!(
-            t,
-            Takeover {
-                from: VmId(0),
-                to: VmId(2)
-            }
-        );
-        assert_eq!(dev.active(), VmId(2));
-        assert_eq!(dev.standbys(), &[VmId(1), VmId(0)]);
-    }
-
-    #[test]
-    fn force_takeover_without_candidates_is_none() {
-        let mut dev = DependentClockDevice::new(VmId(0), vec![VmId(1)], MonitorConfig::default());
-        assert!(dev.force_takeover(|_| false).is_none());
-        assert_eq!(dev.active(), VmId(0));
     }
 }

@@ -166,6 +166,102 @@ impl EventLog {
     }
 }
 
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
+
+impl Snap for TransientKind {
+    fn put(&self, w: &mut Writer) {
+        let tag: u8 = match self {
+            TransientKind::TxTimestampTimeout => 0,
+            TransientKind::DeadlineMiss => 1,
+        };
+        tag.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match u8::get(r)? {
+            0 => Ok(TransientKind::TxTimestampTimeout),
+            1 => Ok(TransientKind::DeadlineMiss),
+            _ => Err(SnapError::Malformed("transient kind discriminant")),
+        }
+    }
+}
+
+impl Snap for ExperimentEvent {
+    fn put(&self, w: &mut Writer) {
+        match *self {
+            ExperimentEvent::VmFailure { node, grandmaster } => {
+                0u8.put(w);
+                node.put(w);
+                grandmaster.put(w);
+            }
+            ExperimentEvent::VmReboot { node, grandmaster } => {
+                1u8.put(w);
+                node.put(w);
+                grandmaster.put(w);
+            }
+            ExperimentEvent::Takeover { node } => {
+                2u8.put(w);
+                node.put(w);
+            }
+            ExperimentEvent::Transient { node, kind } => {
+                3u8.put(w);
+                node.put(w);
+                kind.put(w);
+            }
+            ExperimentEvent::Strike { node, succeeded } => {
+                4u8.put(w);
+                node.put(w);
+                succeeded.put(w);
+            }
+            ExperimentEvent::GmResumed { node } => {
+                5u8.put(w);
+                node.put(w);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match u8::get(r)? {
+            0 => ExperimentEvent::VmFailure {
+                node: Snap::get(r)?,
+                grandmaster: Snap::get(r)?,
+            },
+            1 => ExperimentEvent::VmReboot {
+                node: Snap::get(r)?,
+                grandmaster: Snap::get(r)?,
+            },
+            2 => ExperimentEvent::Takeover {
+                node: Snap::get(r)?,
+            },
+            3 => ExperimentEvent::Transient {
+                node: Snap::get(r)?,
+                kind: Snap::get(r)?,
+            },
+            4 => ExperimentEvent::Strike {
+                node: Snap::get(r)?,
+                succeeded: Snap::get(r)?,
+            },
+            5 => ExperimentEvent::GmResumed {
+                node: Snap::get(r)?,
+            },
+            _ => return Err(SnapError::Malformed("experiment event discriminant")),
+        })
+    }
+}
+
+impl SnapState for EventLog {
+    fn save_state(&self, w: &mut Writer) {
+        self.entries.put(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let entries: Vec<(SimTime, ExperimentEvent)> = Snap::get(r)?;
+        if entries.windows(2).any(|p| p[0].0 > p[1].0) {
+            return Err(SnapError::Malformed("event log out of time order"));
+        }
+        self.entries = entries;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -225,6 +225,101 @@ impl PrecisionSeries {
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_series() -> impl Strategy<Value = PrecisionSeries> {
+        proptest::collection::vec((0u64..100_000, 0i64..1_000_000), 0..200).prop_map(|mut v| {
+            v.sort_by_key(|(t, _)| *t);
+            let mut s = PrecisionSeries::new();
+            for (t, val) in v {
+                s.push(PrecisionSample {
+                    at: SimTime::from_nanos(t * 1_000_000_000),
+                    value: Nanos::from_nanos(val),
+                    receivers: 6,
+                });
+            }
+            s
+        })
+    }
+
+    proptest! {
+        /// Window aggregation conserves the sample count and brackets
+        /// every window's average between its min and max.
+        #[test]
+        fn aggregation_conserves_and_brackets(series in arb_series(), window_s in 1i64..600) {
+            let windows = series.aggregate(Nanos::from_secs(window_s));
+            let total: usize = windows.iter().map(|w| w.count).sum();
+            prop_assert_eq!(total, series.len());
+            for w in &windows {
+                prop_assert!(w.min <= w.avg && w.avg <= w.max);
+            }
+            // Windows are strictly increasing in start time.
+            for pair in windows.windows(2) {
+                prop_assert!(pair[0].start < pair[1].start);
+            }
+        }
+
+        /// Stats bracket: min ≤ mean ≤ max, and fraction_within is
+        /// monotone in the bound.
+        #[test]
+        fn stats_consistent(series in arb_series(), bound in 0i64..1_000_000) {
+            if let Some(stats) = series.stats() {
+                prop_assert!(stats.min.as_nanos() as f64 <= stats.mean + 1e-9);
+                prop_assert!(stats.mean <= stats.max.as_nanos() as f64 + 1e-9);
+                let f1 = series.fraction_within(Nanos::from_nanos(bound));
+                let f2 = series.fraction_within(Nanos::from_nanos(bound * 2));
+                prop_assert!(f2 >= f1);
+            }
+        }
+
+        /// `precision_of` equals max minus min and is permutation
+        /// invariant.
+        #[test]
+        fn precision_of_properties(mut readings in proptest::collection::vec(-1_000_000i64..1_000_000, 2..20)) {
+            let ct: Vec<ClockTime> = readings.iter().map(|&r| ClockTime::from_nanos(r)).collect();
+            let p = precision_of(&ct).unwrap();
+            readings.sort_unstable();
+            prop_assert_eq!(p.as_nanos(), readings[readings.len() - 1] - readings[0]);
+            prop_assert!(p >= Nanos::ZERO);
+        }
+    }
+}
+
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
+
+impl Snap for PrecisionSample {
+    fn put(&self, w: &mut Writer) {
+        self.at.put(w);
+        self.value.put(w);
+        self.receivers.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(PrecisionSample {
+            at: Snap::get(r)?,
+            value: Snap::get(r)?,
+            receivers: Snap::get(r)?,
+        })
+    }
+}
+
+impl SnapState for PrecisionSeries {
+    fn save_state(&self, w: &mut Writer) {
+        self.samples.put(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let samples: Vec<PrecisionSample> = Snap::get(r)?;
+        if samples.windows(2).any(|p| p[0].at > p[1].at) {
+            return Err(SnapError::Malformed("precision series out of time order"));
+        }
+        self.samples = samples;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -338,68 +433,5 @@ mod tests {
         let mut series = PrecisionSeries::new();
         series.push(sample(5, 1));
         series.push(sample(4, 1));
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-
-    fn arb_series() -> impl Strategy<Value = PrecisionSeries> {
-        proptest::collection::vec((0u64..100_000, 0i64..1_000_000), 0..200).prop_map(|mut v| {
-            v.sort_by_key(|(t, _)| *t);
-            let mut s = PrecisionSeries::new();
-            for (t, val) in v {
-                s.push(PrecisionSample {
-                    at: SimTime::from_nanos(t * 1_000_000_000),
-                    value: Nanos::from_nanos(val),
-                    receivers: 6,
-                });
-            }
-            s
-        })
-    }
-
-    proptest! {
-        /// Window aggregation conserves the sample count and brackets
-        /// every window's average between its min and max.
-        #[test]
-        fn aggregation_conserves_and_brackets(series in arb_series(), window_s in 1i64..600) {
-            let windows = series.aggregate(Nanos::from_secs(window_s));
-            let total: usize = windows.iter().map(|w| w.count).sum();
-            prop_assert_eq!(total, series.len());
-            for w in &windows {
-                prop_assert!(w.min <= w.avg && w.avg <= w.max);
-            }
-            // Windows are strictly increasing in start time.
-            for pair in windows.windows(2) {
-                prop_assert!(pair[0].start < pair[1].start);
-            }
-        }
-
-        /// Stats bracket: min ≤ mean ≤ max, and fraction_within is
-        /// monotone in the bound.
-        #[test]
-        fn stats_consistent(series in arb_series(), bound in 0i64..1_000_000) {
-            if let Some(stats) = series.stats() {
-                prop_assert!(stats.min.as_nanos() as f64 <= stats.mean + 1e-9);
-                prop_assert!(stats.mean <= stats.max.as_nanos() as f64 + 1e-9);
-                let f1 = series.fraction_within(Nanos::from_nanos(bound));
-                let f2 = series.fraction_within(Nanos::from_nanos(bound * 2));
-                prop_assert!(f2 >= f1);
-            }
-        }
-
-        /// `precision_of` equals max minus min and is permutation
-        /// invariant.
-        #[test]
-        fn precision_of_properties(mut readings in proptest::collection::vec(-1_000_000i64..1_000_000, 2..20)) {
-            let ct: Vec<ClockTime> = readings.iter().map(|&r| ClockTime::from_nanos(r)).collect();
-            let p = precision_of(&ct).unwrap();
-            readings.sort_unstable();
-            prop_assert_eq!(p.as_nanos(), readings[readings.len() - 1] - readings[0]);
-            prop_assert!(p >= Nanos::ZERO);
-        }
     }
 }

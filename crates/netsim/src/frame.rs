@@ -181,6 +181,105 @@ impl EthernetFrame {
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_frame() -> impl Strategy<Value = EthernetFrame> {
+        (
+            any::<[u8; 6]>(),
+            any::<[u8; 6]>(),
+            proptest::option::of((0u8..=7, 1u16..=4094)),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..256),
+        )
+            .prop_map(|(dst, src, vlan, ethertype, payload)| EthernetFrame {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                vlan: vlan.map(|(pcp, vid)| VlanTag::new(pcp, vid)),
+                // 0x8100 in the inner ethertype would be a double tag,
+                // which this model does not support.
+                ethertype: if ethertype == ethertype::VLAN {
+                    0x0800
+                } else {
+                    ethertype
+                },
+                payload: Bytes::from(payload),
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(frame in arb_frame()) {
+            let decoded = EthernetFrame::decode(&frame.encode()).expect("decodes");
+            prop_assert_eq!(decoded, frame);
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = EthernetFrame::decode(&bytes);
+        }
+
+        #[test]
+        fn wire_len_matches_encoding(frame in arb_frame()) {
+            prop_assert_eq!(frame.encode().len(), frame.wire_len());
+        }
+    }
+}
+
+use tsn_snapshot::{Reader, Snap, SnapError, Writer};
+
+impl Snap for MacAddr {
+    fn put(&self, w: &mut Writer) {
+        w.put_bytes(&self.0);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(MacAddr(r.take(6)?.try_into().expect("6-byte take")))
+    }
+}
+
+impl Snap for VlanTag {
+    fn put(&self, w: &mut Writer) {
+        self.pcp.put(w);
+        self.vid.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let pcp = u8::get(r)?;
+        let vid = u16::get(r)?;
+        if pcp > 7 || vid == 0 || vid > 4094 {
+            return Err(SnapError::Malformed("vlan tag out of range"));
+        }
+        Ok(VlanTag { pcp, vid })
+    }
+}
+
+impl Snap for EthernetFrame {
+    fn put(&self, w: &mut Writer) {
+        self.dst.put(w);
+        self.src.put(w);
+        self.vlan.put(w);
+        self.ethertype.put(w);
+        self.payload.as_ref().len().put(w);
+        w.put_bytes(self.payload.as_ref());
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let dst = MacAddr::get(r)?;
+        let src = MacAddr::get(r)?;
+        let vlan = Option::<VlanTag>::get(r)?;
+        let ethertype = u16::get(r)?;
+        let n = usize::get(r)?;
+        let payload = Bytes::from(r.take(n)?.to_vec());
+        Ok(EthernetFrame {
+            dst,
+            src,
+            vlan,
+            ethertype,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -251,52 +350,5 @@ mod tests {
     #[should_panic(expected = "VID 0 out of range")]
     fn vlan_vid_zero_rejected() {
         VlanTag::new(0, 0);
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-
-    fn arb_frame() -> impl Strategy<Value = EthernetFrame> {
-        (
-            any::<[u8; 6]>(),
-            any::<[u8; 6]>(),
-            proptest::option::of((0u8..=7, 1u16..=4094)),
-            any::<u16>(),
-            proptest::collection::vec(any::<u8>(), 0..256),
-        )
-            .prop_map(|(dst, src, vlan, ethertype, payload)| EthernetFrame {
-                dst: MacAddr(dst),
-                src: MacAddr(src),
-                vlan: vlan.map(|(pcp, vid)| VlanTag::new(pcp, vid)),
-                // 0x8100 in the inner ethertype would be a double tag,
-                // which this model does not support.
-                ethertype: if ethertype == ethertype::VLAN {
-                    0x0800
-                } else {
-                    ethertype
-                },
-                payload: Bytes::from(payload),
-            })
-    }
-
-    proptest! {
-        #[test]
-        fn roundtrip(frame in arb_frame()) {
-            let decoded = EthernetFrame::decode(&frame.encode()).expect("decodes");
-            prop_assert_eq!(decoded, frame);
-        }
-
-        #[test]
-        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
-            let _ = EthernetFrame::decode(&bytes);
-        }
-
-        #[test]
-        fn wire_len_matches_encoding(frame in arb_frame()) {
-            prop_assert_eq!(frame.encode().len(), frame.wire_len());
-        }
     }
 }

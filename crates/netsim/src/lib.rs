@@ -61,7 +61,7 @@ mod trace;
 pub use frame::{ethertype, DecodeFrameError, EthernetFrame, MacAddr, VlanTag};
 pub use nic::{LaunchOutcome, Nic};
 pub use qdisc::EgressPort;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, CTL_SEQ_BASE};
 pub use rng::SeedSplitter;
 pub use switch::{Fdb, Switch, Vid};
 pub use topology::{DelayModel, DeviceId, DeviceKind, Link, LinkId, PortAddr, PortNo, Topology};

@@ -134,59 +134,6 @@ impl<T> EgressPort<T> {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn idle_port_not_busy() {
-        let port: EgressPort<u32> = EgressPort::new();
-        assert!(!port.is_busy(SimTime::from_secs(1)));
-        assert!(port.is_empty());
-    }
-
-    #[test]
-    fn busy_window_tracks_duration() {
-        let mut port: EgressPort<u32> = EgressPort::new();
-        let t = SimTime::from_millis(5);
-        port.begin_transmission(t, Nanos::from_micros(12));
-        assert!(port.is_busy(t + Nanos::from_micros(11)));
-        assert!(!port.is_busy(t + Nanos::from_micros(12)));
-        assert_eq!(port.busy_until(), t + Nanos::from_micros(12));
-    }
-
-    #[test]
-    fn strict_priority_then_fifo() {
-        let mut port: EgressPort<&str> = EgressPort::new();
-        port.enqueue(0, "be-1");
-        port.enqueue(7, "ptp-1");
-        port.enqueue(0, "be-2");
-        port.enqueue(7, "ptp-2");
-        port.enqueue(6, "probe");
-        let order: Vec<&str> = std::iter::from_fn(|| port.pop_ready().map(|(_, i)| i)).collect();
-        assert_eq!(order, vec!["ptp-1", "ptp-2", "probe", "be-1", "be-2"]);
-    }
-
-    #[test]
-    #[should_panic(expected = "already transmitting")]
-    fn overlapping_transmissions_rejected() {
-        let mut port: EgressPort<u32> = EgressPort::new();
-        let t = SimTime::from_millis(1);
-        port.begin_transmission(t, Nanos::from_micros(10));
-        port.begin_transmission(t + Nanos::from_micros(5), Nanos::from_micros(10));
-    }
-
-    #[test]
-    fn queue_counter_tracks() {
-        let mut port: EgressPort<u32> = EgressPort::new();
-        for i in 0..5 {
-            port.enqueue(0, i);
-        }
-        assert_eq!(port.queued_frames, 5);
-        assert_eq!(port.len(), 5);
-    }
-}
-
-#[cfg(test)]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -244,5 +191,96 @@ mod proptests {
                 t = end; // next transmission starts when this one ends
             }
         }
+    }
+}
+
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
+
+impl<T: Snap> SnapState for EgressPort<T> {
+    fn save_state(&self, w: &mut Writer) {
+        self.busy_until.put(w);
+        self.next_seq.put(w);
+        self.queued_frames.put(w);
+        // Canonical order: the heap key (priority descending, FIFO seq),
+        // which is a total order because seq is unique.
+        let mut entries: Vec<&QEntry<T>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| e.key);
+        entries.len().put(w);
+        for e in entries {
+            e.key.0 .0.put(w);
+            e.key.1.put(w);
+            e.item.put(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.busy_until = Snap::get(r)?;
+        self.next_seq = Snap::get(r)?;
+        self.queued_frames = Snap::get(r)?;
+        let n = usize::get(r)?;
+        self.heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let prio = u8::get(r)?;
+            let seq = u64::get(r)?;
+            let item = T::get(r)?;
+            self.heap.push(QEntry {
+                key: (Reverse(prio), seq),
+                item,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_port_not_busy() {
+        let port: EgressPort<u32> = EgressPort::new();
+        assert!(!port.is_busy(SimTime::from_secs(1)));
+        assert!(port.is_empty());
+    }
+
+    #[test]
+    fn busy_window_tracks_duration() {
+        let mut port: EgressPort<u32> = EgressPort::new();
+        let t = SimTime::from_millis(5);
+        port.begin_transmission(t, Nanos::from_micros(12));
+        assert!(port.is_busy(t + Nanos::from_micros(11)));
+        assert!(!port.is_busy(t + Nanos::from_micros(12)));
+        assert_eq!(port.busy_until(), t + Nanos::from_micros(12));
+    }
+
+    #[test]
+    fn strict_priority_then_fifo() {
+        let mut port: EgressPort<&str> = EgressPort::new();
+        port.enqueue(0, "be-1");
+        port.enqueue(7, "ptp-1");
+        port.enqueue(0, "be-2");
+        port.enqueue(7, "ptp-2");
+        port.enqueue(6, "probe");
+        let order: Vec<&str> = std::iter::from_fn(|| port.pop_ready().map(|(_, i)| i)).collect();
+        assert_eq!(order, vec!["ptp-1", "ptp-2", "probe", "be-1", "be-2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already transmitting")]
+    fn overlapping_transmissions_rejected() {
+        let mut port: EgressPort<u32> = EgressPort::new();
+        let t = SimTime::from_millis(1);
+        port.begin_transmission(t, Nanos::from_micros(10));
+        port.begin_transmission(t + Nanos::from_micros(5), Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn queue_counter_tracks() {
+        let mut port: EgressPort<u32> = EgressPort::new();
+        for i in 0..5 {
+            port.enqueue(0, i);
+        }
+        assert_eq!(port.queued_frames, 5);
+        assert_eq!(port.len(), 5);
     }
 }

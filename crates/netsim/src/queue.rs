@@ -6,7 +6,19 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
 use tsn_time::{Nanos, SimTime};
+
+/// First sequence number of the *control* event space.
+///
+/// Control events (fault injections, attacker strikes) draw their tie-break
+/// sequence numbers from a separate counter starting here, so that adding
+/// or removing scheduled interventions never perturbs the tie-break order
+/// of ordinary data events. This is what makes two configurations that
+/// differ only in post-warmup interventions evolve byte-identically until
+/// the first intervention fires — the invariant fork-based campaign
+/// execution rests on.
+pub const CTL_SEQ_BASE: u64 = 1 << 63;
 
 #[derive(Debug)]
 struct Scheduled<E> {
@@ -54,6 +66,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     now: SimTime,
     next_seq: u64,
+    next_ctl: u64,
     popped: u64,
 }
 
@@ -70,6 +83,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
+            next_ctl: CTL_SEQ_BASE,
             popped: 0,
         }
     }
@@ -108,6 +122,85 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules a *control* event (fault injection, attacker strike) at
+    /// absolute time `at`.
+    ///
+    /// Control events take sequence numbers from a separate space above
+    /// [`CTL_SEQ_BASE`], so scheduling them does not consume data-event
+    /// sequence numbers: configurations that differ only in their control
+    /// schedule stay byte-identical until the first control event fires.
+    /// On a time tie a control event sorts *after* every data event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_ctl_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled at {at}, before current time {}",
+            self.now
+        );
+        let seq = self.next_ctl;
+        self.next_ctl += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Removes and returns all pending control events as
+    /// `(time, sequence, event)` triples, sorted by `(time, sequence)`.
+    ///
+    /// Restore uses this to reconcile a rebuilt world's control schedule
+    /// with a checkpoint that predates any control event (see
+    /// [`EventQueue::insert_raw`]).
+    pub fn drain_ctl(&mut self) -> Vec<(SimTime, u64, E)> {
+        let mut ctl = Vec::new();
+        let mut keep = BinaryHeap::with_capacity(self.heap.len());
+        for Reverse(s) in self.heap.drain() {
+            if s.seq >= CTL_SEQ_BASE {
+                ctl.push((s.at, s.seq, s.event));
+            } else {
+                keep.push(Reverse(s));
+            }
+        }
+        self.heap = keep;
+        ctl.sort_by_key(|&(at, seq, _)| (at, seq));
+        ctl
+    }
+
+    /// Number of pending control events.
+    pub fn ctl_len(&self) -> usize {
+        self.heap
+            .iter()
+            .filter(|Reverse(s)| s.seq >= CTL_SEQ_BASE)
+            .count()
+    }
+
+    /// Next sequence number of the control space (equals
+    /// [`CTL_SEQ_BASE`] while no control event has ever been scheduled).
+    pub fn next_ctl_seq(&self) -> u64 {
+        self.next_ctl
+    }
+
+    /// Re-inserts an event with an explicit sequence number, bumping the
+    /// owning sequence counter past it. Restore-only: the caller is
+    /// responsible for sequence uniqueness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn insert_raw(&mut self, at: SimTime, seq: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "event inserted at {at}, before current time {}",
+            self.now
+        );
+        if seq >= CTL_SEQ_BASE {
+            self.next_ctl = self.next_ctl.max(seq + 1);
+        } else {
+            self.next_seq = self.next_seq.max(seq + 1);
+        }
         self.heap.push(Reverse(Scheduled { at, seq, event }));
     }
 
@@ -188,5 +281,128 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+}
+
+impl<E: Snap> SnapState for EventQueue<E> {
+    fn save_state(&self, w: &mut Writer) {
+        self.now.put(w);
+        self.next_seq.put(w);
+        self.next_ctl.put(w);
+        self.popped.put(w);
+        // The heap's internal layout is insertion-order dependent; the
+        // canonical encoding is the (time, seq) sort, which the total
+        // order on `Scheduled` makes unique.
+        let mut entries: Vec<&Scheduled<E>> = self.heap.iter().map(|Reverse(s)| s).collect();
+        entries.sort_by_key(|s| (s.at, s.seq));
+        entries.len().put(w);
+        for s in entries {
+            s.at.put(w);
+            s.seq.put(w);
+            s.event.put(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.now = Snap::get(r)?;
+        self.next_seq = Snap::get(r)?;
+        self.next_ctl = Snap::get(r)?;
+        self.popped = Snap::get(r)?;
+        let n = usize::get(r)?;
+        self.heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let at = SimTime::get(r)?;
+            let seq = u64::get(r)?;
+            let event = E::get(r)?;
+            if at < self.now {
+                return Err(SnapError::Malformed("queued event before current time"));
+            }
+            self.heap.push(Reverse(Scheduled { at, seq, event }));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod snap_tests {
+    use super::*;
+
+    fn encoded<E: Snap>(q: &EventQueue<E>) -> Vec<u8> {
+        let mut w = Writer::new();
+        q.save_state(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn ctl_events_use_their_own_sequence_space() {
+        let mut with_ctl = EventQueue::new();
+        let mut without = EventQueue::new();
+        for q in [&mut with_ctl, &mut without] {
+            q.schedule_at(SimTime::from_millis(1), 1u64);
+            q.schedule_at(SimTime::from_millis(2), 2u64);
+        }
+        with_ctl.schedule_ctl_at(SimTime::from_millis(9), 9u64);
+        // The data event scheduled *after* the control event gets the
+        // same sequence number in both queues.
+        with_ctl.schedule_at(SimTime::from_millis(3), 3u64);
+        without.schedule_at(SimTime::from_millis(3), 3u64);
+        with_ctl.drain_ctl();
+        // Identical except for the ctl counter itself (bytes 16..24 of
+        // the layout: now, next_seq, next_ctl, popped, entries).
+        let (a, b) = (encoded(&with_ctl), encoded(&without));
+        assert_eq!(a[..16], b[..16]);
+        assert_eq!(a[24..], b[24..]);
+    }
+
+    #[test]
+    fn ctl_sorts_after_data_on_time_tie() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule_ctl_at(t, "ctl");
+        q.schedule_at(t, "data");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("data"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("ctl"));
+        assert_eq!(q.next_ctl_seq(), CTL_SEQ_BASE + 1);
+    }
+
+    #[test]
+    fn drain_and_reinsert_roundtrips() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(1), 10u64);
+        q.schedule_ctl_at(SimTime::from_millis(4), 40u64);
+        q.schedule_ctl_at(SimTime::from_millis(2), 20u64);
+        let before = encoded(&q);
+        let ctl = q.drain_ctl();
+        assert_eq!(ctl.len(), 2);
+        assert_eq!(q.ctl_len(), 0);
+        assert_eq!(q.len(), 1);
+        for (at, seq, ev) in ctl {
+            q.insert_raw(at, seq, ev);
+        }
+        assert_eq!(encoded(&q), before);
+        assert_eq!(q.next_ctl_seq(), CTL_SEQ_BASE + 2);
+    }
+
+    #[test]
+    fn save_load_is_byte_exact() {
+        let mut q = EventQueue::new();
+        for i in 0..20u64 {
+            q.schedule_at(SimTime::from_nanos(i % 7), i);
+        }
+        q.schedule_ctl_at(SimTime::from_millis(1), 99);
+        q.pop();
+        q.pop();
+        let bytes = encoded(&q);
+        let mut fresh: EventQueue<u64> = EventQueue::new();
+        fresh.load_state(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(encoded(&fresh), bytes);
+        // Both queues pop identically from here on.
+        loop {
+            let (a, b) = (q.pop(), fresh.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -487,6 +487,39 @@ impl Topology {
     }
 }
 
+use tsn_snapshot::{Reader, Snap, SnapError, Writer};
+
+impl Snap for DeviceId {
+    fn put(&self, w: &mut Writer) {
+        self.0.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(DeviceId(usize::get(r)?))
+    }
+}
+
+impl Snap for PortNo {
+    fn put(&self, w: &mut Writer) {
+        self.0.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(PortNo(u8::get(r)?))
+    }
+}
+
+impl Snap for PortAddr {
+    fn put(&self, w: &mut Writer) {
+        self.device.put(w);
+        self.port.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(PortAddr {
+            device: Snap::get(r)?,
+            port: Snap::get(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,6 +111,54 @@ impl FrameTrace {
     }
 }
 
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
+
+impl Snap for TraceDir {
+    fn put(&self, w: &mut Writer) {
+        (matches!(self, TraceDir::Rx) as u8).put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match u8::get(r)? {
+            0 => Ok(TraceDir::Tx),
+            1 => Ok(TraceDir::Rx),
+            _ => Err(SnapError::Malformed("trace direction discriminant")),
+        }
+    }
+}
+
+impl Snap for TraceEntry {
+    fn put(&self, w: &mut Writer) {
+        self.at.put(w);
+        self.port.put(w);
+        self.dir.put(w);
+        self.summary.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(TraceEntry {
+            at: Snap::get(r)?,
+            port: Snap::get(r)?,
+            dir: Snap::get(r)?,
+            summary: Snap::get(r)?,
+        })
+    }
+}
+
+impl SnapState for FrameTrace {
+    fn save_state(&self, w: &mut Writer) {
+        self.total.put(w);
+        self.entries.put(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.total = Snap::get(r)?;
+        self.entries = Snap::get(r)?;
+        if self.entries.len() > self.capacity {
+            return Err(SnapError::Malformed("trace exceeds capacity"));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -177,6 +177,110 @@ impl Phc {
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Read(u64),
+        AdjFreq(u64, f64),
+        WanderTo(u64, f64),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..1_000_000_000).prop_map(Op::Read),
+            (0u64..1_000_000_000, -900_000.0f64..900_000.0).prop_map(|(t, p)| Op::AdjFreq(t, p)),
+            (0u64..1_000_000_000, -5_000.0f64..5_000.0).prop_map(|(t, p)| Op::WanderTo(t, p)),
+        ]
+    }
+
+    proptest! {
+        /// Readings never go backwards under any sequence of frequency
+        /// adjustments and wander steps (only explicit `step` may move a
+        /// clock backwards).
+        #[test]
+        fn monotone_under_adjustments(mut ops in proptest::collection::vec(arb_op(), 1..50)) {
+            // Apply operations in time order.
+            ops.sort_by_key(|op| match op {
+                Op::Read(t) | Op::AdjFreq(t, _) | Op::WanderTo(t, _) => *t,
+            });
+            let mut phc = Phc::new(ClockTime::ZERO, 1_000.0);
+            let mut last = ClockTime::from_nanos(i64::MIN);
+            for op in ops {
+                match op {
+                    Op::Read(t) => {
+                        let now = phc.now(SimTime::from_nanos(t));
+                        prop_assert!(now >= last, "clock went backwards");
+                        last = now;
+                    }
+                    Op::AdjFreq(t, ppb) => {
+                        phc.adj_frequency(SimTime::from_nanos(t), ppb);
+                    }
+                    Op::WanderTo(t, ppb) => {
+                        phc.set_oscillator_deviation(SimTime::from_nanos(t), ppb);
+                    }
+                }
+            }
+        }
+
+        /// Readings are continuous across adjustments: adjusting at time
+        /// t never changes the reading at t by more than rounding.
+        #[test]
+        fn continuous_across_adjustment(
+            t in 1u64..1_000_000_000,
+            ppb in -900_000.0f64..900_000.0,
+        ) {
+            let mut phc = Phc::new(ClockTime::ZERO, 2_500.0);
+            let at = SimTime::from_nanos(t);
+            let before = phc.now(at);
+            phc.adj_frequency(at, ppb);
+            let after = phc.now(at);
+            prop_assert!((after - before).abs() <= Nanos::from_nanos(1));
+        }
+
+        /// `when_reads` inverts `now` to within rounding.
+        #[test]
+        fn when_reads_is_inverse(
+            dev in -100_000.0f64..100_000.0,
+            target_delta in 1i64..10_000_000_000,
+        ) {
+            let mut phc = Phc::new(ClockTime::ZERO, dev);
+            let now = SimTime::from_secs(1);
+            let target = phc.now(now) + Nanos::from_nanos(target_delta);
+            let when = phc.when_reads(now, target).expect("future target");
+            let reading = phc.now(when);
+            prop_assert!(reading >= target);
+            prop_assert!((reading - target).as_nanos() <= 2);
+        }
+    }
+}
+
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
+
+impl SnapState for Phc {
+    fn save_state(&self, w: &mut Writer) {
+        self.anchor_true.put(w);
+        self.anchor_clock_ns.put(w);
+        self.osc_deviation_ppb.put(w);
+        self.freq_adj_ppb.put(w);
+        self.high_water_ns.put(w);
+        self.monotonic.put(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.anchor_true = Snap::get(r)?;
+        self.anchor_clock_ns = Snap::get(r)?;
+        self.osc_deviation_ppb = Snap::get(r)?;
+        self.freq_adj_ppb = Snap::get(r)?;
+        self.high_water_ns = Snap::get(r)?;
+        self.monotonic = Snap::get(r)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -293,86 +397,5 @@ mod tests {
     fn epoch_offset_respected() {
         let mut phc = Phc::new(ClockTime::from_nanos(1_000_000), 0.0);
         assert_eq!(phc.now(SimTime::ZERO).as_nanos(), 1_000_000);
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-
-    #[derive(Debug, Clone)]
-    enum Op {
-        Read(u64),
-        AdjFreq(u64, f64),
-        WanderTo(u64, f64),
-    }
-
-    fn arb_op() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0u64..1_000_000_000).prop_map(Op::Read),
-            (0u64..1_000_000_000, -900_000.0f64..900_000.0).prop_map(|(t, p)| Op::AdjFreq(t, p)),
-            (0u64..1_000_000_000, -5_000.0f64..5_000.0).prop_map(|(t, p)| Op::WanderTo(t, p)),
-        ]
-    }
-
-    proptest! {
-        /// Readings never go backwards under any sequence of frequency
-        /// adjustments and wander steps (only explicit `step` may move a
-        /// clock backwards).
-        #[test]
-        fn monotone_under_adjustments(mut ops in proptest::collection::vec(arb_op(), 1..50)) {
-            // Apply operations in time order.
-            ops.sort_by_key(|op| match op {
-                Op::Read(t) | Op::AdjFreq(t, _) | Op::WanderTo(t, _) => *t,
-            });
-            let mut phc = Phc::new(ClockTime::ZERO, 1_000.0);
-            let mut last = ClockTime::from_nanos(i64::MIN);
-            for op in ops {
-                match op {
-                    Op::Read(t) => {
-                        let now = phc.now(SimTime::from_nanos(t));
-                        prop_assert!(now >= last, "clock went backwards");
-                        last = now;
-                    }
-                    Op::AdjFreq(t, ppb) => {
-                        phc.adj_frequency(SimTime::from_nanos(t), ppb);
-                    }
-                    Op::WanderTo(t, ppb) => {
-                        phc.set_oscillator_deviation(SimTime::from_nanos(t), ppb);
-                    }
-                }
-            }
-        }
-
-        /// Readings are continuous across adjustments: adjusting at time
-        /// t never changes the reading at t by more than rounding.
-        #[test]
-        fn continuous_across_adjustment(
-            t in 1u64..1_000_000_000,
-            ppb in -900_000.0f64..900_000.0,
-        ) {
-            let mut phc = Phc::new(ClockTime::ZERO, 2_500.0);
-            let at = SimTime::from_nanos(t);
-            let before = phc.now(at);
-            phc.adj_frequency(at, ppb);
-            let after = phc.now(at);
-            prop_assert!((after - before).abs() <= Nanos::from_nanos(1));
-        }
-
-        /// `when_reads` inverts `now` to within rounding.
-        #[test]
-        fn when_reads_is_inverse(
-            dev in -100_000.0f64..100_000.0,
-            target_delta in 1i64..10_000_000_000,
-        ) {
-            let mut phc = Phc::new(ClockTime::ZERO, dev);
-            let now = SimTime::from_secs(1);
-            let target = phc.now(now) + Nanos::from_nanos(target_delta);
-            let when = phc.when_reads(now, target).expect("future target");
-            let reading = phc.now(when);
-            prop_assert!(reading >= target);
-            prop_assert!((reading - target).as_nanos() <= 2);
-        }
     }
 }

@@ -1,0 +1,114 @@
+//! Tier-1: checkpoint/restore determinism.
+//!
+//! The fork-based campaign engine rests on three properties checked
+//! here: a snapshot round-trips byte-exactly, a restored world continues
+//! byte-identically to the uninterrupted original, and a warm-prefix
+//! snapshot forked into a full configuration (interventions re-armed)
+//! reproduces the cold run exactly.
+
+use clocksync::snapshot::{checkpoint_time, warm_prefix_config};
+use clocksync::{TestbedConfig, World, WorldSnapshot};
+use tsn_faults::{AttackPlan, CveId, KernelAssignment, Strike};
+use tsn_time::{Nanos, SimTime};
+
+fn short_cfg(seed: u64) -> TestbedConfig {
+    TestbedConfig {
+        warmup: Nanos::from_secs(5),
+        duration: Nanos::from_secs(8),
+        ..TestbedConfig::quick(seed)
+    }
+}
+
+/// A strike shortly after the warm-up, well inside the short duration.
+fn short_attack() -> AttackPlan {
+    AttackPlan::new(vec![Strike {
+        at: SimTime::from_secs(2),
+        target_node: 3,
+        cve: CveId::Cve2018_18955,
+        pot_offset: Nanos::from_micros(-24),
+    }])
+}
+
+#[test]
+fn snapshot_roundtrips_byte_exactly() {
+    let cfg = short_cfg(11);
+    let mut world = World::new(cfg.clone());
+    world.run_until(SimTime::from_secs(3));
+    let snap = world.snapshot();
+    // Envelope encode/decode is the identity.
+    let decoded = WorldSnapshot::decode(&snap.encode()).expect("decode");
+    assert_eq!(decoded, snap);
+    // Restore into the same configuration reproduces the state bytes.
+    let restored = World::restore(cfg, &snap).expect("restore");
+    let again = restored.snapshot();
+    assert_eq!(again.payload, snap.payload);
+    assert_eq!(again.state_hash(), snap.state_hash());
+    assert_eq!(again.at_ns, snap.at_ns);
+    assert_eq!(again.events_processed, snap.events_processed);
+}
+
+#[test]
+fn restore_rejects_foreign_config() {
+    let cfg = short_cfg(11);
+    let mut world = World::new(cfg.clone());
+    world.run_until(SimTime::from_secs(1));
+    let snap = world.snapshot();
+    let other = short_cfg(12);
+    assert!(World::restore(other, &snap).is_err());
+}
+
+#[test]
+fn restored_world_continues_identically() {
+    let cfg = short_cfg(23);
+    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
+
+    let mut cold = World::new(cfg.clone());
+    cold.run_until(end);
+
+    let mut warm = World::new(cfg.clone());
+    warm.run_until(SimTime::from_secs(4));
+    let snap = warm.snapshot();
+    let mut resumed = World::restore(cfg, &snap).expect("restore");
+    resumed.run_until(end);
+
+    assert_eq!(resumed.events_processed(), cold.events_processed());
+    assert_eq!(resumed.state_hash(), cold.state_hash());
+
+    let a = cold.into_result();
+    let b = resumed.into_result();
+    assert_eq!(a.series, b.series);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn forked_prefix_reproduces_cold_run_with_interventions() {
+    let mut cfg = short_cfg(37);
+    cfg.attack = short_attack();
+    cfg.kernels = KernelAssignment::identical(cfg.nodes);
+    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
+
+    // Cold: the full configuration from t = 0.
+    let mut cold = World::new(cfg.clone());
+    cold.run_until(end);
+
+    // Fork: simulate only the warm-prefix projection to the checkpoint,
+    // then restore into the full configuration (which re-arms the
+    // stripped strike) and continue.
+    let cp = checkpoint_time(&cfg).expect("has warmup");
+    let mut prefix = World::new(warm_prefix_config(&cfg));
+    prefix.run_until(cp);
+    let snap = prefix.snapshot();
+
+    let mut forked = World::restore(cfg, &snap).expect("fork restore");
+    forked.run_until(end);
+
+    assert_eq!(forked.state_hash(), cold.state_hash());
+    let a = cold.into_result();
+    let b = forked.into_result();
+    assert_eq!(a.series, b.series);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.counters, b.counters);
+    // The intervention actually fired in both.
+    assert_eq!(a.counters.strikes_succeeded, 1);
+}

@@ -12,6 +12,25 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// The raw xoshiro256++ state, for checkpointing. Restoring via
+    /// [`StdRng::from_state`] resumes the stream exactly.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with [`StdRng::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state, which xoshiro cannot occupy and
+    /// which therefore indicates a corrupt checkpoint.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0; 4], "all-zero xoshiro state");
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     type Seed = [u8; 32];
 
