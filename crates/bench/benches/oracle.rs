@@ -1,0 +1,43 @@
+//! Overhead of the runtime invariant oracle (`tsn-oracle`).
+//!
+//! Benchmarks the same short quick-preset simulation with the oracle
+//! disabled and enabled (`World::enable_oracle`). The oracle is meant
+//! to be cheap enough to leave on in CI campaigns — the acceptance
+//! target is < 15 % wall-clock overhead — and exactly zero-cost when
+//! disabled (a `None` check per event).
+
+use clocksync::{TestbedConfig, World};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tsn_time::Nanos;
+
+fn short_cfg(seed: u64) -> TestbedConfig {
+    TestbedConfig {
+        warmup: Nanos::from_secs(2),
+        duration: Nanos::from_secs(4),
+        ..TestbedConfig::quick(seed)
+    }
+}
+
+fn bench_oracle_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(10);
+    group.bench_function("run_plain", |b| {
+        b.iter(|| {
+            let world = World::new(black_box(short_cfg(7)));
+            world.run()
+        })
+    });
+    group.bench_function("run_checked", |b| {
+        b.iter(|| {
+            let mut world = World::new(black_box(short_cfg(7)));
+            world.enable_oracle();
+            let result = world.run();
+            assert!(result.violations.is_empty());
+            result
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_overhead);
+criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! campaigns.
 //!
 //! ```text
-//! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork]
-//! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork]
+//! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check]
+//! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check]
 //! campaign summarize --dir DIR [--json]
 //! campaign diff      --baseline DIR --candidate DIR [--tol-violation F]
 //!                    [--tol-p95-rel F] [--tol-p95-ns F]
@@ -16,6 +16,10 @@
 //! `diff` read the spec back from each campaign directory's
 //! `manifest.json`, so they need no spec argument. `diff` exits 0 on
 //! parity, 1 on regression, 2 on error/incomparable campaigns.
+//!
+//! `--check` arms the runtime invariant oracle (`tsn-oracle`) on every
+//! executed run: violations are printed to stderr and the command exits
+//! 1 if any were found. Artifacts are byte-identical either way.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -23,15 +27,16 @@ use tsn_campaign::json::Json;
 use tsn_campaign::{runner, summary, CampaignSpec, DiffTolerance, RunnerOptions};
 
 const USAGE: &str = "usage:
-  campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork]
-  campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork]
+  campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check]
+  campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check]
   campaign summarize --dir DIR [--json]
   campaign diff      --baseline DIR --candidate DIR [--tol-violation F] [--tol-p95-rel F] [--tol-p95-ns F]
   campaign spec      --builtin NAME
   campaign list
 
 built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval
-exit codes (diff): 0 parity, 1 regression, 2 error";
+exit codes (diff): 0 parity, 1 regression, 2 error
+exit codes (run --check): 0 clean, 1 invariant violation(s), 2 error";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -139,7 +144,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(
         args,
         &["--builtin", "--spec", "--dir", "--threads"],
-        &["--quiet", "--fork"],
+        &["--quiet", "--fork", "--check"],
     )?;
     let spec = load_spec(&flags)?;
     let dir = flags
@@ -151,6 +156,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         threads: flags.get_parsed::<usize>("--threads")?.unwrap_or(0),
         quiet: flags.has("--quiet"),
         fork: flags.has("--fork"),
+        check: flags.has("--check"),
     };
     let report = runner::execute(&spec, &opts).map_err(|e| e.to_string())?;
     println!(
@@ -169,6 +175,17 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     print!("{}", summary::render(&summary::summarize(&report.records)));
+    if opts.check {
+        if report.violations.is_empty() {
+            println!("check: no invariant violations");
+        } else {
+            eprintln!("check: {} invariant violation(s):", report.violations.len());
+            for v in &report.violations {
+                eprintln!("  {v}");
+            }
+            return Ok(ExitCode::from(1));
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 

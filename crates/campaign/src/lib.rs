@@ -41,6 +41,6 @@ pub mod summary;
 
 pub use artifact::RunRecord;
 pub use matrix::{expand, Coord, RunPlan};
-pub use runner::{CampaignReport, RunnerOptions};
+pub use runner::{CampaignReport, RunViolation, RunnerOptions};
 pub use spec::{BaseSpec, CampaignSpec, Grid, KernelChoice, Preset};
 pub use summary::{DiffTolerance, DiffVerdict, GroupSummary};

@@ -10,7 +10,7 @@
 //! base configuration and coordinate, which names its artifact and
 //! keys resume.
 
-use crate::spec::{BaseSpec, CampaignSpec, KernelChoice};
+use crate::spec::{BaseSpec, CampaignSpec, KernelChoice, SpecError};
 use clocksync::scenario::ScenarioKind;
 use clocksync::TestbedConfig;
 use tsn_faults::{InjectorConfig, KernelAssignment};
@@ -106,12 +106,13 @@ pub struct RunPlan {
 
 /// Expands a spec into its run matrix, in canonical order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the spec is invalid; call [`CampaignSpec::validate`] first
-/// when handling untrusted input.
-pub fn expand(spec: &CampaignSpec) -> Vec<RunPlan> {
-    spec.validate().expect("invalid campaign spec");
+/// Returns the [`SpecError`] of [`CampaignSpec::validate`] when the spec
+/// is invalid (untrusted input never panics; the CLI maps this to
+/// exit 2).
+pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
+    spec.validate()?;
     let base_fingerprint = spec.base.to_fingerprint();
     let mut plans = Vec::with_capacity(spec.total_runs());
     // Fixed nesting: scenario, then the sweep axes, seeds innermost so
@@ -140,7 +141,7 @@ pub fn expand(spec: &CampaignSpec) -> Vec<RunPlan> {
             }
         }
     }
-    plans
+    Ok(plans)
 }
 
 /// An axis as its `Some`-wrapped values, or a single `None` when the
@@ -253,7 +254,7 @@ mod tests {
     #[test]
     fn expansion_is_complete_and_ordered() {
         let spec = tiny_spec();
-        let plans = expand(&spec);
+        let plans = expand(&spec).expect("valid spec");
         assert_eq!(plans.len(), spec.total_runs());
         assert_eq!(plans.len(), 8);
         for (i, p) in plans.iter().enumerate() {
@@ -269,8 +270,8 @@ mod tests {
     #[test]
     fn derived_seeds_are_coordinate_pure() {
         let spec = tiny_spec();
-        let a = expand(&spec);
-        let b = expand(&spec);
+        let a = expand(&spec).expect("valid spec");
+        let b = expand(&spec).expect("valid spec");
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.seed, y.seed);
             assert_eq!(x.hash, y.hash);
@@ -287,7 +288,7 @@ mod tests {
         // dom=4, seed=1) is index 4: same prefix coordinates, so the
         // scenario variants are paired (same derived seed) while their
         // artifacts stay distinct (different content hashes).
-        let plans = expand(&tiny_spec());
+        let plans = expand(&tiny_spec()).expect("valid spec");
         assert_eq!(plans[0].seed, plans[4].seed);
         assert_ne!(plans[0].hash, plans[4].hash);
         assert_eq!(plans[0].coord.prefix_label(), plans[4].coord.prefix_label());
@@ -298,8 +299,8 @@ mod tests {
         let spec = tiny_spec();
         let mut longer = spec.clone();
         longer.base.duration_s = Some(20);
-        let a = expand(&spec);
-        let b = expand(&longer);
+        let a = expand(&spec).expect("valid spec");
+        let b = expand(&longer).expect("valid spec");
         assert_ne!(a[0].hash, b[0].hash);
         // Coordinate (and thus derived seed) is unchanged.
         assert_eq!(a[0].seed, b[0].seed);
@@ -326,7 +327,7 @@ mod tests {
                 ],
             },
         };
-        let plans = expand(&spec);
+        let plans = expand(&spec).expect("valid spec");
         assert_eq!(plans.len(), 2 * 2 * 2 * 2 * 2 * 2);
         for p in &plans {
             // `materialize` already ran validate(); check axis effects.

@@ -40,6 +40,13 @@ pub struct RunnerOptions {
     /// continuations from it. Artifacts are byte-identical to cold
     /// execution; only the work is shared.
     pub fork: bool,
+    /// Enable the runtime invariant oracle ([`World::enable_oracle`])
+    /// for every executed run and collect violations into
+    /// [`CampaignReport::violations`]. Artifacts stay byte-identical to
+    /// an unchecked campaign. Implies cold execution: forked runs skip
+    /// the warm prefix, which would blind the oracle's frame-conservation
+    /// ledger, so `check` overrides [`RunnerOptions::fork`].
+    pub check: bool,
 }
 
 impl RunnerOptions {
@@ -51,6 +58,7 @@ impl RunnerOptions {
             threads: 0,
             quiet: false,
             fork: false,
+            check: false,
         }
     }
 
@@ -85,6 +93,27 @@ pub struct CampaignReport {
     /// Events that were *not* re-simulated thanks to forking: for each
     /// group, (members − 1) × events in the shared prefix.
     pub prefix_events_skipped: u64,
+    /// Invariant violations reported by the oracle, in canonical matrix
+    /// order (empty unless [`RunnerOptions::check`] was set). Only runs
+    /// executed by this invocation are checked — resumed artifacts carry
+    /// no oracle state.
+    pub violations: Vec<RunViolation>,
+}
+
+/// One oracle violation attributed to the run that produced it.
+#[derive(Debug, Clone)]
+pub struct RunViolation {
+    /// Canonical coordinate label ([`crate::matrix::Coord::label`]) of
+    /// the offending run.
+    pub run: String,
+    /// The structured violation record.
+    pub record: tsn_metrics::ViolationRecord,
+}
+
+impl std::fmt::Display for RunViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.run, self.record)
+    }
 }
 
 /// Executes (or resumes) a campaign spec into `opts.dir`.
@@ -92,11 +121,10 @@ pub struct CampaignReport {
 /// Writes `manifest.json` and one `runs/run-<hash>.jsonl` per run, then
 /// returns every record in canonical order.
 pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<CampaignReport> {
-    spec.validate()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let plans = expand(spec)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("invalid spec: {e}")))?;
     let runs_dir = opts.dir.join("runs");
     std::fs::create_dir_all(&runs_dir)?;
-    let plans = expand(spec);
     write_atomic(
         &opts.dir.join("manifest.json"),
         &manifest(spec, &plans).render(),
@@ -123,7 +151,10 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
     // checkpoint (phase 2). Singleton groups gain nothing and run cold.
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut group_of: Vec<Option<usize>> = vec![None; pending.len()];
-    if opts.fork {
+    if opts.fork && opts.check && !opts.quiet && !pending.is_empty() {
+        eprintln!("check: oracle enabled, running cold (fork disabled)");
+    }
+    if opts.fork && !opts.check {
         let mut by_fp: Vec<(u64, usize)> = Vec::new();
         for (i, plan) in pending.iter().enumerate() {
             if checkpoint_time(&plan.config).is_none() {
@@ -193,10 +224,12 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
     // Phase 2: every pending run — forked members restore the group's
     // checkpoint and continue; the rest run cold from t = 0. Either way
     // the artifact bytes are identical (checked by tests/fork.rs).
+    let mut violations: Vec<RunViolation> = Vec::new();
     if !pending.is_empty() {
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let fresh: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::with_capacity(pending.len()));
+        let found: Mutex<Vec<(usize, RunViolation)>> = Mutex::new(Vec::new());
         let io_error: Mutex<Option<io::Error>> = Mutex::new(None);
         let progress = Progress::new(pending.len(), skipped, opts.quiet);
         std::thread::scope(|scope| {
@@ -205,8 +238,8 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(plan) = pending.get(i) else { break };
                     let snap = group_of[i].and_then(|g| snapshots[g].as_ref());
-                    let record = match run_one(spec, plan, snap) {
-                        Ok(record) => record,
+                    let (record, run_violations) = match run_one(spec, plan, snap, opts.check) {
+                        Ok(out) => out,
                         Err(e) => {
                             let mut slot = io_error.lock().expect("io_error lock");
                             slot.get_or_insert(e);
@@ -218,6 +251,19 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
                         let mut slot = io_error.lock().expect("io_error lock");
                         slot.get_or_insert(e);
                         break;
+                    }
+                    if !run_violations.is_empty() {
+                        let label = plan.coord.label();
+                        let mut sink = found.lock().expect("violations lock");
+                        sink.extend(run_violations.into_iter().map(|record| {
+                            (
+                                plan.index,
+                                RunViolation {
+                                    run: label.clone(),
+                                    record,
+                                },
+                            )
+                        }));
                     }
                     fresh
                         .lock()
@@ -235,6 +281,9 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
         for (index, record) in fresh.into_inner().expect("records lock") {
             records[index] = Some(record);
         }
+        let mut found = found.into_inner().expect("violations lock");
+        found.sort_by_key(|(index, _)| *index); // stable: keeps per-run order
+        violations = found.into_iter().map(|(_, v)| v).collect();
     }
 
     let executed = pending.len();
@@ -259,16 +308,21 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
         forked_groups,
         prefix_runs,
         prefix_events_skipped,
+        violations,
     })
 }
 
 /// Executes one run, either cold from `t = 0` or forked from a shared
-/// warm-prefix checkpoint. Both paths end in the same [`RunRecord`].
+/// warm-prefix checkpoint. Both paths end in the same [`RunRecord`];
+/// with `check` the cold path additionally arms the invariant oracle
+/// and returns whatever it reported (the oracle never alters the
+/// simulation, so the record is unaffected).
 fn run_one(
     spec: &CampaignSpec,
     plan: &RunPlan,
     snap: Option<&WorldSnapshot>,
-) -> io::Result<RunRecord> {
+    check: bool,
+) -> io::Result<(RunRecord, Vec<tsn_metrics::ViolationRecord>)> {
     let result = match snap {
         Some(snap) => {
             let mut world = World::restore(plan.config.clone(), snap).map_err(|e| {
@@ -281,19 +335,26 @@ fn run_one(
             world.run_until(end);
             world.into_result()
         }
-        None => clocksync::scenario::run(plan.config.clone()).result,
+        None => {
+            let mut world = World::new(plan.config.clone());
+            if check {
+                world.enable_oracle();
+            }
+            world.run()
+        }
     };
-    Ok(RunRecord::new(&spec.name, plan, &result))
+    let record = RunRecord::new(&spec.name, plan, &result);
+    Ok((record, result.violations))
 }
 
 /// Loads every artifact of a previously executed campaign directory, in
 /// canonical order. Fails if any run is missing (the campaign must be
 /// `run` to completion first).
 pub fn load(spec: &CampaignSpec, dir: &Path) -> io::Result<Vec<RunRecord>> {
-    spec.validate()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let plans = expand(spec)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("invalid spec: {e}")))?;
     let runs_dir = dir.join("runs");
-    expand(spec)
+    plans
         .iter()
         .map(|plan| {
             resume_record(&runs_dir, plan).ok_or_else(|| {

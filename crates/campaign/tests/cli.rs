@@ -82,6 +82,107 @@ fn summarize_of_zero_run_manifest_exits_two_instead_of_panicking() {
 }
 
 #[test]
+fn run_with_malformed_spec_exits_two_with_message() {
+    // A spec that parses as JSON but fails validation (domain count
+    // outside 4..=16 breaks the FTA's N > 3f requirement) must be a
+    // plain exit-2 error at the CLI, never a panic inside `expand`.
+    let dir = scratch("malformed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("bad.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"schema":1,"name":"bad","base":{"preset":"quick"},"scenarios":["baseline"],"grid":{"seeds":[1],"domains":[2]}}"#,
+    )
+    .unwrap();
+
+    let out = campaign(&[
+        "run",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--dir",
+        dir.join("campaign").to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "run panicked: {stderr}");
+    assert!(stderr.contains("error:"), "no error message: {stderr}");
+    assert!(
+        stderr.contains("domains") || stderr.contains("4..=16"),
+        "error does not name the offending field: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_with_check_is_clean_and_leaves_artifacts_untouched() {
+    // `--check` arms the invariant oracle: a healthy campaign passes
+    // (exit 0, explicit confirmation) and the artifacts it writes are
+    // byte-identical to an unchecked campaign — the oracle observes, it
+    // never steers.
+    let dir = scratch("check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("tiny.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"schema":1,"name":"tiny","base":{"preset":"quick","duration_s":6,"warmup_s":3},"scenarios":["baseline"],"grid":{"seeds":[1]}}"#,
+    )
+    .unwrap();
+    let spec = spec_path.to_str().unwrap().to_string();
+
+    let checked_dir = dir.join("checked");
+    let plain_dir = dir.join("plain");
+    let checked = campaign(&[
+        "run",
+        "--spec",
+        &spec,
+        "--dir",
+        checked_dir.to_str().unwrap(),
+        "--quiet",
+        "--check",
+    ]);
+    assert_eq!(checked.status.code(), Some(0), "{checked:?}");
+    let stdout = String::from_utf8_lossy(&checked.stdout);
+    assert!(
+        stdout.contains("check: no invariant violations"),
+        "no clean-check confirmation: {stdout}"
+    );
+
+    let plain = campaign(&[
+        "run",
+        "--spec",
+        &spec,
+        "--dir",
+        plain_dir.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(plain.status.code(), Some(0), "{plain:?}");
+
+    let read = |d: &std::path::Path| {
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(d.join("runs"))
+            .expect("runs dir")
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    };
+    assert_eq!(
+        read(&checked_dir),
+        read(&plain_dir),
+        "--check changed artifact bytes"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn snapshot_save_info_restore_verify_round_trip() {
     let dir = scratch("snap");
     std::fs::create_dir_all(&dir).unwrap();

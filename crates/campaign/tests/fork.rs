@@ -37,6 +37,7 @@ fn opts(dir: &Path, fork: bool) -> RunnerOptions {
         threads: 2,
         quiet: true,
         fork,
+        check: false,
     }
 }
 

@@ -1,0 +1,136 @@
+//! Metamorphic properties of the campaign engine and the Π* statistics.
+//!
+//! Metamorphic testing checks *relations between runs* instead of
+//! absolute values. Two relations are exact here by construction, so
+//! they get byte-for-byte assertions rather than tolerances:
+//!
+//! * **Axis-permutation invariance** — a run's seed and artifact are
+//!   pure functions of its grid *coordinate* ([`tsn_campaign::matrix`]),
+//!   never of its enumeration position. Reordering a spec's axis lists
+//!   therefore produces the exact same artifact set.
+//! * **Time-translation invariance** — the Π* statistics (mean, std,
+//!   quantiles, bound-compliance fraction) depend only on sample
+//!   values, not on their timestamps. Shifting a whole series in time
+//!   leaves every statistic bit-identical.
+
+use clocksync::scenario::ScenarioKind;
+use std::path::{Path, PathBuf};
+use tsn_campaign::{runner, BaseSpec, CampaignSpec, Grid, RunnerOptions};
+use tsn_metrics::{PrecisionSample, PrecisionSeries};
+use tsn_time::Nanos;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tsn-campaign-metamorphic-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(dir: &Path) -> RunnerOptions {
+    RunnerOptions {
+        dir: dir.to_path_buf(),
+        threads: 2,
+        quiet: true,
+        fork: false,
+        check: false,
+    }
+}
+
+/// The campaign's `runs/` directory as sorted (name, bytes) pairs.
+fn artifact_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir.join("runs"))
+        .expect("runs dir exists")
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn spec_with_axes(domains: Vec<usize>, seeds: Vec<u64>) -> CampaignSpec {
+    CampaignSpec {
+        name: "metamorphic".to_string(),
+        base: BaseSpec {
+            warmup_s: Some(3),
+            ..BaseSpec::quick(6)
+        },
+        scenarios: vec![ScenarioKind::Baseline],
+        grid: Grid {
+            seeds,
+            domains,
+            ..Grid::default()
+        },
+    }
+}
+
+#[test]
+fn axis_permutation_produces_identical_artifacts() {
+    let forward = spec_with_axes(vec![4, 5], vec![1, 2]);
+    let permuted = spec_with_axes(vec![5, 4], vec![2, 1]);
+
+    let dir_a = scratch("fwd");
+    let dir_b = scratch("perm");
+    runner::execute(&forward, &opts(&dir_a)).expect("forward campaign");
+    runner::execute(&permuted, &opts(&dir_b)).expect("permuted campaign");
+
+    let a = artifact_bytes(&dir_a);
+    let b = artifact_bytes(&dir_b);
+    assert_eq!(a.len(), 4, "expected 2 domains × 2 seeds");
+    assert_eq!(
+        a.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        "artifact sets differ"
+    );
+    for ((name_a, bytes_a), (_, bytes_b)) in a.iter().zip(&b) {
+        assert_eq!(bytes_a, bytes_b, "artifact {name_a} differs");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn pi_statistics_are_time_translation_invariant() {
+    let mut cfg = clocksync::TestbedConfig::quick(17);
+    cfg.duration = Nanos::from_secs(10);
+    cfg.warmup = Nanos::from_secs(3);
+    cfg.probe_interval = Nanos::from_millis(200);
+    let series = clocksync::scenario::run(cfg).result.series;
+    assert!(series.len() > 10, "run produced too few Π* samples");
+
+    // Translate every sample by a constant Δ (one extra warm-up's worth)
+    // and compare each statistic bit-for-bit.
+    let delta = Nanos::from_secs(3);
+    let mut shifted = PrecisionSeries::default();
+    for s in series.samples() {
+        shifted.push(PrecisionSample {
+            at: s.at + delta,
+            value: s.value,
+            receivers: s.receivers,
+        });
+    }
+
+    assert_eq!(series.stats(), shifted.stats());
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(series.quantile(q), shifted.quantile(q), "quantile {q}");
+    }
+    for bound_ns in [1_000, 5_000, 12_636, 50_000] {
+        let bound = Nanos::from_nanos(bound_ns);
+        assert_eq!(
+            series.fraction_within(bound),
+            shifted.fraction_within(bound),
+            "fraction_within {bound_ns}ns"
+        );
+    }
+    assert_eq!(
+        series.max().map(|s| (s.value, s.receivers)),
+        shifted.max().map(|s| (s.value, s.receivers)),
+    );
+}

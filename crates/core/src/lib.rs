@@ -50,4 +50,5 @@ pub use tsn_gptp as gptp;
 pub use tsn_hyp as hyp;
 pub use tsn_metrics as metrics;
 pub use tsn_netsim as netsim;
+pub use tsn_oracle as oracle;
 pub use tsn_time as time;

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
 use tsn_faults::{AttackPlan, FaultEvent, FaultSchedule, StrikeOutcome, TransientFaults, VmSlot};
-use tsn_fta::{AggregationMode, MultiDomainAggregator, SubmitOutcome};
+use tsn_fta::{AggregationMethod, AggregationMode, MultiDomainAggregator, SubmitOutcome};
 use tsn_gptp::{
     msg::Message, BridgeRelay, ClockIdentity, LinkDelayService, PortIdentity, SyncMaster, SyncSlave,
 };
@@ -34,6 +34,7 @@ use tsn_netsim::{
     LaunchOutcome, MacAddr, Nic, PortAddr, PortNo, SeedSplitter, Switch, Topology, TraceDir,
     VlanTag,
 };
+use tsn_oracle::{Observation, OracleConfig, OracleRegistry};
 use tsn_time::{ClockTime, Nanos, Oscillator, Phc, ServoOutput, SimTime};
 
 /// VLAN used by the measurement probes.
@@ -184,6 +185,9 @@ pub struct RunResult {
     pub counters: RunCounters,
     /// Warm-up offset of the series timestamps.
     pub warmup: Nanos,
+    /// Invariant violations detected by the runtime oracle; always empty
+    /// unless [`World::enable_oracle`] was called before the run.
+    pub violations: Vec<tsn_metrics::ViolationRecord>,
 }
 
 /// The simulation world. Construct with [`World::new`], then call
@@ -216,6 +220,11 @@ pub struct World {
     events: EventLog,
     counters: RunCounters,
     end: SimTime,
+    /// Runtime invariant oracle, off by default (see
+    /// [`World::enable_oracle`]). Strictly passive and deliberately
+    /// excluded from [`SnapState`] so enabling it cannot perturb state
+    /// hashes, snapshots, or artifacts.
+    oracle: Option<OracleRegistry>,
 }
 
 impl World {
@@ -486,6 +495,7 @@ impl World {
             events: EventLog::new(),
             counters: RunCounters::default(),
             end,
+            oracle: None,
             cfg,
         };
         world.schedule_initial();
@@ -557,6 +567,46 @@ impl World {
         }
     }
 
+    /// Enables the runtime invariant oracle (`tsn-oracle`) for this run.
+    ///
+    /// The standard registry checks event-queue causality,
+    /// `CLOCK_SYNCTIME` monotonicity/continuity, frame conservation, FTA
+    /// containment, servo clamp respect and bound-algebra consistency.
+    /// The oracle is strictly passive: it draws no randomness and
+    /// schedules no events, so the run — state hashes, snapshots,
+    /// artifacts — is byte-identical with it on or off. Violations are
+    /// returned in [`RunResult::violations`].
+    pub fn enable_oracle(&mut self) {
+        let f = match self.cfg.aggregation.method {
+            AggregationMethod::FaultTolerantAverage { f }
+            | AggregationMethod::FaultTolerantMidpoint { f } => Some(f),
+            AggregationMethod::Mean | AggregationMethod::Median => None,
+        };
+        let step_threshold = self
+            .cfg
+            .servo
+            .step_threshold
+            .max(self.cfg.servo.first_step_threshold)
+            .max(Nanos::from_micros(20));
+        self.oracle = Some(OracleRegistry::standard(OracleConfig {
+            warmup: SimTime::ZERO + self.cfg.warmup,
+            step_threshold,
+            max_frequency_ppb: self.cfg.servo.max_frequency_ppb,
+            f,
+        }));
+    }
+
+    /// `true` when [`World::enable_oracle`] was called.
+    pub fn oracle_enabled(&self) -> bool {
+        self.oracle.is_some()
+    }
+
+    fn observe(&mut self, obs: Observation<'_>) {
+        if let Some(oracle) = self.oracle.as_mut() {
+            oracle.observe(&obs);
+        }
+    }
+
     /// Runs the experiment to completion and returns the result.
     pub fn run(mut self) -> RunResult {
         while let Some(next) = self.queue.peek_time() {
@@ -564,6 +614,9 @@ impl World {
                 break;
             }
             let (t, ev) = self.queue.pop().expect("peeked");
+            if self.oracle.is_some() {
+                self.observe(Observation::Event { at: t });
+            }
             self.handle(t, ev);
         }
         self.finish()
@@ -588,6 +641,30 @@ impl World {
             self.counters.frames_queued += port.queued_frames;
         }
         let bounds = self.derive_bounds();
+        let violations = match self.oracle.take() {
+            Some(mut oracle) => {
+                let residual: u64 = self.egress.values().map(|p| p.len() as u64).sum();
+                oracle.observe(&Observation::RunEnd {
+                    at: self.end,
+                    residual_frames: residual,
+                });
+                oracle.observe(&Observation::Bounds {
+                    at: self.end,
+                    n: self.cfg.nodes,
+                    f: 1,
+                    r_max_ppb: self.cfg.r_max_ppb,
+                    sync_interval: self.cfg.sync_interval,
+                    d_min: bounds.d_min,
+                    d_max: bounds.d_max,
+                    reading_error: bounds.reading_error,
+                    drift_offset: bounds.drift_offset,
+                    pi: bounds.pi,
+                });
+                oracle.finish();
+                oracle.take_violations()
+            }
+            None => Vec::new(),
+        };
         let tau0 = self.cfg.probe_interval.as_secs_f64();
         RunResult {
             ground_truth: tsn_metrics::TimeErrorSeries::new(tau0, self.ground_truth_ns),
@@ -597,6 +674,7 @@ impl World {
             bounds,
             counters: self.counters,
             warmup: self.cfg.warmup,
+            violations,
         }
     }
 
@@ -685,7 +763,10 @@ impl World {
             return;
         }
         if let Some((_, (frame, ctx))) = self.egress.get_mut(&from).and_then(|p| p.pop_ready()) {
-            self.depart(t, from, frame, ctx);
+            if self.oracle.is_some() {
+                self.observe(Observation::FramePopped { at: t });
+            }
+            self.depart(t, from, frame, ctx, true);
         }
     }
 
@@ -747,6 +828,9 @@ impl World {
                 .entry(from)
                 .or_default()
                 .enqueue(prio, (frame, ctx));
+            if self.oracle.is_some() {
+                self.observe(Observation::FrameEnqueued { at: t });
+            }
             if !busy {
                 // Port idle with a backlog (possible when a departure was
                 // dropped): drain it now in priority order.
@@ -754,17 +838,36 @@ impl World {
             }
             return;
         }
-        self.depart(t, from, frame, ctx);
+        self.depart(t, from, frame, ctx, false);
     }
 
-    fn depart(&mut self, t: SimTime, from: PortAddr, frame: EthernetFrame, ctx: TxCtx) {
+    fn depart(
+        &mut self,
+        t: SimTime,
+        from: PortAddr,
+        frame: EthernetFrame,
+        ctx: TxCtx,
+        queued: bool,
+    ) {
         // A VM that died between queuing and departure transmits nothing;
         // drain whatever else is queued on the port.
         if let Some(&(node, slot)) = self.station_map.get(&from.device) {
             if !self.nodes[node].vms[slot].running {
+                if self.oracle.is_some() {
+                    self.observe(Observation::FrameDropped {
+                        at: t,
+                        from_queue: queued,
+                    });
+                }
                 self.on_port_free(t, from);
                 return;
             }
+        }
+        if self.oracle.is_some() {
+            self.observe(Observation::FrameDelivered {
+                at: t,
+                from_queue: queued,
+            });
         }
         self.trace_frame(t, from, TraceDir::Tx, &frame);
         // Occupy the wire for the frame's serialization time.
@@ -1167,6 +1270,32 @@ impl World {
     // ----- servo application -------------------------------------------
 
     fn apply_outcome(&mut self, t: SimTime, node: usize, slot: usize, outcome: SubmitOutcome) {
+        if self.oracle.is_some() {
+            if let SubmitOutcome::Aggregated(a) = &outcome {
+                let byzantine: Vec<bool> =
+                    self.nodes.iter().map(|n| n.vms[0].compromised).collect();
+                self.observe(Observation::Aggregated {
+                    at: t,
+                    node,
+                    offset: a.offset,
+                    fault_tolerant: a.mode == AggregationMode::FaultTolerant,
+                    used: &a.used,
+                    byzantine: &byzantine,
+                });
+                match a.servo {
+                    ServoOutput::Gathering => {}
+                    ServoOutput::Step { freq_adj_ppb, .. }
+                    | ServoOutput::Adjust { freq_adj_ppb } => {
+                        self.observe(Observation::ServoFrequency {
+                            at: t,
+                            node,
+                            slot,
+                            freq_adj_ppb,
+                        });
+                    }
+                }
+            }
+        }
         let vm = &mut self.nodes[node].vms[slot];
         if let SubmitOutcome::Aggregated(a) = outcome {
             match a.servo {
@@ -1385,6 +1514,18 @@ impl World {
             t + self.nodes[node].device.config().period,
             Ev::MonitorTick { node },
         );
+        if self.oracle.is_some() {
+            // Noise-free CLOCK_SYNCTIME reading for the continuity
+            // invariant (a pure function of published STSHMEM params —
+            // no randomness, no state change).
+            let host_now = self.nodes[node].host_phc.now(t);
+            let synctime_ns = self.nodes[node].device.synctime(host_now).as_nanos();
+            self.observe(Observation::Synctime {
+                at: t,
+                node,
+                synctime_ns,
+            });
+        }
         let host_now = self.nodes[node].host_phc.now(t);
         let running: Vec<bool> = self.nodes[node].vms.iter().map(|vm| vm.running).collect();
         // Fail-consistent detection first: a VM voted faulty is treated
@@ -1694,6 +1835,9 @@ impl World {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked");
+            if self.oracle.is_some() {
+                self.observe(Observation::Event { at: now });
+            }
             self.handle(now, ev);
         }
     }

@@ -377,5 +377,85 @@ mod proptests {
                 median(&values)
             );
         }
+
+        /// The Welch–Lynch midpoint shares the FTA's containment
+        /// guarantee: it lies within [min, max] of the kept values.
+        #[test]
+        fn midpoint_bounded_by_inner_values(values in nanos_vec(3..20), f in 0usize..3) {
+            prop_assume!(values.len() > 2 * f);
+            let result = fault_tolerant_midpoint(&values, f).unwrap();
+            let mut sorted: Vec<i64> = values.iter().map(|v| v.as_nanos()).collect();
+            sorted.sort_unstable();
+            let inner = &sorted[f..sorted.len() - f];
+            prop_assert!(result.as_nanos() >= inner[0] - 1);
+            prop_assert!(result.as_nanos() <= inner[inner.len() - 1] + 1);
+        }
+
+        /// Byzantine masking holds for the midpoint too: one arbitrary
+        /// outlier cannot drag it outside the honest range.
+        #[test]
+        fn midpoint_masks_f_outliers(
+            honest in nanos_vec(3..10),
+            outlier in -1_000_000_000_000i64..1_000_000_000_000,
+        ) {
+            let f = 1usize;
+            prop_assume!(honest.len() > 2 * f);
+            let hmin = honest.iter().map(|v| v.as_nanos()).min().unwrap();
+            let hmax = honest.iter().map(|v| v.as_nanos()).max().unwrap();
+            let mut attacked = honest.clone();
+            attacked.push(Nanos::from_nanos(outlier));
+            let result = fault_tolerant_midpoint(&attacked, f).unwrap();
+            prop_assert!(result.as_nanos() >= hmin - 1, "dragged below honest range");
+            prop_assert!(result.as_nanos() <= hmax + 1, "dragged above honest range");
+        }
+
+        /// The median always lies within [min, max] of its inputs.
+        #[test]
+        fn median_bounded_by_inputs(values in nanos_vec(1..20)) {
+            let result = median(&values).unwrap();
+            let min = values.iter().min().unwrap().as_nanos();
+            let max = values.iter().max().unwrap().as_nanos();
+            prop_assert!(result.as_nanos() >= min);
+            prop_assert!(result.as_nanos() <= max);
+        }
+
+        /// `aggregate` succeeds exactly when `min_inputs` is met, for
+        /// every method — the two must never drift apart (the aggregator
+        /// uses `min_inputs` to gate startup, the oracle to gate its
+        /// containment check).
+        #[test]
+        fn aggregate_some_iff_min_inputs(values in nanos_vec(0..12), f in 0usize..4) {
+            let methods = [
+                AggregationMethod::FaultTolerantAverage { f },
+                AggregationMethod::FaultTolerantMidpoint { f },
+                AggregationMethod::Mean,
+                AggregationMethod::Median,
+            ];
+            for method in methods {
+                prop_assert_eq!(
+                    method.aggregate(&values).is_some(),
+                    values.len() >= method.min_inputs(),
+                    "method {:?} with {} inputs",
+                    method,
+                    values.len()
+                );
+            }
+        }
+    }
+
+    /// The empty slice is deterministic for every method: always `None`,
+    /// never a panic (proptest rarely generates the boundary itself).
+    #[test]
+    fn empty_slice_aggregates_to_none() {
+        for method in [
+            AggregationMethod::FaultTolerantAverage { f: 0 },
+            AggregationMethod::FaultTolerantAverage { f: 1 },
+            AggregationMethod::FaultTolerantMidpoint { f: 0 },
+            AggregationMethod::FaultTolerantMidpoint { f: 2 },
+            AggregationMethod::Mean,
+            AggregationMethod::Median,
+        ] {
+            assert_eq!(method.aggregate(&[]), None, "{method:?} on empty input");
+        }
     }
 }

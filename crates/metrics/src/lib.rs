@@ -38,6 +38,7 @@ mod precision;
 mod render;
 mod stability;
 mod summary;
+mod violations;
 
 pub use bounds::{drift_offset, precision_bound, u_factor, BoundsReport};
 pub use events::{EventLog, ExperimentEvent, TransientKind};
@@ -46,3 +47,4 @@ pub use precision::{precision_of, PrecisionSample, PrecisionSeries, SeriesStats,
 pub use render::{histogram_csv, render_histogram, render_series, series_csv};
 pub use stability::TimeErrorSeries;
 pub use summary::{nearest_rank, SampleSummary};
+pub use violations::{ViolationLog, ViolationRecord};

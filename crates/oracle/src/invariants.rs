@@ -1,0 +1,792 @@
+//! The standard conformance invariants.
+//!
+//! Each checker is deliberately independent of the simulation crates it
+//! judges: it re-derives the expected behaviour from first principles
+//! (the paper's §II/§III algebra) so a bug in the implementation cannot
+//! hide inside the oracle too.
+
+use crate::{Invariant, Observation};
+use tsn_metrics::{drift_offset, precision_bound, ViolationLog};
+use tsn_time::{Nanos, Ppb, SimTime};
+
+/// Extra oscillator-rate allowance for `CLOCK_SYNCTIME` continuity on
+/// top of the servo's frequency clamp (covers host/PHC oscillator
+/// deviation, which the servo clamp does not include).
+const OSC_MARGIN_PPB: f64 = 200_000.0;
+
+/// Fixed slack for rounding in the continuity budget.
+const CONTINUITY_MARGIN_NS: i64 = 1_000;
+
+/// Event-queue causality: dispatch times never decrease (paper's
+/// deterministic discrete-event model — an event handled before the
+/// current time would rewrite history).
+#[derive(Debug, Default)]
+pub struct EventCausality {
+    last: Option<SimTime>,
+}
+
+impl EventCausality {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Invariant for EventCausality {
+    fn name(&self) -> &'static str {
+        "event-causality"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        if let Observation::Event { at } = obs {
+            if let Some(prev) = self.last {
+                if *at < prev {
+                    log.record(
+                        *at,
+                        self.name(),
+                        "world.queue",
+                        format!(
+                            "event dispatched at t={}ns after t={}ns",
+                            at.as_nanos(),
+                            prev.as_nanos()
+                        ),
+                    );
+                }
+            }
+            self.last = Some(self.last.map_or(*at, |p| p.max(*at)));
+        }
+    }
+}
+
+/// `CLOCK_SYNCTIME` monotonicity and continuity (paper §III-B): after
+/// warm-up the virtual clock may never jump backwards by more than the
+/// phc2sys step threshold, and between two readings it must advance at
+/// most `step + (clamp + oscillator margin) · Δt` away from true time's
+/// advance — takeovers included.
+#[derive(Debug)]
+pub struct SynctimeContinuity {
+    warmup: SimTime,
+    step: Nanos,
+    slew_ppb: Ppb,
+    last: Vec<Option<(SimTime, i64)>>,
+}
+
+impl SynctimeContinuity {
+    /// Creates the checker. `step` is the phc2sys step threshold (20 µs
+    /// in the paper) and `slew_ppb` the servo frequency clamp.
+    pub fn new(warmup: SimTime, step: Nanos, slew_ppb: Ppb) -> Self {
+        SynctimeContinuity {
+            warmup,
+            step,
+            slew_ppb,
+            last: Vec::new(),
+        }
+    }
+}
+
+impl Invariant for SynctimeContinuity {
+    fn name(&self) -> &'static str {
+        "synctime-continuity"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        let Observation::Synctime {
+            at,
+            node,
+            synctime_ns,
+        } = obs
+        else {
+            return;
+        };
+        if *at < self.warmup {
+            return; // the servo may legitimately step while converging
+        }
+        if self.last.len() <= *node {
+            self.last.resize(*node + 1, None);
+        }
+        if let Some((t0, s0)) = self.last[*node] {
+            let dt = at.as_nanos() as i64 - t0.as_nanos() as i64;
+            let ds = *synctime_ns - s0;
+            let back_allowance = self.step.as_nanos() + CONTINUITY_MARGIN_NS;
+            let budget = back_allowance
+                + ((dt as f64) * (self.slew_ppb + OSC_MARGIN_PPB) * 1e-9).ceil() as i64;
+            if ds < -back_allowance {
+                log.record(
+                    *at,
+                    "synctime-monotonic",
+                    format!("node{node}.synctime"),
+                    format!(
+                        "clock jumped backwards by {}ns (> {}ns step allowance)",
+                        -ds, back_allowance
+                    ),
+                );
+            } else if (ds - dt).abs() > budget {
+                log.record(
+                    *at,
+                    self.name(),
+                    format!("node{node}.synctime"),
+                    format!(
+                        "clock advanced {ds}ns over {dt}ns of true time \
+                         (|Δ|={}ns exceeds budget {}ns)",
+                        (ds - dt).abs(),
+                        budget
+                    ),
+                );
+            }
+        }
+        self.last[*node] = Some((*at, *synctime_ns));
+    }
+}
+
+/// Frame conservation across egress queues: every frame that enters a
+/// NIC/switch egress queue is eventually popped or still resides in the
+/// queue at the end of the run, and every popped frame is delivered onto
+/// the wire or explicitly dropped (dead source VM).
+#[derive(Debug, Default)]
+pub struct FrameConservation {
+    enqueued: u64,
+    popped: u64,
+    delivered_from_queue: u64,
+    dropped_from_queue: u64,
+    residual: Option<(SimTime, u64)>,
+}
+
+impl FrameConservation {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Invariant for FrameConservation {
+    fn name(&self) -> &'static str {
+        "frame-conservation"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        let _ = log;
+        match obs {
+            Observation::FrameEnqueued { .. } => self.enqueued += 1,
+            Observation::FramePopped { .. } => self.popped += 1,
+            Observation::FrameDelivered {
+                from_queue: true, ..
+            } => self.delivered_from_queue += 1,
+            Observation::FrameDropped {
+                from_queue: true, ..
+            } => self.dropped_from_queue += 1,
+            Observation::RunEnd {
+                at,
+                residual_frames,
+            } => self.residual = Some((*at, *residual_frames)),
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, log: &mut ViolationLog) {
+        let Some((at, residual)) = self.residual else {
+            // No RunEnd observation: nothing was queued, nothing to judge.
+            if self.enqueued > 0 {
+                log.record(
+                    SimTime::ZERO,
+                    self.name(),
+                    "world.egress",
+                    format!(
+                        "{} frames enqueued but no end-of-run residual was reported",
+                        self.enqueued
+                    ),
+                );
+            }
+            return;
+        };
+        if self.enqueued != self.popped + residual {
+            log.record(
+                at,
+                self.name(),
+                "world.egress",
+                format!(
+                    "enqueued={} != popped={} + residual={}",
+                    self.enqueued, self.popped, residual
+                ),
+            );
+        }
+        if self.popped != self.delivered_from_queue + self.dropped_from_queue {
+            log.record(
+                at,
+                self.name(),
+                "world.egress",
+                format!(
+                    "popped={} != delivered={} + dropped={}",
+                    self.popped, self.delivered_from_queue, self.dropped_from_queue
+                ),
+            );
+        }
+    }
+}
+
+/// FTA containment (paper §II, Kopetz–Ochsenreiter): whenever at most
+/// `f` of the inputs come from Byzantine-marked domains, the
+/// fault-tolerant aggregate must lie within the range of the honest
+/// inputs (±1 ns for the round-half-away-from-zero average).
+#[derive(Debug)]
+pub struct FtaContainment {
+    f: Option<usize>,
+}
+
+impl FtaContainment {
+    /// Creates the checker; `f` is the trim degree of the active
+    /// aggregation method (`None` disables the check for the Mean and
+    /// Median ablations, which claim no Byzantine masking).
+    pub fn new(f: Option<usize>) -> Self {
+        FtaContainment { f }
+    }
+}
+
+impl Invariant for FtaContainment {
+    fn name(&self) -> &'static str {
+        "fta-containment"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        let Observation::Aggregated {
+            at,
+            node,
+            offset,
+            fault_tolerant,
+            used,
+            byzantine,
+        } = obs
+        else {
+            return;
+        };
+        let Some(f) = self.f else { return };
+        if !fault_tolerant || used.len() < 2 * f + 1 {
+            // Startup mode follows a single domain; no containment claim.
+            return;
+        }
+        let honest: Vec<Nanos> = used
+            .iter()
+            .filter(|(d, _)| !byzantine.get(*d).copied().unwrap_or(false))
+            .map(|(_, o)| *o)
+            .collect();
+        let byz = used.len() - honest.len();
+        if byz > f || honest.is_empty() {
+            return; // more faults than the FTA masks — nothing is claimed
+        }
+        let lo = *honest.iter().min().expect("nonempty") - Nanos::from_nanos(1);
+        let hi = *honest.iter().max().expect("nonempty") + Nanos::from_nanos(1);
+        if *offset < lo || *offset > hi {
+            log.record(
+                *at,
+                self.name(),
+                format!("node{node}.aggregator"),
+                format!(
+                    "aggregate {}ns outside honest range [{}ns, {}ns] \
+                     (f={f}, byzantine={byz}, inputs={:?})",
+                    offset.as_nanos(),
+                    lo.as_nanos() + 1,
+                    hi.as_nanos() - 1,
+                    used.iter()
+                        .map(|(d, o)| (*d, o.as_nanos()))
+                        .collect::<Vec<_>>()
+                ),
+            );
+        }
+    }
+}
+
+/// Servo clamp respect: no frequency correction may exceed the
+/// configured clamp (paper: ±900 ppm, matching `phc2sys`).
+#[derive(Debug)]
+pub struct ServoClamp {
+    max_ppb: Ppb,
+}
+
+impl ServoClamp {
+    /// Creates the checker for a `±max_ppb` clamp.
+    pub fn new(max_ppb: Ppb) -> Self {
+        ServoClamp { max_ppb }
+    }
+}
+
+impl Invariant for ServoClamp {
+    fn name(&self) -> &'static str {
+        "servo-clamp"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        if let Observation::ServoFrequency {
+            at,
+            node,
+            slot,
+            freq_adj_ppb,
+        } = obs
+        {
+            if freq_adj_ppb.abs() > self.max_ppb + 0.5 {
+                log.record(
+                    *at,
+                    self.name(),
+                    format!("node{node}.vm{slot}.servo"),
+                    format!(
+                        "frequency correction {freq_adj_ppb} ppb exceeds clamp ±{} ppb",
+                        self.max_ppb
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Bound-algebra consistency (paper §III-A3): the Π reported in run
+/// artifacts must equal `u(N,f) · (E + Γ)` recomputed from the same
+/// configuration, with `E = d_max − d_min` and `Γ = 2 · r_max · S`.
+#[derive(Debug, Default)]
+pub struct BoundAlgebra;
+
+impl BoundAlgebra {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        BoundAlgebra
+    }
+}
+
+impl Invariant for BoundAlgebra {
+    fn name(&self) -> &'static str {
+        "bound-algebra"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        let Observation::Bounds {
+            at,
+            n,
+            f,
+            r_max_ppb,
+            sync_interval,
+            d_min,
+            d_max,
+            reading_error,
+            drift_offset: gamma,
+            pi,
+        } = obs
+        else {
+            return;
+        };
+        let e = *d_max - *d_min;
+        if e != *reading_error {
+            log.record(
+                *at,
+                self.name(),
+                "world.bounds",
+                format!(
+                    "reading error E={}ns but d_max−d_min={}ns",
+                    reading_error.as_nanos(),
+                    e.as_nanos()
+                ),
+            );
+        }
+        let expected_gamma = drift_offset(*r_max_ppb, *sync_interval);
+        if expected_gamma != *gamma {
+            log.record(
+                *at,
+                self.name(),
+                "world.bounds",
+                format!(
+                    "drift offset Γ={}ns but 2·r_max·S={}ns",
+                    gamma.as_nanos(),
+                    expected_gamma.as_nanos()
+                ),
+            );
+        }
+        let expected_pi = precision_bound(*n, *f, e, expected_gamma);
+        if expected_pi != *pi {
+            log.record(
+                *at,
+                self.name(),
+                "world.bounds",
+                format!(
+                    "Π={}ns but u({n},{f})·(E+Γ)={}ns",
+                    pi.as_nanos(),
+                    expected_pi.as_nanos()
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OracleConfig, OracleRegistry};
+
+    fn log() -> ViolationLog {
+        ViolationLog::new()
+    }
+
+    #[test]
+    fn causality_accepts_monotone_dispatch() {
+        let mut inv = EventCausality::new();
+        let mut l = log();
+        for s in [1u64, 2, 2, 5] {
+            inv.observe(
+                &Observation::Event {
+                    at: SimTime::from_secs(s),
+                },
+                &mut l,
+            );
+        }
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn causality_flags_time_reversal() {
+        let mut inv = EventCausality::new();
+        let mut l = log();
+        inv.observe(
+            &Observation::Event {
+                at: SimTime::from_secs(3),
+            },
+            &mut l,
+        );
+        inv.observe(
+            &Observation::Event {
+                at: SimTime::from_secs(2),
+            },
+            &mut l,
+        );
+        assert_eq!(l.len(), 1);
+        assert!(l.records()[0].witness.contains("after"));
+    }
+
+    fn synctime(at_ms: u64, node: usize, synctime_ns: i64) -> Observation<'static> {
+        Observation::Synctime {
+            at: SimTime::from_millis(at_ms),
+            node,
+            synctime_ns,
+        }
+    }
+
+    #[test]
+    fn synctime_accepts_disciplined_advance() {
+        let mut inv = SynctimeContinuity::new(SimTime::ZERO, Nanos::from_micros(20), 900_000.0);
+        let mut l = log();
+        // 10 ms period, 500 ppm fast: well inside the budget.
+        for i in 0..100i64 {
+            let t = i * 10_000_000;
+            inv.observe(&synctime((i as u64) * 10, 0, t + t / 2_000), &mut l);
+        }
+        assert!(l.is_empty(), "{:?}", l.records());
+    }
+
+    #[test]
+    fn synctime_flags_forward_discontinuity() {
+        let mut inv = SynctimeContinuity::new(SimTime::ZERO, Nanos::from_micros(20), 900_000.0);
+        let mut l = log();
+        inv.observe(&synctime(0, 2, 0), &mut l);
+        // 10 ms later the clock claims to have advanced 10 ms + 50 µs.
+        inv.observe(&synctime(10, 2, 10_050_000), &mut l);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.records()[0].invariant, "synctime-continuity");
+        assert!(l.records()[0].component.contains("node2"));
+    }
+
+    #[test]
+    fn synctime_flags_backward_jump() {
+        let mut inv = SynctimeContinuity::new(SimTime::ZERO, Nanos::from_micros(20), 900_000.0);
+        let mut l = log();
+        inv.observe(&synctime(0, 0, 0), &mut l);
+        inv.observe(&synctime(10, 0, -30_000), &mut l);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.records()[0].invariant, "synctime-monotonic");
+    }
+
+    #[test]
+    fn synctime_ignores_warmup_convergence() {
+        let mut inv =
+            SynctimeContinuity::new(SimTime::from_secs(1), Nanos::from_micros(20), 900_000.0);
+        let mut l = log();
+        inv.observe(&synctime(0, 0, 0), &mut l);
+        inv.observe(&synctime(500, 0, 400_000_000), &mut l); // wild, but pre-warmup
+        inv.observe(&synctime(1_000, 0, 1_000_000_000), &mut l);
+        inv.observe(&synctime(1_010, 0, 1_010_001_000), &mut l);
+        assert!(l.is_empty(), "{:?}", l.records());
+    }
+
+    #[test]
+    fn conservation_accepts_balanced_books() {
+        let mut inv = FrameConservation::new();
+        let mut l = log();
+        let t = SimTime::from_secs(1);
+        for _ in 0..3 {
+            inv.observe(&Observation::FrameEnqueued { at: t }, &mut l);
+        }
+        for _ in 0..2 {
+            inv.observe(&Observation::FramePopped { at: t }, &mut l);
+        }
+        inv.observe(
+            &Observation::FrameDelivered {
+                at: t,
+                from_queue: true,
+            },
+            &mut l,
+        );
+        inv.observe(
+            &Observation::FrameDropped {
+                at: t,
+                from_queue: true,
+            },
+            &mut l,
+        );
+        // Direct (never-queued) departures don't enter the ledger.
+        inv.observe(
+            &Observation::FrameDelivered {
+                at: t,
+                from_queue: false,
+            },
+            &mut l,
+        );
+        inv.observe(
+            &Observation::RunEnd {
+                at: t,
+                residual_frames: 1,
+            },
+            &mut l,
+        );
+        inv.finish(&mut l);
+        assert!(l.is_empty(), "{:?}", l.records());
+    }
+
+    #[test]
+    fn conservation_flags_lost_frames() {
+        let mut inv = FrameConservation::new();
+        let mut l = log();
+        let t = SimTime::from_secs(1);
+        for _ in 0..3 {
+            inv.observe(&Observation::FrameEnqueued { at: t }, &mut l);
+        }
+        inv.observe(&Observation::FramePopped { at: t }, &mut l);
+        inv.observe(
+            &Observation::RunEnd {
+                at: t,
+                residual_frames: 0,
+            },
+            &mut l,
+        );
+        inv.finish(&mut l);
+        // Two frames vanished from the queue, and the popped one was
+        // neither delivered nor dropped.
+        assert_eq!(l.len(), 2);
+        assert!(l.records()[0].witness.contains("enqueued=3"));
+    }
+
+    fn aggregated<'a>(
+        offset: i64,
+        used: &'a [(usize, Nanos)],
+        byzantine: &'a [bool],
+    ) -> Observation<'a> {
+        Observation::Aggregated {
+            at: SimTime::from_secs(2),
+            node: 1,
+            offset: Nanos::from_nanos(offset),
+            fault_tolerant: true,
+            used,
+            byzantine,
+        }
+    }
+
+    #[test]
+    fn containment_accepts_aggregate_in_honest_range() {
+        let used = [
+            (0, Nanos::from_nanos(100)),
+            (1, Nanos::from_nanos(900_000)), // Byzantine outlier
+            (2, Nanos::from_nanos(200)),
+            (3, Nanos::from_nanos(300)),
+        ];
+        let byz = [false, true, false, false];
+        let mut inv = FtaContainment::new(Some(1));
+        let mut l = log();
+        inv.observe(&aggregated(250, &used, &byz), &mut l);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn containment_flags_aggregate_outside_honest_range() {
+        let used = [
+            (0, Nanos::from_nanos(100)),
+            (1, Nanos::from_nanos(900_000)),
+            (2, Nanos::from_nanos(200)),
+            (3, Nanos::from_nanos(300)),
+        ];
+        let byz = [false, true, false, false];
+        let mut inv = FtaContainment::new(Some(1));
+        let mut l = log();
+        inv.observe(&aggregated(225_150, &used, &byz), &mut l);
+        assert_eq!(l.len(), 1);
+        let rec = &l.records()[0];
+        assert_eq!(rec.invariant, "fta-containment");
+        assert_eq!(rec.component, "node1.aggregator");
+        assert!(rec.witness.contains("225150"));
+        assert!(rec.witness.contains("[100ns, 300ns]"));
+    }
+
+    #[test]
+    fn containment_claims_nothing_beyond_f_faults() {
+        let used = [
+            (0, Nanos::from_nanos(500_000)),
+            (1, Nanos::from_nanos(900_000)),
+            (2, Nanos::from_nanos(200)),
+            (3, Nanos::from_nanos(300)),
+        ];
+        let byz = [true, true, false, false]; // 2 > f = 1
+        let mut inv = FtaContainment::new(Some(1));
+        let mut l = log();
+        inv.observe(&aggregated(700_000, &used, &byz), &mut l);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn containment_skips_non_fault_tolerant_modes() {
+        let used = [(0, Nanos::from_nanos(100)), (1, Nanos::from_nanos(200))];
+        let byz = [false, false];
+        let mut l = log();
+        // Startup mode claims nothing.
+        let mut inv = FtaContainment::new(Some(1));
+        inv.observe(
+            &Observation::Aggregated {
+                at: SimTime::from_secs(1),
+                node: 0,
+                offset: Nanos::from_nanos(10_000),
+                fault_tolerant: false,
+                used: &used,
+                byzantine: &byz,
+            },
+            &mut l,
+        );
+        // Mean/Median ablations claim nothing either.
+        let mut ablation = FtaContainment::new(None);
+        ablation.observe(&aggregated(10_000, &used, &byz), &mut l);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn clamp_accepts_corrections_inside_range() {
+        let mut inv = ServoClamp::new(900_000.0);
+        let mut l = log();
+        inv.observe(
+            &Observation::ServoFrequency {
+                at: SimTime::from_secs(1),
+                node: 0,
+                slot: 1,
+                freq_adj_ppb: -900_000.0,
+            },
+            &mut l,
+        );
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn clamp_flags_excessive_correction() {
+        let mut inv = ServoClamp::new(900_000.0);
+        let mut l = log();
+        inv.observe(
+            &Observation::ServoFrequency {
+                at: SimTime::from_secs(1),
+                node: 3,
+                slot: 0,
+                freq_adj_ppb: 905_000.0,
+            },
+            &mut l,
+        );
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.records()[0].component, "node3.vm0.servo");
+    }
+
+    fn bounds_obs(pi_ns: i64) -> Observation<'static> {
+        // The paper's experiment-1 numbers: E = 5068 ns, Γ = 1250 ns,
+        // Π = 2(E + Γ) = 12636 ns.
+        Observation::Bounds {
+            at: SimTime::from_secs(60),
+            n: 4,
+            f: 1,
+            r_max_ppb: 5_000.0,
+            sync_interval: Nanos::from_millis(125),
+            d_min: Nanos::from_nanos(4_120),
+            d_max: Nanos::from_nanos(9_188),
+            reading_error: Nanos::from_nanos(5_068),
+            drift_offset: Nanos::from_nanos(1_250),
+            pi: Nanos::from_nanos(pi_ns),
+        }
+    }
+
+    #[test]
+    fn bound_algebra_accepts_consistent_report() {
+        let mut inv = BoundAlgebra::new();
+        let mut l = log();
+        inv.observe(&bounds_obs(12_636), &mut l);
+        assert!(l.is_empty(), "{:?}", l.records());
+    }
+
+    #[test]
+    fn bound_algebra_flags_tampered_pi() {
+        let mut inv = BoundAlgebra::new();
+        let mut l = log();
+        inv.observe(&bounds_obs(12_000), &mut l);
+        assert_eq!(l.len(), 1);
+        assert!(l.records()[0].witness.contains("12636"));
+    }
+
+    /// A deliberately broken fault-tolerant average: it "forgets" to trim
+    /// the f extreme values before averaging (the classic FTA
+    /// implementation mutation).
+    fn broken_fta_without_trim(values: &[Nanos]) -> Nanos {
+        let sum: i64 = values.iter().map(|v| v.as_nanos()).sum();
+        Nanos::from_nanos(sum / values.len() as i64)
+    }
+
+    /// A correct reference FTA (sort, trim f per side, average).
+    fn reference_fta(values: &[Nanos], f: usize) -> Nanos {
+        let mut v: Vec<i64> = values.iter().map(|v| v.as_nanos()).collect();
+        v.sort_unstable();
+        let kept = &v[f..v.len() - f];
+        Nanos::from_nanos(kept.iter().sum::<i64>() / kept.len() as i64)
+    }
+
+    /// Mutation-style self-test: breaking the FTA trim must be caught by
+    /// the containment invariant with a witness record, while the
+    /// correct implementation passes.
+    #[test]
+    fn mutation_broken_fta_trim_is_flagged() {
+        let used = [
+            (0, Nanos::from_nanos(120)),
+            (1, Nanos::from_nanos(1_000_000)), // Byzantine grand master
+            (2, Nanos::from_nanos(-80)),
+            (3, Nanos::from_nanos(260)),
+        ];
+        let byz = [false, true, false, false];
+        let inputs: Vec<Nanos> = used.iter().map(|(_, o)| *o).collect();
+
+        // The correct FTA masks the outlier and stays contained.
+        let good = reference_fta(&inputs, 1);
+        let mut inv = FtaContainment::new(Some(1));
+        let mut l = log();
+        inv.observe(&aggregated(good.as_nanos(), &used, &byz), &mut l);
+        assert!(l.is_empty(), "correct FTA must pass: {:?}", l.records());
+
+        // The trimless mutant is dragged a quarter of the way to the
+        // attacker's offset — far outside the honest range.
+        let bad = broken_fta_without_trim(&inputs);
+        let mut oracle = OracleRegistry::standard(OracleConfig {
+            f: Some(1),
+            ..OracleConfig::default()
+        });
+        oracle.observe(&aggregated(bad.as_nanos(), &used, &byz));
+        oracle.finish();
+        assert_eq!(oracle.violations().len(), 1);
+        let rec = &oracle.violations()[0];
+        assert_eq!(rec.invariant, "fta-containment");
+        assert!(
+            rec.witness.contains(&bad.as_nanos().to_string()),
+            "witness must carry the offending aggregate: {}",
+            rec.witness
+        );
+        assert!(rec.witness.contains("byzantine=1"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the runtime invariant oracle (`tsn-oracle`).
+//!
+//! Two properties matter end to end: a clean run of the paper's
+//! scenarios must report zero violations (the invariants describe the
+//! simulator, not a stricter ideal of it), and arming the oracle must
+//! not change a single simulated bit — it observes, it never steers.
+//! The latter is held to `World::state_hash` parity at the midpoint and
+//! at the end of the run.
+
+use clocksync::scenario::ScenarioKind;
+use clocksync::{TestbedConfig, World};
+use tsn_time::{Nanos, SimTime};
+
+/// A short quick-preset run: long enough to get past warm-up into
+/// fault-tolerant aggregation, short enough for a test.
+fn quick_cfg(seed: u64) -> TestbedConfig {
+    let mut cfg = TestbedConfig::quick(seed);
+    cfg.duration = Nanos::from_secs(12);
+    cfg.warmup = Nanos::from_secs(4);
+    cfg
+}
+
+#[test]
+fn clean_baseline_run_reports_no_violations() {
+    let mut world = World::new(quick_cfg(7));
+    assert!(!world.oracle_enabled());
+    world.enable_oracle();
+    assert!(world.oracle_enabled());
+    let result = world.run();
+    assert!(
+        result.violations.is_empty(),
+        "oracle flagged a clean baseline run:\n{:#?}",
+        result.violations
+    );
+}
+
+#[test]
+fn clean_cyber_attack_run_reports_no_violations() {
+    // The attacker compromises grandmasters (Byzantine domains), but as
+    // long as at most f domains are compromised the FTA containment
+    // invariant — and every other invariant — must still hold.
+    let mut cfg = quick_cfg(11);
+    ScenarioKind::CyberIdenticalKernels.apply(&mut cfg);
+    let mut world = World::new(cfg);
+    world.enable_oracle();
+    let result = world.run();
+    assert!(
+        result.violations.is_empty(),
+        "oracle flagged a cyber-attack run:\n{:#?}",
+        result.violations
+    );
+}
+
+#[test]
+fn clean_fault_injection_run_reports_no_violations() {
+    let mut cfg = quick_cfg(13);
+    ScenarioKind::FaultInjection.apply(&mut cfg);
+    let mut world = World::new(cfg);
+    world.enable_oracle();
+    let result = world.run();
+    assert!(
+        result.violations.is_empty(),
+        "oracle flagged a fault-injection run:\n{:#?}",
+        result.violations
+    );
+}
+
+#[test]
+fn oracle_does_not_perturb_state() {
+    let cfg = quick_cfg(3);
+    let mut plain = World::new(cfg.clone());
+    let mut checked = World::new(cfg);
+    checked.enable_oracle();
+
+    let mid = SimTime::ZERO + Nanos::from_secs(6);
+    plain.run_until(mid);
+    checked.run_until(mid);
+    assert_eq!(
+        plain.state_hash(),
+        checked.state_hash(),
+        "oracle perturbed simulation state by the midpoint"
+    );
+
+    let end = plain.end_time();
+    plain.run_until(end);
+    checked.run_until(end);
+    assert_eq!(
+        plain.state_hash(),
+        checked.state_hash(),
+        "oracle perturbed simulation state by the end of the run"
+    );
+
+    let result = checked.into_result();
+    assert!(
+        result.violations.is_empty(),
+        "oracle flagged a clean run:\n{:#?}",
+        result.violations
+    );
+    assert!(plain.into_result().violations.is_empty());
+}
