@@ -22,6 +22,7 @@ fn config(method: AggregationMethod, seed: u64) -> TestbedConfig {
         target_node: 3,
         cve: CveId::Cve2018_18955,
         pot_offset: PAPER_POT_OFFSET,
+        strategy: None,
     }]);
     cfg
 }

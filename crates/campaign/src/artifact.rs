@@ -10,17 +10,40 @@
 
 use crate::json::Json;
 use crate::matrix::{Coord, RunPlan};
-use crate::spec::{discipline_name, parse_discipline, KernelChoice};
+use crate::spec::{discipline_name, parse_discipline, strategy_static, KernelChoice};
 use clocksync::scenario::ScenarioKind;
 use clocksync::{RunCounters, RunResult};
-use tsn_metrics::SampleSummary;
+use tsn_metrics::{ExperimentEvent, SampleSummary};
+use tsn_time::SyncState;
 
 /// Artifact schema version, bumped on incompatible format changes.
 ///
 /// 2: run seeds are derived from the prefix-relevant coordinates only
 /// (see [`Coord::derived_seed`]), so records produced under schema 1
 /// carry different seeds and must not be resumed.
-pub const ARTIFACT_SCHEMA: u64 = 2;
+///
+/// 3: coordinates gained the adversary axes (strategy, compromised,
+/// loss, partition), counters gained the degradation/diagnostic fields
+/// (`sync_transitions`, `holdover_ns`, `freerun_ns`,
+/// `uncovered_failures`), and records carry the run's sync-state
+/// transition sequence.
+pub const ARTIFACT_SCHEMA: u64 = 3;
+
+/// One sync-state transition of one aggregator, as recorded in the run's
+/// event log (times are absolute simulation nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionRecord {
+    /// Simulation time of the transition.
+    pub at_ns: u64,
+    /// Node index.
+    pub node: usize,
+    /// Clock-sync VM slot (0 = GM VM, 1 = redundant VM).
+    pub slot: usize,
+    /// State left.
+    pub from: SyncState,
+    /// State entered.
+    pub to: SyncState,
+}
 
 /// Per-run precision statistics (all times in nanoseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +106,8 @@ pub struct RunRecord {
     pub precision: Option<PrecisionRecord>,
     /// Fraction of samples within `Π + γ`.
     pub fraction_within_bound: f64,
+    /// The run's degradation-state transitions, in event-log order.
+    pub transitions: Vec<TransitionRecord>,
 }
 
 impl RunRecord {
@@ -117,6 +142,26 @@ impl RunRecord {
             },
             precision,
             fraction_within_bound: result.series.fraction_within(b.pi_plus_gamma()),
+            transitions: result
+                .events
+                .entries()
+                .iter()
+                .filter_map(|(t, e)| match e {
+                    ExperimentEvent::SyncStateChange {
+                        node,
+                        slot,
+                        from,
+                        to,
+                    } => Some(TransitionRecord {
+                        at_ns: t.as_nanos(),
+                        node: *node,
+                        slot: *slot,
+                        from: *from,
+                        to: *to,
+                    }),
+                    _ => None,
+                })
+                .collect(),
         }
     }
 
@@ -146,6 +191,21 @@ impl RunRecord {
                     .discipline
                     .map_or(Json::Null, |d| Json::Str(discipline_name(d).to_string())),
             ),
+            (
+                "strategy",
+                self.coord
+                    .strategy
+                    .map_or(Json::Null, |s| Json::Str(s.to_string())),
+            ),
+            (
+                "compromised",
+                opt_uint(self.coord.compromised.map(|n| n as u64)),
+            ),
+            (
+                "loss_permille",
+                opt_uint(self.coord.loss_permille.map(u64::from)),
+            ),
+            ("partition_s", opt_uint(self.coord.partition_s)),
         ]);
         let c = &self.counters;
         let counters = Json::object(vec![
@@ -159,6 +219,10 @@ impl RunRecord {
             ("strikes_succeeded", Json::UInt(c.strikes_succeeded)),
             ("strikes_failed", Json::UInt(c.strikes_failed)),
             ("frames_queued", Json::UInt(c.frames_queued)),
+            ("sync_transitions", Json::UInt(c.sync_transitions)),
+            ("holdover_ns", Json::UInt(c.holdover_ns)),
+            ("freerun_ns", Json::UInt(c.freerun_ns)),
+            ("uncovered_failures", Json::UInt(c.uncovered_failures)),
         ]);
         let b = &self.bounds;
         let bounds = Json::object(vec![
@@ -184,6 +248,20 @@ impl RunRecord {
                 ("p99_ns", Json::Int(p.p99_ns)),
             ]),
         };
+        let transitions = Json::Array(
+            self.transitions
+                .iter()
+                .map(|t| {
+                    Json::object(vec![
+                        ("at_ns", Json::UInt(t.at_ns)),
+                        ("node", Json::UInt(t.node as u64)),
+                        ("slot", Json::UInt(t.slot as u64)),
+                        ("from", Json::Str(t.from.name().to_string())),
+                        ("to", Json::Str(t.to.name().to_string())),
+                    ])
+                })
+                .collect(),
+        );
         let record = Json::object(vec![
             ("schema", Json::UInt(ARTIFACT_SCHEMA)),
             ("campaign", Json::Str(self.campaign.clone())),
@@ -197,6 +275,7 @@ impl RunRecord {
                 "fraction_within_bound",
                 Json::Float(self.fraction_within_bound),
             ),
+            ("transitions", transitions),
         ]);
         let mut line = record.render();
         line.push('\n');
@@ -226,6 +305,14 @@ impl RunRecord {
             discipline: opt_field(coord_v, "discipline", |x| {
                 x.as_str().and_then(parse_discipline)
             })?,
+            strategy: opt_field(coord_v, "strategy", |x| {
+                x.as_str().and_then(strategy_static)
+            })?,
+            compromised: opt_field(coord_v, "compromised", |x| x.as_u64().map(|n| n as usize))?,
+            loss_permille: opt_field(coord_v, "loss_permille", |x| {
+                x.as_u64().and_then(|p| u32::try_from(p).ok())
+            })?,
+            partition_s: opt_field(coord_v, "partition_s", Json::as_u64)?,
         };
         let c = v.get("counters")?;
         let counters = RunCounters {
@@ -239,6 +326,10 @@ impl RunRecord {
             strikes_succeeded: c.get("strikes_succeeded")?.as_u64()?,
             strikes_failed: c.get("strikes_failed")?.as_u64()?,
             frames_queued: c.get("frames_queued")?.as_u64()?,
+            sync_transitions: c.get("sync_transitions")?.as_u64()?,
+            holdover_ns: c.get("holdover_ns")?.as_u64()?,
+            freerun_ns: c.get("freerun_ns")?.as_u64()?,
+            uncovered_failures: c.get("uncovered_failures")?.as_u64()?,
         };
         let b = v.get("bounds")?;
         let bounds = BoundsRecord {
@@ -264,6 +355,20 @@ impl RunRecord {
                 p99_ns: p.get("p99_ns")?.as_i64()?,
             }),
         };
+        let transitions = v
+            .get("transitions")?
+            .as_array()?
+            .iter()
+            .map(|t| {
+                Some(TransitionRecord {
+                    at_ns: t.get("at_ns")?.as_u64()?,
+                    node: t.get("node")?.as_u64()? as usize,
+                    slot: t.get("slot")?.as_u64()? as usize,
+                    from: SyncState::parse(t.get("from")?.as_str()?)?,
+                    to: SyncState::parse(t.get("to")?.as_str()?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
         Some(RunRecord {
             campaign: v.get("campaign")?.as_str()?.to_string(),
             hash: v.get("hash")?.as_str()?.to_string(),
@@ -273,6 +378,7 @@ impl RunRecord {
             bounds,
             precision,
             fraction_within_bound: v.get("fraction_within_bound")?.as_f64()?,
+            transitions,
         })
     }
 
@@ -332,6 +438,10 @@ mod tests {
                 kernel: Some(KernelChoice::Diverse),
                 fault_rate_per_hour: None,
                 discipline: Some(SyncClockDiscipline::FeedForward),
+                strategy: Some("trim-edge"),
+                compromised: Some(2),
+                loss_permille: Some(20),
+                partition_s: None,
             },
             seed: u64::MAX - 3,
             counters: RunCounters::default(),
@@ -356,6 +466,22 @@ mod tests {
                 p99_ns: 8_100,
             }),
             fraction_within_bound: 0.9833,
+            transitions: vec![
+                TransitionRecord {
+                    at_ns: 7_000_000_000,
+                    node: 0,
+                    slot: 1,
+                    from: SyncState::Synchronized,
+                    to: SyncState::Holdover,
+                },
+                TransitionRecord {
+                    at_ns: 9_500_000_000,
+                    node: 0,
+                    slot: 1,
+                    from: SyncState::Holdover,
+                    to: SyncState::Freerun,
+                },
+            ],
         }
     }
 
@@ -376,7 +502,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_other_schemas_and_garbage() {
-        let line = record().encode().replace("\"schema\":2", "\"schema\":1");
+        let line = record().encode().replace("\"schema\":3", "\"schema\":1");
         assert!(RunRecord::decode(&line).is_none());
         assert!(RunRecord::decode("not json").is_none());
         assert!(RunRecord::decode("{}").is_none());

@@ -6,7 +6,8 @@
 //! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check]
 //! campaign summarize --dir DIR [--json]
 //! campaign diff      --baseline DIR --candidate DIR [--tol-violation F]
-//!                    [--tol-p95-rel F] [--tol-p95-ns F]
+//!                    [--tol-p95-rel F] [--tol-p95-ns F] [--tol-dwell-ms F]
+//!                    [--tol-transitions F] [--tol-uncovered F]
 //! campaign spec      --builtin NAME
 //! campaign list
 //! ```
@@ -31,10 +32,11 @@ const USAGE: &str = "usage:
   campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check]
   campaign summarize --dir DIR [--json]
   campaign diff      --baseline DIR --candidate DIR [--tol-violation F] [--tol-p95-rel F] [--tol-p95-ns F]
+                     [--tol-dwell-ms F] [--tol-transitions F] [--tol-uncovered F]
   campaign spec      --builtin NAME
   campaign list
 
-built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval
+built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval, adversary-sweep
 exit codes (diff): 0 parity, 1 regression, 2 error
 exit codes (run --check): 0 clean, 1 invariant violation(s), 2 error";
 
@@ -239,6 +241,9 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
             "--tol-violation",
             "--tol-p95-rel",
             "--tol-p95-ns",
+            "--tol-dwell-ms",
+            "--tol-transitions",
+            "--tol-uncovered",
         ],
         &[],
     )?;
@@ -253,6 +258,15 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(v) = flags.get_parsed("--tol-p95-ns")? {
         tol.p95_abs_ns = v;
+    }
+    if let Some(v) = flags.get_parsed("--tol-dwell-ms")? {
+        tol.dwell_ms_abs = v;
+    }
+    if let Some(v) = flags.get_parsed("--tol-transitions")? {
+        tol.transitions_abs = v;
+    }
+    if let Some(v) = flags.get_parsed("--tol-uncovered")? {
+        tol.uncovered_abs = v;
     }
     let report = summary::diff(
         &load_summaries(&baseline)?,

@@ -10,13 +10,16 @@
 //! base configuration and coordinate, which names its artifact and
 //! keys resume.
 
-use crate::spec::{BaseSpec, CampaignSpec, KernelChoice, SpecError};
+use crate::spec::{strategy_static, BaseSpec, CampaignSpec, KernelChoice, SpecError};
 use clocksync::scenario::ScenarioKind;
-use clocksync::TestbedConfig;
-use tsn_faults::{InjectorConfig, KernelAssignment};
+use clocksync::{PartitionWindow, TestbedConfig};
+use tsn_faults::{
+    AttackPlan, ByzantineStrategy, CveId, InjectorConfig, KernelAssignment, Strike,
+    PAPER_POT_OFFSET,
+};
 use tsn_hyp::SyncClockDiscipline;
-use tsn_netsim::SeedSplitter;
-use tsn_time::Nanos;
+use tsn_netsim::{LinkFaultPlan, SeedSplitter};
+use tsn_time::{Nanos, SimTime};
 
 /// One point of the campaign grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +38,16 @@ pub struct Coord {
     pub fault_rate_per_hour: Option<u32>,
     /// Clock discipline override, if the axis is active.
     pub discipline: Option<SyncClockDiscipline>,
+    /// Adversary strategy preset name ([`ByzantineStrategy::NAMES`]
+    /// spelling, interned via [`strategy_static`]), if the axis is
+    /// active.
+    pub strategy: Option<&'static str>,
+    /// Number of compromised GM domains, if the axis is active.
+    pub compromised: Option<usize>,
+    /// Per-link i.i.d. loss in permille, if the axis is active.
+    pub loss_permille: Option<u32>,
+    /// Partition duration in seconds (node 0, from +2 s), if active.
+    pub partition_s: Option<u64>,
 }
 
 impl Coord {
@@ -45,7 +58,7 @@ impl Coord {
             v.map_or_else(|| "-".to_string(), |v| v.to_string())
         }
         format!(
-            "scenario={}/seed={}/domains={}/sync_ms={}/kernel={}/rate={}/discipline={}",
+            "scenario={}/seed={}/domains={}/sync_ms={}/kernel={}/rate={}/discipline={}/strategy={}/byz={}/loss_pm={}/partition_s={}",
             self.scenario.name(),
             self.seed,
             opt(self.domains),
@@ -53,13 +66,18 @@ impl Coord {
             opt(self.kernel.map(KernelChoice::name)),
             opt(self.fault_rate_per_hour),
             opt(self.discipline.map(crate::spec::discipline_name)),
+            opt(self.strategy),
+            opt(self.compromised),
+            opt(self.loss_permille),
+            opt(self.partition_s),
         )
     }
 
     /// The coordinates that shape a run's warm prefix: the grid seed and
     /// the axes that alter the world before any intervention can act
     /// (topology size, sync interval, clock discipline). Scenario,
-    /// kernel assignment, and injector rate only influence post-warmup
+    /// kernel assignment, injector rate, adversary strategy, compromised
+    /// count, link loss, and partitions only influence post-warmup
     /// behavior and are deliberately excluded.
     pub fn prefix_label(&self) -> String {
         fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
@@ -117,23 +135,46 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
     let mut plans = Vec::with_capacity(spec.total_runs());
     // Fixed nesting: scenario, then the sweep axes, seeds innermost so
     // progress interleaves replications of the same grid point last.
+    let strategies: Vec<&'static str> = spec
+        .grid
+        .strategies
+        .iter()
+        .map(|s| strategy_static(s).expect("validate() checked strategy names"))
+        .collect();
     for &scenario in &spec.scenarios {
         for &domains in &axis(&spec.grid.domains) {
             for &sync_ms in &axis(&spec.grid.sync_interval_ms) {
                 for &kernel in &axis(&spec.grid.kernels) {
                     for &rate in &axis(&spec.grid.fault_rate_per_hour) {
                         for &discipline in &axis(&spec.grid.disciplines) {
-                            for &seed in &spec.grid.seeds {
-                                let coord = Coord {
-                                    scenario,
-                                    seed,
-                                    domains,
-                                    sync_interval_ms: sync_ms,
-                                    kernel,
-                                    fault_rate_per_hour: rate,
-                                    discipline,
-                                };
-                                plans.push(plan(&spec.base, &base_fingerprint, coord, plans.len()));
+                            for &strategy in &axis(&strategies) {
+                                for &compromised in &axis(&spec.grid.compromised) {
+                                    for &loss_permille in &axis(&spec.grid.loss_permille) {
+                                        for &partition_s in &axis(&spec.grid.partition_s) {
+                                            for &seed in &spec.grid.seeds {
+                                                let coord = Coord {
+                                                    scenario,
+                                                    seed,
+                                                    domains,
+                                                    sync_interval_ms: sync_ms,
+                                                    kernel,
+                                                    fault_rate_per_hour: rate,
+                                                    discipline,
+                                                    strategy,
+                                                    compromised,
+                                                    loss_permille,
+                                                    partition_s,
+                                                };
+                                                plans.push(plan(
+                                                    &spec.base,
+                                                    &base_fingerprint,
+                                                    coord,
+                                                    plans.len(),
+                                                ));
+                                            }
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -204,6 +245,38 @@ pub fn materialize(base: &BaseSpec, coord: Coord, derived_seed: u64) -> TestbedC
         fi.random_per_hour_max = rate;
         fi.random_per_hour_min = fi.random_per_hour_min.min(rate);
         cfg.fault_injection = Some(fi);
+    }
+    // Adversary axes: `compromised` GMs (highest node indices, like the
+    // paper's node-3 strike) all run the same strategy from +2 s. Either
+    // axis alone activates the attack with the other defaulted.
+    if coord.strategy.is_some() || coord.compromised.is_some() {
+        let strategy = ByzantineStrategy::named(coord.strategy.unwrap_or("constant"))
+            .expect("validate() checked strategy names");
+        let byz = coord.compromised.unwrap_or(1).min(cfg.nodes - 1);
+        let strikes = (0..byz)
+            .map(|k| Strike {
+                at: SimTime::from_secs(2),
+                target_node: cfg.nodes - 1 - k,
+                cve: CveId::Cve2018_18955,
+                pot_offset: PAPER_POT_OFFSET,
+                strategy: Some(strategy),
+            })
+            .collect();
+        cfg.attack = AttackPlan::new(strikes);
+    }
+    if let Some(permille) = coord.loss_permille {
+        if permille > 0 {
+            cfg.link_faults = Some(LinkFaultPlan::with_loss(f64::from(permille) / 1000.0));
+        }
+    }
+    if let Some(seconds) = coord.partition_s {
+        if seconds > 0 {
+            cfg.partition = Some(PartitionWindow {
+                node: 0,
+                from: Nanos::from_secs(2),
+                until: Nanos::from_secs(2 + seconds as i64),
+            });
+        }
     }
     cfg.validate();
     cfg
@@ -325,10 +398,14 @@ mod tests {
                     SyncClockDiscipline::Feedback,
                     SyncClockDiscipline::FeedForward,
                 ],
+                strategies: vec!["trim-edge".to_string()],
+                compromised: vec![1, 2],
+                loss_permille: vec![20],
+                partition_s: vec![],
             },
         };
         let plans = expand(&spec).expect("valid spec");
-        assert_eq!(plans.len(), 2 * 2 * 2 * 2 * 2 * 2);
+        assert_eq!(plans.len(), 2 * 2 * 2 * 2 * 2 * 2 * 2);
         for p in &plans {
             // `materialize` already ran validate(); check axis effects.
             if let Some(m) = p.coord.domains {
@@ -343,6 +420,17 @@ mod tests {
                 let fi = p.config.fault_injection.expect("injector active");
                 assert_eq!(fi.random_per_hour_max, rate);
                 assert!(fi.random_per_hour_min <= rate);
+            }
+            if let Some(byz) = p.coord.compromised {
+                let expected = byz.min(p.config.nodes - 1);
+                assert_eq!(p.config.attack.strikes().len(), expected);
+                for strike in p.config.attack.strikes() {
+                    assert!(strike.strategy.is_some(), "axis strike carries a strategy");
+                }
+            }
+            if let Some(pm) = p.coord.loss_permille {
+                let lf = p.config.link_faults.as_ref().expect("loss axis wired");
+                assert!((lf.loss - f64::from(pm) / 1000.0).abs() < 1e-12);
             }
             assert_eq!(p.config.seed, p.seed);
         }

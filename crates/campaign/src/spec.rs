@@ -10,6 +10,7 @@
 use crate::json::{Json, JsonError};
 use clocksync::scenario::ScenarioKind;
 use clocksync::TestbedConfig;
+use tsn_faults::ByzantineStrategy;
 use tsn_hyp::SyncClockDiscipline;
 use tsn_time::Nanos;
 
@@ -167,6 +168,16 @@ pub fn parse_discipline(name: &str) -> Option<SyncClockDiscipline> {
     }
 }
 
+/// The canonical `&'static` name behind a strategy-axis value, used so
+/// [`crate::matrix::Coord`] stays `Copy` ([`ByzantineStrategy::NAMES`]
+/// owns the interned spellings).
+pub fn strategy_static(name: &str) -> Option<&'static str> {
+    ByzantineStrategy::NAMES
+        .iter()
+        .copied()
+        .find(|n| *n == name)
+}
+
 /// The parameter grid. Every axis except `seeds` may be empty, meaning
 /// "keep the base/scenario value"; the run matrix is the cross product
 /// of all non-empty axes.
@@ -185,6 +196,17 @@ pub struct Grid {
     pub fault_rate_per_hour: Vec<u32>,
     /// `CLOCK_SYNCTIME` disciplines.
     pub disciplines: Vec<SyncClockDiscipline>,
+    /// Adversary strategies ([`ByzantineStrategy::NAMES`] presets),
+    /// applied to the compromised GMs from strike time onward.
+    pub strategies: Vec<String>,
+    /// Number of compromised GM domains per run (`0` is the honest
+    /// control cell; `f + 1` and beyond are negative-control cells).
+    pub compromised: Vec<usize>,
+    /// Per-link i.i.d. frame-loss probabilities, in permille (‰).
+    pub loss_permille: Vec<u32>,
+    /// Partition durations in seconds: node 0 is cut off the switch
+    /// mesh 2 s after the warm-up for this long (`0` means no cut).
+    pub partition_s: Vec<u64>,
 }
 
 impl Grid {
@@ -199,6 +221,10 @@ impl Grid {
             * axis(self.kernels.len())
             * axis(self.fault_rate_per_hour.len())
             * axis(self.disciplines.len())
+            * axis(self.strategies.len())
+            * axis(self.compromised.len())
+            * axis(self.loss_permille.len())
+            * axis(self.partition_s.len())
     }
 
     fn to_json(&self) -> Json {
@@ -247,6 +273,37 @@ impl Grid {
                         .collect(),
                 ),
             ),
+            (
+                "strategies",
+                Json::Array(
+                    self.strategies
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "compromised",
+                Json::Array(
+                    self.compromised
+                        .iter()
+                        .map(|&n| Json::UInt(n as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "loss_permille",
+                Json::Array(
+                    self.loss_permille
+                        .iter()
+                        .map(|&p| Json::UInt(u64::from(p)))
+                        .collect(),
+                ),
+            ),
+            (
+                "partition_s",
+                Json::Array(self.partition_s.iter().map(|&s| Json::UInt(s)).collect()),
+            ),
         ])
     }
 
@@ -275,6 +332,12 @@ impl Grid {
                 x.as_u64().and_then(|r| u32::try_from(r).ok())
             })?,
             disciplines: list(v, "disciplines", |x| x.as_str().and_then(parse_discipline))?,
+            strategies: list(v, "strategies", |x| x.as_str().map(str::to_string))?,
+            compromised: list(v, "compromised", |x| x.as_u64().map(|n| n as usize))?,
+            loss_permille: list(v, "loss_permille", |x| {
+                x.as_u64().and_then(|p| u32::try_from(p).ok())
+            })?,
+            partition_s: list(v, "partition_s", Json::as_u64)?,
         })
     }
 }
@@ -376,6 +439,30 @@ impl CampaignSpec {
         if self.base.warmup_s.is_some_and(|w| w < 0) {
             return Err(SpecError::Invalid("negative warmup".to_string()));
         }
+        for s in &self.grid.strategies {
+            if strategy_static(s).is_none() {
+                return Err(SpecError::Value("grid.strategies[]".to_string(), s.clone()));
+            }
+        }
+        if let Some(&n) = self.grid.compromised.iter().find(|&&n| n > 3) {
+            return Err(SpecError::Invalid(format!(
+                "compromised axis value {n} exceeds the 3 strikeable GM domains"
+            )));
+        }
+        if let Some(&p) = self.grid.loss_permille.iter().find(|&&p| p > 1000) {
+            return Err(SpecError::Invalid(format!(
+                "loss_permille axis value {p} is not a probability (max 1000)"
+            )));
+        }
+        if !self.grid.partition_s.is_empty() {
+            let end = 2 + *self.grid.partition_s.iter().max().expect("non-empty") as i64;
+            let duration = self.base.duration_s.unwrap_or(60);
+            if end >= duration {
+                return Err(SpecError::Invalid(format!(
+                    "partition_s axis reaches {end} s, beyond the {duration} s measured duration"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -442,11 +529,12 @@ impl CampaignSpec {
     }
 
     /// Names of the built-in specs (see [`CampaignSpec::builtin`]).
-    pub const BUILTINS: [&'static str; 4] = [
+    pub const BUILTINS: [&'static str; 5] = [
         "quick-baseline",
         "repro-all",
         "abl2-domains",
         "abl3-sync-interval",
+        "adversary-sweep",
     ];
 
     /// A built-in spec by name.
@@ -457,7 +545,11 @@ impl CampaignSpec {
     ///   campaign-engine port of the `repro_all` figure runner);
     /// * `abl2-domains` — domains M ∈ {4,5,6,7} × 4 seeds (ABL2);
     /// * `abl3-sync-interval` — S ∈ {62,125,250,500} ms × 4 seeds,
-    ///   staleness = 4·S (ABL3).
+    ///   staleness = 4·S (ABL3);
+    /// * `adversary-sweep` — every [`ByzantineStrategy`] preset ×
+    ///   compromised ∈ {1, 2} (≤ f and f + 1) × loss ∈ {0, 20} ‰ ×
+    ///   2 seeds, reporting worst-case observed precision per cell
+    ///   (48 runs; `specs/adversary_sweep.json` is its file form).
     pub fn builtin(name: &str) -> Option<CampaignSpec> {
         let spec = match name {
             "quick-baseline" => CampaignSpec {
@@ -503,6 +595,25 @@ impl CampaignSpec {
                 grid: Grid {
                     seeds: vec![13, 14, 15, 16],
                     sync_interval_ms: vec![62, 125, 250, 500],
+                    ..Grid::default()
+                },
+            },
+            "adversary-sweep" => CampaignSpec {
+                name: "adversary-sweep".to_string(),
+                base: BaseSpec {
+                    preset: Preset::Quick,
+                    duration_s: Some(30),
+                    warmup_s: Some(10),
+                },
+                scenarios: vec![ScenarioKind::Baseline],
+                grid: Grid {
+                    seeds: vec![21, 22],
+                    strategies: ByzantineStrategy::NAMES
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect(),
+                    compromised: vec![1, 2],
+                    loss_permille: vec![0, 20],
                     ..Grid::default()
                 },
             },

@@ -30,6 +30,14 @@ pub struct GroupKey {
     pub fault_rate_per_hour: Option<u32>,
     /// Clock discipline, if swept.
     pub discipline: Option<SyncClockDiscipline>,
+    /// Adversary strategy preset, if swept.
+    pub strategy: Option<&'static str>,
+    /// Compromised GM count, if swept.
+    pub compromised: Option<usize>,
+    /// Link loss in permille, if swept.
+    pub loss_permille: Option<u32>,
+    /// Partition window length in seconds, if swept.
+    pub partition_s: Option<u64>,
 }
 
 impl GroupKey {
@@ -42,6 +50,10 @@ impl GroupKey {
             kernel: coord.kernel,
             fault_rate_per_hour: coord.fault_rate_per_hour,
             discipline: coord.discipline,
+            strategy: coord.strategy,
+            compromised: coord.compromised,
+            loss_permille: coord.loss_permille,
+            partition_s: coord.partition_s,
         }
     }
 
@@ -62,6 +74,18 @@ impl GroupKey {
         }
         if let Some(d) = self.discipline {
             parts.push(discipline_name(d).to_string());
+        }
+        if let Some(s) = self.strategy {
+            parts.push(format!("adv={s}"));
+        }
+        if let Some(b) = self.compromised {
+            parts.push(format!("byz={b}"));
+        }
+        if let Some(p) = self.loss_permille {
+            parts.push(format!("loss={p}pm"));
+        }
+        if let Some(p) = self.partition_s {
+            parts.push(format!("partition={p}s"));
         }
         parts.join(" ")
     }
@@ -92,6 +116,12 @@ pub struct GroupSummary {
     pub gm_failures: Option<SampleSummary>,
     /// Monitor takeovers per run.
     pub takeovers: Option<SampleSummary>,
+    /// Degradation-machine edges (SyncState transitions) per run.
+    pub sync_transitions: Option<SampleSummary>,
+    /// Total Holdover + Freerun dwell per run (ms).
+    pub degraded_dwell_ms: Option<SampleSummary>,
+    /// Failures the monitor could not cover with a standby, per run.
+    pub uncovered_failures: Option<SampleSummary>,
     /// Mean derived bound Π + γ across seeds (ns).
     pub bound_ns_mean: f64,
 }
@@ -139,6 +169,15 @@ pub fn summarize(records: &[RunRecord]) -> Vec<GroupSummary> {
                     Some(r.counters.gm_failures as f64)
                 }),
                 takeovers: RunRecord::summarize(&members, |r| Some(r.counters.takeovers as f64)),
+                sync_transitions: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.sync_transitions as f64)
+                }),
+                degraded_dwell_ms: RunRecord::summarize(&members, |r| {
+                    Some((r.counters.holdover_ns + r.counters.freerun_ns) as f64 / 1e6)
+                }),
+                uncovered_failures: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.uncovered_failures as f64)
+                }),
                 bound_ns_mean,
             }
         })
@@ -174,6 +213,16 @@ pub fn render(groups: &[GroupSummary]) -> String {
             out.push_str(&format!(
                 "  faults/run: vm mean {:.1} (max {:.0})  gm mean {:.1} (max {:.0})  takeovers mean {:.1} (max {:.0})\n",
                 vm.mean, vm.max, gm.mean, gm.max, tk.mean, tk.max
+            ));
+        }
+        if let (Some(tr), Some(dw), Some(uc)) = (
+            &g.sync_transitions,
+            &g.degraded_dwell_ms,
+            &g.uncovered_failures,
+        ) {
+            out.push_str(&format!(
+                "  degradation/run: edges mean {:.1} (max {:.0})  dwell mean {:.1} ms (max {:.1} ms)  uncovered mean {:.1} (max {:.0})\n",
+                tr.mean, tr.max, dw.mean, dw.max, uc.mean, uc.max
             ));
         }
     }
@@ -214,6 +263,9 @@ pub fn render_json(groups: &[GroupSummary]) -> String {
                     ("vm_failures", stat(&g.vm_failures)),
                     ("gm_failures", stat(&g.gm_failures)),
                     ("takeovers", stat(&g.takeovers)),
+                    ("sync_transitions", stat(&g.sync_transitions)),
+                    ("degraded_dwell_ms", stat(&g.degraded_dwell_ms)),
+                    ("uncovered_failures", stat(&g.uncovered_failures)),
                 ])
             })
             .collect(),
@@ -232,6 +284,16 @@ pub struct DiffTolerance {
     /// Absolute slack on the same (default 500 ns), so near-zero
     /// baselines don't flag noise.
     pub p95_abs_ns: f64,
+    /// Absolute slack on the mean degraded dwell per run, in ms
+    /// (default 250 ms): sub-interval jitter in when a holdover entry
+    /// or re-acquisition lands is noise, not a regression.
+    pub dwell_ms_abs: f64,
+    /// Absolute slack on the mean degradation edges per run (default 2,
+    /// one extra Holdover ⇄ Synchronized bounce).
+    pub transitions_abs: f64,
+    /// Absolute slack on the mean uncovered failures per run
+    /// (default 0: any new uncovered window is a regression).
+    pub uncovered_abs: f64,
 }
 
 impl Default for DiffTolerance {
@@ -240,6 +302,9 @@ impl Default for DiffTolerance {
             violation_abs: 0.02,
             p95_rel: 0.10,
             p95_abs_ns: 500.0,
+            dwell_ms_abs: 250.0,
+            transitions_abs: 2.0,
+            uncovered_abs: 0.0,
         }
     }
 }
@@ -314,6 +379,36 @@ pub fn diff(
                 }
             }
         }
+        if worst.is_none() {
+            if let (Some(bd), Some(cd)) = (&b.degraded_dwell_ms, &c.degraded_dwell_ms) {
+                if cd.mean > bd.mean + tol.dwell_ms_abs {
+                    worst = Some(format!(
+                        "degraded dwell {:.1} ms -> {:.1} ms (tol +{:.0} ms)",
+                        bd.mean, cd.mean, tol.dwell_ms_abs
+                    ));
+                }
+            }
+        }
+        if worst.is_none() {
+            if let (Some(bt), Some(ct)) = (&b.sync_transitions, &c.sync_transitions) {
+                if ct.mean > bt.mean + tol.transitions_abs {
+                    worst = Some(format!(
+                        "degradation edges {:.1} -> {:.1} (tol +{:.1})",
+                        bt.mean, ct.mean, tol.transitions_abs
+                    ));
+                }
+            }
+        }
+        if worst.is_none() {
+            if let (Some(bu), Some(cu)) = (&b.uncovered_failures, &c.uncovered_failures) {
+                if cu.mean > bu.mean + tol.uncovered_abs {
+                    worst = Some(format!(
+                        "uncovered failures {:.2} -> {:.2} (tol +{:.2})",
+                        bu.mean, cu.mean, tol.uncovered_abs
+                    ));
+                }
+            }
+        }
         match worst {
             Some(reason) => {
                 lines.push(format!("REGRESS  {}: {reason}", b.key.label()));
@@ -357,6 +452,10 @@ mod tests {
                 kernel: None,
                 fault_rate_per_hour: None,
                 discipline: Some(discipline),
+                strategy: None,
+                compromised: None,
+                loss_permille: None,
+                partition_s: None,
             },
             seed: seed * 1000,
             counters: RunCounters::default(),
@@ -381,6 +480,7 @@ mod tests {
                 p99_ns: p95 + 500,
             }),
             fraction_within_bound: within,
+            transitions: Vec::new(),
         }
     }
 
@@ -424,6 +524,33 @@ mod tests {
         let bad = summarize(&records(4000, 0.90));
         let d = diff(&base, &bad, DiffTolerance::default());
         assert_eq!(d.verdict, DiffVerdict::Regression);
+    }
+
+    #[test]
+    fn diff_flags_degradation_regressions() {
+        let base = summarize(&records(4000, 1.0));
+        // Longer degraded dwell beyond tolerance → regression.
+        let mut worse: Vec<RunRecord> = records(4000, 1.0);
+        for r in &mut worse {
+            r.counters.sync_transitions = 3;
+            r.counters.holdover_ns = 400_000_000; // 400 ms
+        }
+        let d = diff(&base, &summarize(&worse), DiffTolerance::default());
+        assert_eq!(d.verdict, DiffVerdict::Regression);
+        assert!(d.lines.iter().any(|l| l.contains("degraded dwell")));
+        // A single new uncovered failure regresses at zero tolerance.
+        let mut uncovered: Vec<RunRecord> = records(4000, 1.0);
+        uncovered[0].counters.uncovered_failures = 1;
+        let d = diff(&base, &summarize(&uncovered), DiffTolerance::default());
+        assert_eq!(d.verdict, DiffVerdict::Regression);
+        assert!(d.lines.iter().any(|l| l.contains("uncovered failures")));
+        // Small dwell within tolerance stays parity.
+        let mut ok: Vec<RunRecord> = records(4000, 1.0);
+        for r in &mut ok {
+            r.counters.holdover_ns = 100_000_000; // 100 ms < 250 ms slack
+        }
+        let d = diff(&base, &summarize(&ok), DiffTolerance::default());
+        assert_eq!(d.verdict, DiffVerdict::Parity);
     }
 
     #[test]

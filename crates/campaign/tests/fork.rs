@@ -6,6 +6,7 @@
 use clocksync::scenario::ScenarioKind;
 use std::path::{Path, PathBuf};
 use tsn_campaign::{runner, BaseSpec, CampaignSpec, Grid, RunnerOptions};
+use tsn_time::SyncState;
 
 /// Baseline plus an intervention scenario: with prefix-relative seed
 /// derivation, each seed yields one warm-prefix group of two runs.
@@ -84,6 +85,89 @@ fn forked_campaign_matches_cold_campaign_byte_for_byte() {
     for (x, y) in cold.records.iter().zip(&forked.records) {
         assert_eq!(x, y);
     }
+
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    let _ = std::fs::remove_dir_all(&fork_dir);
+}
+
+/// The acceptance scenario of the adversary/degradation layer: a
+/// trim-edge adversary plus a partition that starves node 0 below the
+/// FTA quorum. The Synchronized → Holdover → Freerun → Synchronized
+/// walk must be readable from the *campaign artifacts* (not just the
+/// in-memory run result) and byte-identical between cold and forked
+/// execution.
+#[test]
+fn degradation_walk_is_in_artifacts_and_fork_stable() {
+    let spec = CampaignSpec {
+        name: "fork-degradation".to_string(),
+        base: BaseSpec {
+            preset: tsn_campaign::Preset::Quick,
+            duration_s: Some(22),
+            warmup_s: Some(6),
+        },
+        scenarios: vec![ScenarioKind::Baseline],
+        grid: Grid {
+            seeds: vec![41],
+            strategies: vec!["trim-edge".to_string()],
+            compromised: vec![1],
+            partition_s: vec![0, 12],
+            ..Grid::default()
+        },
+    };
+    let cold_dir = scratch("deg-cold");
+    let fork_dir = scratch("deg-fork");
+
+    let cold = runner::execute(&spec, &opts(&cold_dir, false)).expect("cold campaign");
+    assert_eq!(cold.executed, 2);
+    let forked = runner::execute(&spec, &opts(&fork_dir, true)).expect("forked campaign");
+    // Both variants (partitioned and not) share the seed's warm prefix.
+    assert_eq!(forked.forked_groups, 1);
+    assert_eq!(
+        artifact_bytes(&cold_dir),
+        artifact_bytes(&fork_dir),
+        "forked artifacts differ from cold artifacts"
+    );
+
+    // Re-read the partitioned run purely from disk and walk its
+    // recorded transitions.
+    let records = runner::load(&spec, &cold_dir).expect("artifacts load");
+    let partitioned = records
+        .iter()
+        .find(|r| r.coord.partition_s == Some(12))
+        .expect("partitioned run present");
+    let warmup_ns = 6_000_000_000;
+    let walk: Vec<(SyncState, SyncState)> = partitioned
+        .transitions
+        .iter()
+        .filter(|t| t.at_ns >= warmup_ns && t.node == 0 && t.slot == 0)
+        .map(|t| (t.from, t.to))
+        .collect();
+    assert_eq!(
+        walk.first(),
+        Some(&(SyncState::Synchronized, SyncState::Holdover)),
+        "artifact walk did not enter holdover first: {walk:?}"
+    );
+    assert!(
+        walk.contains(&(SyncState::Holdover, SyncState::Freerun)),
+        "artifact walk never reached freerun: {walk:?}"
+    );
+    assert_eq!(
+        walk.last(),
+        Some(&(SyncState::Freerun, SyncState::Synchronized)),
+        "artifact walk did not re-acquire: {walk:?}"
+    );
+    // The unpartitioned sibling records no post-warmup degradation.
+    let baseline = records
+        .iter()
+        .find(|r| r.coord.partition_s == Some(0))
+        .expect("unpartitioned run present");
+    assert!(
+        baseline
+            .transitions
+            .iter()
+            .all(|t| t.at_ns < warmup_ns || t.node != 0),
+        "unpartitioned run degraded node 0 post-warmup"
+    );
 
     let _ = std::fs::remove_dir_all(&cold_dir);
     let _ = std::fs::remove_dir_all(&fork_dir);

@@ -6,9 +6,10 @@
 //! switches in a mesh, S = 125 ms, a 125 ms hypervisor monitor, and the
 //! fault/attack models layered on top.
 
-use tsn_faults::{AttackPlan, InjectorConfig, KernelAssignment, TransientFaultConfig};
+use tsn_faults::{AttackPlan, FaultEvent, InjectorConfig, KernelAssignment, TransientFaultConfig};
 use tsn_fta::AggregationConfig;
 use tsn_hyp::{MonitorConfig, SyncClockDiscipline};
+use tsn_netsim::LinkFaultPlan;
 use tsn_time::{JitterConfig, Nanos, OscillatorConfig, ServoConfig};
 
 /// Full configuration of one experiment run.
@@ -84,6 +85,19 @@ pub struct TestbedConfig {
     /// Fault-injection schedule configuration (None for the cyber
     /// experiment, which only uses the attacker).
     pub fault_injection: Option<InjectorConfig>,
+    /// Explicit fail-silent VM shutdowns, used verbatim instead of a
+    /// generated [`tsn_faults::FaultSchedule`] (deterministic scenario
+    /// construction in tests/campaigns). Mutually exclusive with
+    /// `fault_injection`.
+    pub explicit_faults: Option<Vec<FaultEvent>>,
+    /// Network fault model: per-link loss (i.i.d. and burst), asymmetric
+    /// delay injection, and timed link-down windows. All activity starts
+    /// strictly after the warm-up so the warm prefix stays byte-identical.
+    pub link_faults: Option<LinkFaultPlan>,
+    /// Timed partition of one node: every inter-switch link incident to
+    /// the node's switch goes down for the window (relative to the end of
+    /// the warm-up).
+    pub partition: Option<PartitionWindow>,
     /// Measured experiment duration (excludes warm-up).
     pub duration: Nanos,
     /// Warm-up before measurement starts (initial synchronization per
@@ -124,6 +138,18 @@ pub enum HypMonitorMode {
     /// Majority vote over per-VM candidate parameters (2f + 1
     /// redundancy).
     Voting,
+}
+
+/// A timed isolation window for one node (see
+/// [`TestbedConfig::partition`]).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PartitionWindow {
+    /// The node to cut off from the mesh.
+    pub node: usize,
+    /// Window start, relative to the end of the warm-up.
+    pub from: Nanos,
+    /// Window end (exclusive), relative to the end of the warm-up.
+    pub until: Nanos,
 }
 
 /// A Byzantine dependent-clock writer (see
@@ -200,6 +226,9 @@ impl TestbedConfig {
             kernels: KernelAssignment::identical(4),
             attack: AttackPlan::none(),
             fault_injection: None,
+            explicit_faults: None,
+            link_faults: None,
+            partition: None,
             duration: Nanos::from_secs(3600),
             warmup: Nanos::from_secs(30),
             measurement_node: 1,
@@ -280,6 +309,28 @@ impl TestbedConfig {
         }
         for s in self.attack.strikes() {
             assert!(s.target_node < self.nodes, "strike target out of range");
+        }
+        if let Some(faults) = &self.explicit_faults {
+            assert!(
+                self.fault_injection.is_none(),
+                "explicit_faults and fault_injection are mutually exclusive"
+            );
+            for f in faults {
+                assert!(f.node < self.nodes, "explicit fault node out of range");
+                assert!(
+                    f.reboot_at > f.at,
+                    "explicit fault reboot must follow the failure"
+                );
+            }
+        }
+        if let Some(plan) = &self.link_faults {
+            if let Err(e) = plan.validate() {
+                panic!("invalid link fault plan: {e}");
+            }
+        }
+        if let Some(p) = &self.partition {
+            assert!(p.node < self.nodes, "partition node out of range");
+            assert!(p.until > p.from, "partition window empty or inverted");
         }
     }
 }

@@ -39,7 +39,9 @@ pub mod scenario;
 pub mod snapshot;
 mod world;
 
-pub use config::{BackgroundTraffic, CorruptPublisher, HypMonitorMode, TestbedConfig};
+pub use config::{
+    BackgroundTraffic, CorruptPublisher, HypMonitorMode, PartitionWindow, TestbedConfig,
+};
 pub use world::{RunCounters, RunResult, World};
 
 pub use tsn_snapshot::WorldSnapshot;

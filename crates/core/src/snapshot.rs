@@ -14,7 +14,7 @@ use tsn_time::{Nanos, SimTime};
 
 /// Version of the world's encoded state schema. Bump whenever any
 /// `SnapState` implementation in the workspace changes its layout.
-pub const WORLD_STATE_VERSION: u32 = 1;
+pub const WORLD_STATE_VERSION: u32 = 2;
 
 /// Fingerprint of a configuration (FNV-1a over its canonical `Debug`
 /// rendering), binding snapshots to the configuration that produced
@@ -26,18 +26,23 @@ pub fn config_fingerprint(cfg: &TestbedConfig) -> u64 {
 /// The warm-prefix projection: `cfg` with every post-warmup intervention
 /// stripped.
 ///
-/// Strikes, injected faults, publisher corruption, and kernel diversity
-/// only act strictly after the warm-up (fault/strike times are offset by
-/// it, the corrupt publisher arms at `warmup + at`, kernels only matter
-/// to strike outcomes), so removing them leaves the warm-up evolution
+/// Strikes, injected faults, publisher corruption, kernel diversity,
+/// link faults, and partitions only act strictly after the warm-up
+/// (fault/strike/window times are offset by it, the corrupt publisher
+/// arms at `warmup + at`, kernels only matter to strike outcomes, and
+/// link faults gate all activity — including RNG draws — behind the
+/// warm-up boundary), so removing them leaves the warm-up evolution
 /// untouched. Everything else — seed, topology axes, intervals,
 /// discipline, `gm_mutual_sync` — shapes the prefix and is kept.
 pub fn warm_prefix_config(cfg: &TestbedConfig) -> TestbedConfig {
     let mut prefix = cfg.clone();
     prefix.attack = AttackPlan::none();
     prefix.fault_injection = None;
+    prefix.explicit_faults = None;
     prefix.corrupt_publisher = None;
     prefix.kernels = KernelAssignment::identical(prefix.nodes);
+    prefix.link_faults = None;
+    prefix.partition = None;
     prefix
 }
 
@@ -66,6 +71,12 @@ mod tests {
         let mut attacked = base.clone();
         attacked.attack = AttackPlan::paper_default();
         attacked.kernels = KernelAssignment::diverse(attacked.nodes, 3);
+        attacked.link_faults = Some(tsn_netsim::LinkFaultPlan::with_loss(0.05));
+        attacked.partition = Some(crate::config::PartitionWindow {
+            node: 1,
+            from: Nanos::from_secs(2),
+            until: Nanos::from_secs(4),
+        });
         assert_eq!(
             warm_prefix_fingerprint(&base),
             warm_prefix_fingerprint(&attacked)

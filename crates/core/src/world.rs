@@ -34,6 +34,7 @@ use tsn_netsim::{
     LaunchOutcome, MacAddr, Nic, PortAddr, PortNo, SeedSplitter, Switch, Topology, TraceDir,
     VlanTag,
 };
+use tsn_netsim::{LinkFaultPlan, LinkFaults, LinkId};
 use tsn_oracle::{Observation, OracleConfig, OracleRegistry};
 use tsn_time::{ClockTime, Nanos, Oscillator, Phc, ServoOutput, SimTime};
 
@@ -99,6 +100,8 @@ enum Ev {
     PortFree { from: PortAddr },
     /// Best-effort background traffic generator tick for one port.
     BackgroundTick { port: PortAddr },
+    /// Edge of link-down window `i` (`down = true` opens it).
+    LinkWindow { i: usize, down: bool },
 }
 
 /// One clock-synchronization VM.
@@ -108,6 +111,9 @@ struct VmState {
     osc: Oscillator,
     running: bool,
     compromised: bool,
+    /// Index into the attack plan of the strike that compromised this
+    /// VM; drives the per-tick Byzantine strategy offset.
+    strike_idx: Option<usize>,
     /// Only the slot-0 (GM) VM has a master for its node's domain.
     master: Option<SyncMaster>,
     /// `true` while the GM VM is actively serving its domain.
@@ -163,6 +169,14 @@ pub struct RunCounters {
     pub strikes_failed: u64,
     /// Frames that had to wait in an egress queue.
     pub frames_queued: u64,
+    /// Degradation state transitions across all aggregators.
+    pub sync_transitions: u64,
+    /// Total time any aggregator spent in Holdover (ns).
+    pub holdover_ns: u64,
+    /// Total time any aggregator spent in Freerun (ns).
+    pub freerun_ns: u64,
+    /// Active-VM failures the monitors could not cover (no standby).
+    pub uncovered_failures: u64,
 }
 
 /// The result of one experiment run.
@@ -207,6 +221,15 @@ pub struct World {
     schedule: Vec<FaultEvent>,
     transient: TransientFaults<StdRng>,
     frame_rng: StdRng,
+    /// Link-fault runtime state (always present; a no-op plan draws no
+    /// randomness and drops nothing).
+    link_faults: LinkFaults,
+    /// Dedicated RNG stream for the probabilistic loss models, drawn
+    /// only strictly after the warm-up so the warm prefix stays shared.
+    linkfault_rng: StdRng,
+    /// Resolved link-down windows `(link, from, until)` relative to the
+    /// warm-up end: the plan's own windows plus the partition expansion.
+    down_windows: Vec<(LinkId, Nanos, Nanos)>,
     probes: HashMap<u64, Vec<ClockTime>>,
     probe_sent_at: HashMap<u64, SimTime>,
     /// Ground-truth time error of node 0's CLOCK_SYNCTIME (ns), sampled
@@ -335,6 +358,7 @@ impl World {
                     osc,
                     running: true,
                     compromised: false,
+                    strike_idx: None,
                     master,
                     gm_active: false,
                     slaves: (0..n as u8).map(SyncSlave::new).collect(),
@@ -462,13 +486,36 @@ impl World {
             });
         }
 
-        let schedule = match &cfg.fault_injection {
-            Some(fi) => {
+        let schedule = match (&cfg.explicit_faults, &cfg.fault_injection) {
+            (Some(events), _) => events.clone(),
+            (None, Some(fi)) => {
                 let mut rng = seeds.rng("faults");
                 FaultSchedule::generate(fi, &mut rng).events().to_vec()
             }
-            None => Vec::new(),
+            (None, None) => Vec::new(),
         };
+
+        // Link faults: resolve the plan's down windows plus the partition
+        // (every inter-switch link incident to the partitioned node's
+        // switch) into one window list the control events index into.
+        let plan = cfg.link_faults.clone().unwrap_or_else(LinkFaultPlan::none);
+        let mut down_windows: Vec<(LinkId, Nanos, Nanos)> = plan
+            .down
+            .iter()
+            .map(|w| (LinkId(w.link), w.from, w.until))
+            .collect();
+        if let Some(p) = cfg.partition {
+            let sw_dev = switch_ids[p.node];
+            for (i, link) in topo.links().iter().enumerate() {
+                let inter_switch = switch_map.contains_key(&link.a.device)
+                    && switch_map.contains_key(&link.b.device);
+                if inter_switch && (link.a.device == sw_dev || link.b.device == sw_dev) {
+                    down_windows.push((LinkId(i), p.from, p.until));
+                }
+            }
+        }
+        let link_faults = LinkFaults::new(plan, topo.links().len());
+        let linkfault_rng = seeds.rng("linkfaults");
 
         let transient = TransientFaults::new(cfg.transient, seeds.rng("transient"));
         let frame_rng = seeds.rng("frames");
@@ -487,6 +534,9 @@ impl World {
             schedule,
             transient,
             frame_rng,
+            link_faults,
+            linkfault_rng,
+            down_windows,
             probes: HashMap::new(),
             probe_sent_at: HashMap::new(),
             ground_truth_ns: Vec::new(),
@@ -565,6 +615,19 @@ impl World {
             self.queue
                 .schedule_ctl_at(s.at + self.cfg.warmup, Ev::StrikeAt(i));
         }
+        // Link-down windows toggle through the control space too, so
+        // forked continuations re-arm them alongside faults and strikes.
+        let windows = self.down_windows.clone();
+        for (i, (_, from, until)) in windows.into_iter().enumerate() {
+            self.queue.schedule_ctl_at(
+                SimTime::ZERO + self.cfg.warmup + from,
+                Ev::LinkWindow { i, down: true },
+            );
+            self.queue.schedule_ctl_at(
+                SimTime::ZERO + self.cfg.warmup + until,
+                Ev::LinkWindow { i, down: false },
+            );
+        }
     }
 
     /// Enables the runtime invariant oracle (`tsn-oracle`) for this run.
@@ -636,10 +699,14 @@ impl World {
                 self.counters.no_quorum += shm.no_quorum;
             }
             self.counters.takeovers += node.device.takeovers;
+            self.counters.uncovered_failures += node.device.uncovered_failures;
         }
         for port in self.egress.values() {
             self.counters.frames_queued += port.queued_frames;
         }
+        let (holdover_ns, freerun_ns) = self.events.degradation_dwell(self.end);
+        self.counters.holdover_ns = holdover_ns;
+        self.counters.freerun_ns = freerun_ns;
         let bounds = self.derive_bounds();
         let violations = match self.oracle.take() {
             Some(mut oracle) => {
@@ -729,7 +796,13 @@ impl World {
             Ev::StrikeAt(i) => self.on_strike(t, i),
             Ev::PortFree { from } => self.on_port_free(t, from),
             Ev::BackgroundTick { port } => self.on_background_tick(t, port),
+            Ev::LinkWindow { i, down } => self.on_link_window(i, down),
         }
+    }
+
+    fn on_link_window(&mut self, i: usize, down: bool) {
+        let (link, _, _) = self.down_windows[i];
+        self.link_faults.set_down(link, down);
     }
 
     /// 802.1Q traffic class of a frame: explicit PCP if tagged, else by
@@ -973,15 +1046,30 @@ impl World {
             }
         }
         // Cross the link.
-        let Some((_, link)) = self.topo.link_of(from) else {
+        let Some((link_id, link)) = self.topo.link_of(from) else {
             return;
         };
+        // Link-fault surface (loss, down windows, asymmetry) acts
+        // strictly after the warm-up: the shared warm prefix must not
+        // observe it, and the loss models must not draw from their RNG
+        // stream before the fork boundary.
+        let faults_active = t >= SimTime::ZERO + self.cfg.warmup;
+        if faults_active && self.link_faults.is_down(link_id) {
+            return;
+        }
         // Hardware timestamps reference the start-of-frame delimiter on
         // both ends (IEEE 1588 clause 7.3.4), so serialization time does
         // not enter the timestamped path delay; it is absorbed into the
         // link's base latency model.
-        let delay = link.delay_from(from).sample(&mut self.frame_rng);
+        let mut delay = link.delay_from(from).sample(&mut self.frame_rng);
+        let toward_b = from == link.a;
         let to = link.peer_of(from);
+        if faults_active {
+            if self.link_faults.drops(link_id, &mut self.linkfault_rng) {
+                return;
+            }
+            delay += self.link_faults.extra_delay(link_id, toward_b);
+        }
         self.queue.schedule_at(t + delay, Ev::Arrive { to, frame });
     }
 
@@ -1312,6 +1400,31 @@ impl World {
                 }
             }
         }
+        // Drain degradation-state transitions this submission produced
+        // (Synchronized → Holdover → Freerun → reacquisition) into the
+        // event log and the oracle.
+        let transitions = self.nodes[node].vms[slot].aggregator.take_transitions();
+        for (_, from, to) in transitions {
+            self.counters.sync_transitions += 1;
+            self.log(
+                t,
+                ExperimentEvent::SyncStateChange {
+                    node,
+                    slot,
+                    from,
+                    to,
+                },
+            );
+            if self.oracle.is_some() {
+                self.observe(Observation::SyncTransition {
+                    at: t,
+                    node,
+                    slot,
+                    from,
+                    to,
+                });
+            }
+        }
     }
 
     // ----- periodic activities -----------------------------------------
@@ -1351,6 +1464,19 @@ impl World {
             } else {
                 self.queue.schedule_at(t + s, Ev::GmSyncTick { node });
                 return;
+            }
+        }
+        // A compromised GM re-evaluates its Byzantine strategy every
+        // interval: the lie it serves is a function of time since the
+        // strike (ramps, oscillations, duty cycles, trim-edge hugging).
+        if self.nodes[node].vms[0].compromised {
+            if let Some(i) = self.nodes[node].vms[0].strike_idx {
+                let strike = self.cfg.attack.strikes()[i];
+                let elapsed = t - (strike.at + self.cfg.warmup);
+                let offset = strike.offset_at(elapsed, self.cfg.aggregation.validity_threshold);
+                if let Some(m) = &mut self.nodes[node].vms[0].master {
+                    m.pot_offset = offset;
+                }
             }
         }
         let vm = &mut self.nodes[node].vms[0];
@@ -1656,6 +1782,7 @@ impl World {
         let vm = &mut self.nodes[f.node].vms[slot];
         vm.running = true;
         vm.compromised = false;
+        vm.strike_idx = None;
         for s in &mut vm.slaves {
             s.reset();
         }
@@ -1684,8 +1811,10 @@ impl World {
             self.counters.strikes_succeeded += 1;
             let vm = &mut self.nodes[strike.target_node].vms[0];
             vm.compromised = true;
+            vm.strike_idx = Some(i);
             if let Some(m) = &mut vm.master {
-                m.pot_offset = strike.pot_offset;
+                m.pot_offset =
+                    strike.offset_at(Nanos::ZERO, self.cfg.aggregation.validity_threshold);
             }
             // The malicious ptp4l serves the domain unconditionally.
             vm.gm_active = true;
@@ -1985,6 +2114,11 @@ impl Snap for Ev {
                 12u8.put(w);
                 port.put(w);
             }
+            Ev::LinkWindow { i, down } => {
+                13u8.put(w);
+                i.put(w);
+                down.put(w);
+            }
         }
     }
     fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -2022,6 +2156,10 @@ impl Snap for Ev {
             12 => Ev::BackgroundTick {
                 port: Snap::get(r)?,
             },
+            13 => Ev::LinkWindow {
+                i: Snap::get(r)?,
+                down: Snap::get(r)?,
+            },
             _ => return Err(SnapError::Malformed("event discriminant")),
         })
     }
@@ -2039,6 +2177,10 @@ impl Snap for RunCounters {
         self.strikes_succeeded.put(w);
         self.strikes_failed.put(w);
         self.frames_queued.put(w);
+        self.sync_transitions.put(w);
+        self.holdover_ns.put(w);
+        self.freerun_ns.put(w);
+        self.uncovered_failures.put(w);
     }
     fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         Ok(RunCounters {
@@ -2052,6 +2194,10 @@ impl Snap for RunCounters {
             strikes_succeeded: Snap::get(r)?,
             strikes_failed: Snap::get(r)?,
             frames_queued: Snap::get(r)?,
+            sync_transitions: Snap::get(r)?,
+            holdover_ns: Snap::get(r)?,
+            freerun_ns: Snap::get(r)?,
+            uncovered_failures: Snap::get(r)?,
         })
     }
 }
@@ -2065,6 +2211,10 @@ impl SnapState for VmState {
         self.osc.save_state(w);
         self.running.put(w);
         self.compromised.put(w);
+        self.strike_idx.is_some().put(w);
+        if let Some(i) = self.strike_idx {
+            i.put(w);
+        }
         self.master.is_some().put(w);
         if let Some(m) = &self.master {
             m.save_state(w);
@@ -2084,6 +2234,11 @@ impl SnapState for VmState {
         self.osc.load_state(r)?;
         self.running = Snap::get(r)?;
         self.compromised = Snap::get(r)?;
+        self.strike_idx = if bool::get(r)? {
+            Some(usize::get(r)?)
+        } else {
+            None
+        };
         if bool::get(r)? != self.master.is_some() {
             return Err(SnapError::Malformed("sync master presence"));
         }
@@ -2189,6 +2344,8 @@ impl SnapState for World {
         self.series.save_state(w);
         self.events.save_state(w);
         self.counters.put(w);
+        self.link_faults.save_state(w);
+        self.linkfault_rng.put(w);
     }
 
     fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
@@ -2225,6 +2382,8 @@ impl SnapState for World {
         self.series.load_state(r)?;
         self.events.load_state(r)?;
         self.counters = Snap::get(r)?;
+        self.link_faults.load_state(r)?;
+        self.linkfault_rng = Snap::get(r)?;
         Ok(())
     }
 }

@@ -13,6 +13,7 @@
 //! fails → FTA masks the single Byzantine GM).
 
 use crate::kernel::{is_vulnerable, CveId, KernelVersion};
+use crate::strategy::ByzantineStrategy;
 use serde::{Deserialize, Serialize};
 use tsn_time::{Nanos, SimTime};
 
@@ -30,6 +31,21 @@ pub struct Strike {
     pub cve: CveId,
     /// The `preciseOriginTimestamp` shift the malicious `ptp4l` applies.
     pub pot_offset: Nanos,
+    /// Time-varying manipulation policy; `None` keeps the paper's
+    /// constant `pot_offset` behaviour.
+    #[serde(default)]
+    pub strategy: Option<ByzantineStrategy>,
+}
+
+impl Strike {
+    /// The POT shift this strike's GM applies `elapsed` after the
+    /// exploit landed (constant `pot_offset` unless a strategy is set).
+    pub fn offset_at(&self, elapsed: Nanos, validity_threshold: Nanos) -> Nanos {
+        match self.strategy {
+            Some(s) => s.offset_at(elapsed, validity_threshold),
+            None => self.pot_offset,
+        }
+    }
 }
 
 /// Outcome of an exploit attempt.
@@ -65,12 +81,14 @@ impl AttackPlan {
                     target_node: 3,
                     cve: CveId::Cve2018_18955,
                     pot_offset: PAPER_POT_OFFSET,
+                    strategy: None,
                 },
                 Strike {
                     at: SimTime::from_secs(31 * 60 + 52),
                     target_node: 0,
                     cve: CveId::Cve2018_18955,
                     pot_offset: PAPER_POT_OFFSET,
+                    strategy: None,
                 },
             ],
         }

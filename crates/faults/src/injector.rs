@@ -424,4 +424,67 @@ mod proptests {
             prop_assert_eq!(a, b);
         }
     }
+
+    /// A deliberately hostile configuration space: reboot latencies from
+    /// milliseconds up to hours (possibly exceeding the GM shutdown
+    /// period several times over), dense random shutdown rates, and
+    /// short periods — the regime where an overlap bug would surface.
+    fn arb_config_extreme() -> impl Strategy<Value = InjectorConfig> {
+        (
+            1u64..12,        // duration hours
+            2usize..8,       // nodes
+            30u64..7_200,    // gm period seconds
+            0u32..6,         // random min
+            0u32..12,        // random extra
+            1u64..7_200_000, // downtime min ms
+            0u64..7_200_000, // downtime extra ms
+        )
+            .prop_map(|(h, nodes, gm_s, rmin, rextra, dmin_ms, dextra_ms)| {
+                InjectorConfig {
+                    duration: Nanos::from_secs((h * 3600) as i64),
+                    nodes,
+                    gm_shutdown_period: Nanos::from_secs(gm_s as i64),
+                    random_per_hour_min: rmin,
+                    random_per_hour_max: rmin + rextra,
+                    downtime_min: Nanos::from_millis(dmin_ms as i64),
+                    downtime_max: Nanos::from_millis((dmin_ms + dextra_ms) as i64),
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The fault-hypothesis constraint, re-derived independently of
+        /// `respects_fault_hypothesis` (which the generator could share a
+        /// bug with): for every node, no GM downtime interval ever
+        /// intersects a redundant-VM downtime interval — for arbitrary
+        /// seeds, durations, and reboot latencies.
+        #[test]
+        fn both_vm_slots_never_down_together(cfg in arb_config_extreme(), seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = FaultSchedule::generate(&cfg, &mut rng);
+            for node in 0..cfg.nodes {
+                let of_slot = |slot: VmSlot| {
+                    s.events()
+                        .iter()
+                        .filter(|e| e.node == node && e.slot == slot)
+                        .collect::<Vec<_>>()
+                };
+                for gm in of_slot(VmSlot::Grandmaster) {
+                    for red in of_slot(VmSlot::Redundant) {
+                        let disjoint = gm.reboot_at <= red.at || red.reboot_at <= gm.at;
+                        prop_assert!(
+                            disjoint,
+                            "node {node}: GM down [{}, {}) overlaps redundant down [{}, {})",
+                            gm.at.as_nanos(),
+                            gm.reboot_at.as_nanos(),
+                            red.at.as_nanos(),
+                            red.reboot_at.as_nanos()
+                        );
+                    }
+                }
+            }
+        }
+    }
 }

@@ -9,6 +9,9 @@
 //!   argument (CVE-2018-18955);
 //! * [`AttackPlan`] / [`KernelAssignment`] — the two-strike cyber attack
 //!   of the Fig. 3 experiments, with outcomes gated on kernel diversity;
+//! * [`ByzantineStrategy`] — strategic (time-varying, boundary-hugging,
+//!   colluding) POT manipulations a compromised GM applies after
+//!   `RootObtained` (arXiv:2006.15832's worst-case adversaries);
 //! * [`FaultSchedule`] — the 24 h fail-silent shutdown schedule
 //!   (sequential GM shutdowns + random redundant-VM shutdowns under the
 //!   per-node non-overlap constraint);
@@ -38,9 +41,11 @@
 mod attacker;
 mod injector;
 mod kernel;
+mod strategy;
 mod transient;
 
 pub use attacker::{AttackPlan, KernelAssignment, Strike, StrikeOutcome, PAPER_POT_OFFSET};
 pub use injector::{DowntimeStats, FaultEvent, FaultSchedule, InjectorConfig, VmSlot};
 pub use kernel::{is_vulnerable, CveId, KernelVersion, ParseKernelVersionError};
+pub use strategy::ByzantineStrategy;
 pub use transient::{TransientFaultConfig, TransientFaults};

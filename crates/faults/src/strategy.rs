@@ -1,0 +1,351 @@
+//! Strategic Byzantine grandmaster behaviours.
+//!
+//! The paper's attacker applies one fixed −24 µs
+//! `preciseOriginTimestamp` shift. Jiang et al. (*Resilience Bounds of
+//! Network Clock Synchronization with Fault Correction*,
+//! arXiv:2006.15832) show that the worst adversary against a
+//! fault-corrected sync algorithm is *strategic*: it drifts, duty
+//! cycles, hugs the correction boundary, or colludes — a constant shift
+//! is the easiest case to mask. This module generalizes the attack into
+//! a [`ByzantineStrategy`] the compromised GM evaluates at every Sync
+//! transmission from `StrikeOutcome::RootObtained` onward.
+//!
+//! All waveforms are computed in pure integer arithmetic from the time
+//! elapsed since the strike landed, so runs are bit-reproducible across
+//! platforms and across cold/forked execution.
+
+use serde::{Deserialize, Serialize};
+use tsn_snapshot::{Reader, Snap, SnapError, Writer};
+use tsn_time::Nanos;
+
+use crate::attacker::PAPER_POT_OFFSET;
+
+/// A time-varying `preciseOriginTimestamp` manipulation policy.
+///
+/// [`ByzantineStrategy::offset_at`] maps time-since-compromise to the
+/// POT shift the malicious `ptp4l` applies. The FTA validity threshold
+/// is passed in so boundary-hugging strategies can position themselves
+/// relative to the aggregator's drop boundary (paper §II trim).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ByzantineStrategy {
+    /// The paper's fixed shift (−24 µs as the canonical point).
+    ConstantOffset {
+        /// The applied POT shift.
+        offset: Nanos,
+    },
+    /// A slow drift: `slope_per_s` of additional shift per elapsed
+    /// second, emulating a masquerading oscillator-drift fault.
+    LinearRamp {
+        /// Shift accumulated per second of compromise.
+        slope_per_s: Nanos,
+    },
+    /// A triangle wave of the given amplitude and period, probing the
+    /// servo's transient response rather than its steady state.
+    Oscillating {
+        /// Peak shift (the wave spans `[-amplitude, +amplitude]`).
+        amplitude: Nanos,
+        /// Full wave period.
+        period: Nanos,
+    },
+    /// Duty-cycled: `offset` for `on`, benign for `off`, repeating —
+    /// defeats detectors that require persistent misbehaviour.
+    Intermittent {
+        /// Shift applied during the active phase.
+        offset: Nanos,
+        /// Active-phase duration.
+        on: Nanos,
+        /// Benign-phase duration.
+        off: Nanos,
+    },
+    /// Hug the FTA drop boundary from inside: shift by
+    /// `validity_threshold − margin` so the offset stays *valid* (never
+    /// trimmed as an outlier by the median-distance check) while pulling
+    /// the average as hard as possible.
+    TrimEdge {
+        /// Safety margin kept below the validity threshold.
+        margin: Nanos,
+    },
+    /// Colluding pair member: steer toward a shared target offset so
+    /// multiple compromised GMs present a consistent false timescale.
+    Colluding {
+        /// The target offset shared by all colluders.
+        target: Nanos,
+    },
+}
+
+impl ByzantineStrategy {
+    /// The paper's attack expressed as a strategy.
+    pub fn paper_constant() -> Self {
+        ByzantineStrategy::ConstantOffset {
+            offset: PAPER_POT_OFFSET,
+        }
+    }
+
+    /// Stable kebab-case name used for campaign axes and labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ByzantineStrategy::ConstantOffset { .. } => "constant",
+            ByzantineStrategy::LinearRamp { .. } => "ramp",
+            ByzantineStrategy::Oscillating { .. } => "oscillating",
+            ByzantineStrategy::Intermittent { .. } => "intermittent",
+            ByzantineStrategy::TrimEdge { .. } => "trim-edge",
+            ByzantineStrategy::Colluding { .. } => "colluding",
+        }
+    }
+
+    /// The canonical preset behind a campaign-axis name, or `None` for
+    /// an unknown name. Parameters are chosen so every preset is a
+    /// serious adversary at the paper's operating point (15 µs validity
+    /// threshold, 125 ms sync interval).
+    pub fn named(name: &str) -> Option<Self> {
+        Some(match name {
+            "constant" => ByzantineStrategy::paper_constant(),
+            "ramp" => ByzantineStrategy::LinearRamp {
+                slope_per_s: Nanos::from_micros(2),
+            },
+            "oscillating" => ByzantineStrategy::Oscillating {
+                amplitude: Nanos::from_micros(24),
+                period: Nanos::from_secs(10),
+            },
+            "intermittent" => ByzantineStrategy::Intermittent {
+                offset: PAPER_POT_OFFSET,
+                on: Nanos::from_secs(5),
+                off: Nanos::from_secs(5),
+            },
+            "trim-edge" => ByzantineStrategy::TrimEdge {
+                margin: Nanos::from_micros(1),
+            },
+            "colluding" => ByzantineStrategy::Colluding {
+                target: Nanos::from_micros(14),
+            },
+            _ => return None,
+        })
+    }
+
+    /// Names accepted by [`ByzantineStrategy::named`], in a stable order.
+    pub const NAMES: [&'static str; 6] = [
+        "constant",
+        "ramp",
+        "oscillating",
+        "intermittent",
+        "trim-edge",
+        "colluding",
+    ];
+
+    /// The POT shift `elapsed` after the strike landed.
+    ///
+    /// `validity_threshold` is the aggregator's median-distance drop
+    /// boundary (paper: 15 µs); only [`ByzantineStrategy::TrimEdge`]
+    /// consults it.
+    pub fn offset_at(&self, elapsed: Nanos, validity_threshold: Nanos) -> Nanos {
+        match *self {
+            ByzantineStrategy::ConstantOffset { offset } => offset,
+            ByzantineStrategy::LinearRamp { slope_per_s } => {
+                let ns = i128::from(slope_per_s.as_nanos()) * i128::from(elapsed.as_nanos())
+                    / 1_000_000_000;
+                Nanos::from_nanos(clamp_i128(ns))
+            }
+            ByzantineStrategy::Oscillating { amplitude, period } => {
+                triangle(elapsed, amplitude, period)
+            }
+            ByzantineStrategy::Intermittent { offset, on, off } => {
+                let cycle = (on + off).as_nanos().max(1);
+                let phase = elapsed.as_nanos().rem_euclid(cycle);
+                if phase < on.as_nanos() {
+                    offset
+                } else {
+                    Nanos::ZERO
+                }
+            }
+            ByzantineStrategy::TrimEdge { margin } => validity_threshold - margin,
+            ByzantineStrategy::Colluding { target } => target,
+        }
+    }
+}
+
+fn clamp_i128(v: i128) -> i64 {
+    v.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64
+}
+
+/// Triangle wave through 0, peaking at `+amplitude` a quarter period in
+/// and `−amplitude` three quarters in. Integer math throughout.
+fn triangle(elapsed: Nanos, amplitude: Nanos, period: Nanos) -> Nanos {
+    let a = i128::from(amplitude.as_nanos());
+    let q = i128::from(period.as_nanos()) / 4;
+    if q == 0 {
+        return amplitude;
+    }
+    let x = i128::from(elapsed.as_nanos()).rem_euclid(4 * q);
+    let y = if x < q {
+        a * x / q
+    } else if x < 3 * q {
+        a - a * (x - q) / q
+    } else {
+        -a + a * (x - 3 * q) / q
+    };
+    Nanos::from_nanos(clamp_i128(y))
+}
+
+impl Snap for ByzantineStrategy {
+    fn put(&self, w: &mut Writer) {
+        match *self {
+            ByzantineStrategy::ConstantOffset { offset } => {
+                0u8.put(w);
+                offset.put(w);
+            }
+            ByzantineStrategy::LinearRamp { slope_per_s } => {
+                1u8.put(w);
+                slope_per_s.put(w);
+            }
+            ByzantineStrategy::Oscillating { amplitude, period } => {
+                2u8.put(w);
+                amplitude.put(w);
+                period.put(w);
+            }
+            ByzantineStrategy::Intermittent { offset, on, off } => {
+                3u8.put(w);
+                offset.put(w);
+                on.put(w);
+                off.put(w);
+            }
+            ByzantineStrategy::TrimEdge { margin } => {
+                4u8.put(w);
+                margin.put(w);
+            }
+            ByzantineStrategy::Colluding { target } => {
+                5u8.put(w);
+                target.put(w);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match u8::get(r)? {
+            0 => ByzantineStrategy::ConstantOffset {
+                offset: Snap::get(r)?,
+            },
+            1 => ByzantineStrategy::LinearRamp {
+                slope_per_s: Snap::get(r)?,
+            },
+            2 => ByzantineStrategy::Oscillating {
+                amplitude: Snap::get(r)?,
+                period: Snap::get(r)?,
+            },
+            3 => ByzantineStrategy::Intermittent {
+                offset: Snap::get(r)?,
+                on: Snap::get(r)?,
+                off: Snap::get(r)?,
+            },
+            4 => ByzantineStrategy::TrimEdge {
+                margin: Snap::get(r)?,
+            },
+            5 => ByzantineStrategy::Colluding {
+                target: Snap::get(r)?,
+            },
+            _ => return Err(SnapError::Malformed("byzantine strategy discriminant")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALIDITY: Nanos = Nanos::from_micros(15);
+
+    #[test]
+    fn constant_matches_paper_attack() {
+        let s = ByzantineStrategy::paper_constant();
+        for secs in [0i64, 1, 100, 3600] {
+            assert_eq!(
+                s.offset_at(Nanos::from_secs(secs), VALIDITY),
+                PAPER_POT_OFFSET
+            );
+        }
+    }
+
+    #[test]
+    fn ramp_is_linear_in_elapsed_time() {
+        let s = ByzantineStrategy::LinearRamp {
+            slope_per_s: Nanos::from_micros(2),
+        };
+        assert_eq!(s.offset_at(Nanos::ZERO, VALIDITY), Nanos::ZERO);
+        assert_eq!(
+            s.offset_at(Nanos::from_secs(5), VALIDITY),
+            Nanos::from_micros(10)
+        );
+        assert_eq!(
+            s.offset_at(Nanos::from_secs(10), VALIDITY),
+            Nanos::from_micros(20)
+        );
+    }
+
+    #[test]
+    fn oscillation_is_bounded_and_periodic() {
+        let amp = Nanos::from_micros(24);
+        let period = Nanos::from_secs(10);
+        let s = ByzantineStrategy::Oscillating {
+            amplitude: amp,
+            period,
+        };
+        for ms in (0..40_000i64).step_by(53) {
+            let v = s.offset_at(Nanos::from_millis(ms), VALIDITY);
+            assert!(v.abs() <= amp, "{v:?} exceeds amplitude at {ms} ms");
+            let w = s.offset_at(Nanos::from_millis(ms) + period, VALIDITY);
+            assert_eq!(v, w, "not periodic at {ms} ms");
+        }
+        // Quarter-period peaks.
+        assert_eq!(s.offset_at(Nanos::from_millis(2_500), VALIDITY), amp);
+        assert_eq!(s.offset_at(Nanos::from_millis(7_500), VALIDITY), -amp);
+        assert_eq!(s.offset_at(Nanos::ZERO, VALIDITY), Nanos::ZERO);
+    }
+
+    #[test]
+    fn intermittent_duty_cycles() {
+        let s = ByzantineStrategy::Intermittent {
+            offset: PAPER_POT_OFFSET,
+            on: Nanos::from_secs(5),
+            off: Nanos::from_secs(5),
+        };
+        assert_eq!(s.offset_at(Nanos::from_secs(1), VALIDITY), PAPER_POT_OFFSET);
+        assert_eq!(s.offset_at(Nanos::from_secs(6), VALIDITY), Nanos::ZERO);
+        assert_eq!(
+            s.offset_at(Nanos::from_secs(11), VALIDITY),
+            PAPER_POT_OFFSET
+        );
+    }
+
+    #[test]
+    fn trim_edge_stays_inside_validity_window() {
+        let s = ByzantineStrategy::TrimEdge {
+            margin: Nanos::from_micros(1),
+        };
+        let v = s.offset_at(Nanos::from_secs(7), VALIDITY);
+        assert_eq!(v, Nanos::from_micros(14));
+        assert!(v < VALIDITY);
+    }
+
+    #[test]
+    fn named_presets_cover_all_variants() {
+        let mut seen = Vec::new();
+        for n in ByzantineStrategy::NAMES {
+            let s = ByzantineStrategy::named(n).expect("preset exists");
+            assert_eq!(s.name(), n);
+            seen.push(std::mem::discriminant(&s));
+        }
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "each name maps to a distinct variant");
+        assert_eq!(ByzantineStrategy::named("nope"), None);
+    }
+
+    #[test]
+    fn snap_roundtrip() {
+        for n in ByzantineStrategy::NAMES {
+            let s = ByzantineStrategy::named(n).unwrap();
+            let mut w = Writer::new();
+            s.put(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(ByzantineStrategy::get(&mut r).unwrap(), s);
+        }
+    }
+}

@@ -24,12 +24,25 @@
 //! coordination and preserves the behavior. If the initial domain is down
 //! during a restart, the lowest-indexed live domain substitutes so a
 //! rebooted node can always rejoin.)
+//!
+//! Fault-tolerant operation additionally maintains an explicit
+//! degradation state machine ([`SyncState`]): losing the `2f+1` quorum
+//! enters *Holdover* (the PI controller's last frequency estimate keeps
+//! disciplining the clock because no new sample arrives); exhausting a
+//! configurable holdover budget declares *Freerun*; *Synchronized* is
+//! re-acquired only after a configurable number of consecutive successful
+//! aggregations, with failed re-check attempts subject to exponential
+//! backoff. Transitions are queued for the embedding world to collect via
+//! [`MultiDomainAggregator::take_transitions`].
 
 use crate::algorithm::{validity_flags, AggregationMethod};
 use crate::shmem::{FtShmem, OffsetSlot, SharedFtShmem};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use tsn_time::{ClockTime, Nanos, PiServo, ServoConfig, ServoOutput};
+use tsn_time::{ClockTime, Nanos, PiServo, ServoConfig, ServoOutput, SyncState};
+
+/// Sentinel for "never" (`adjust_last`-style negative infinity).
+const FAR_PAST: ClockTime = ClockTime::from_nanos(i64::MIN / 2);
 
 /// Configuration of the multi-domain aggregation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,6 +68,16 @@ pub struct AggregationConfig {
     /// set (diagnostic mode; the paper's FTA masks extremes by itself, so
     /// the default is `false`).
     pub exclude_invalid: bool,
+    /// How long (local clock time) the VM may stay in [`SyncState::Holdover`]
+    /// before declaring [`SyncState::Freerun`].
+    pub holdover_budget: Nanos,
+    /// Consecutive successful aggregations required to re-acquire
+    /// [`SyncState::Synchronized`] from a degraded state (hysteresis).
+    pub reacquire_consecutive: u32,
+    /// Cap on the exponential re-check backoff applied to failed
+    /// aggregation attempts while degraded (starts at one sync interval
+    /// and doubles per failed interval).
+    pub recheck_backoff_max: Nanos,
 }
 
 impl AggregationConfig {
@@ -71,6 +94,9 @@ impl AggregationConfig {
             startup_consecutive: 8,
             initial_domain: 0,
             exclude_invalid: false,
+            holdover_budget: Nanos::from_secs(2),
+            reacquire_consecutive: 4,
+            recheck_backoff_max: Nanos::from_secs(2),
         }
     }
 }
@@ -122,6 +148,25 @@ pub struct MultiDomainAggregator {
     /// of zero must not drive the startup convergence check unless it is
     /// the initial domain.
     self_domain: Option<usize>,
+    /// Explicit degradation state (fault-tolerant mode only; startup
+    /// quorum gaps do not degrade).
+    sync_state: SyncState,
+    /// When Holdover was entered (local clock; `FAR_PAST` if never).
+    holdover_since: ClockTime,
+    /// Consecutive successful aggregations while degraded.
+    reacquire_streak: u32,
+    /// Current degraded re-check backoff (`ZERO` until the first failed
+    /// degraded interval).
+    recheck_backoff: Nanos,
+    /// No aggregation attempt before this local time while degraded
+    /// (same-instant retries after a failure stay exempt, so a quorum
+    /// restored mid-interval is still picked up immediately).
+    next_attempt: ClockTime,
+    /// Local time of the last quorum failure (for the exemption above and
+    /// for once-per-interval backoff escalation).
+    last_fail_at: ClockTime,
+    /// State transitions not yet collected via [`Self::take_transitions`].
+    transitions: Vec<(ClockTime, SyncState, SyncState)>,
 }
 
 impl MultiDomainAggregator {
@@ -153,6 +198,13 @@ impl MultiDomainAggregator {
             mode: AggregationMode::Startup,
             startup_ok_streak: 0,
             self_domain: None,
+            sync_state: SyncState::Synchronized,
+            holdover_since: FAR_PAST,
+            reacquire_streak: 0,
+            recheck_backoff: Nanos::ZERO,
+            next_attempt: FAR_PAST,
+            last_fail_at: FAR_PAST,
+            transitions: Vec::new(),
         }
     }
 
@@ -176,6 +228,17 @@ impl MultiDomainAggregator {
     /// Current mode.
     pub fn mode(&self) -> AggregationMode {
         self.mode
+    }
+
+    /// Current degradation state.
+    pub fn sync_state(&self) -> SyncState {
+        self.sync_state
+    }
+
+    /// Drains the state transitions recorded since the last call, as
+    /// `(local time, from, to)` in occurrence order.
+    pub fn take_transitions(&mut self) -> Vec<(ClockTime, SyncState, SyncState)> {
+        std::mem::take(&mut self.transitions)
     }
 
     /// The configuration.
@@ -212,6 +275,13 @@ impl MultiDomainAggregator {
         if shm.adjust_last + self.config.sync_interval > now {
             return SubmitOutcome::Stored;
         }
+        // Degraded re-check backoff: after a failed interval, the next
+        // attempt waits exponentially longer (capped). Retries at the
+        // exact failure instant stay exempt so additional submissions
+        // within the same tick can complete a quorum immediately.
+        if self.sync_state.is_degraded() && now != self.last_fail_at && now < self.next_attempt {
+            return SubmitOutcome::Stored;
+        }
         self.aggregate(&mut shm, now)
     }
 
@@ -223,15 +293,74 @@ impl MultiDomainAggregator {
     }
 
     /// Resets to startup mode with cleared slots (VM restart / takeover
-    /// rejoin).
+    /// rejoin). The degradation state is reset *silently* — a rebooted VM
+    /// starts over as Synchronized without emitting a transition, so
+    /// observers never see an edge the machine does not define.
     pub fn restart(&mut self) {
         let mut shm = self.shmem.lock();
         shm.clear();
         shm.servo.reset();
-        shm.adjust_last = ClockTime::from_nanos(i64::MIN / 2);
+        shm.adjust_last = FAR_PAST;
         drop(shm);
         self.mode = AggregationMode::Startup;
         self.startup_ok_streak = 0;
+        self.sync_state = SyncState::Synchronized;
+        self.holdover_since = FAR_PAST;
+        self.reacquire_streak = 0;
+        self.recheck_backoff = Nanos::ZERO;
+        self.next_attempt = FAR_PAST;
+        self.last_fail_at = FAR_PAST;
+        self.transitions.clear();
+    }
+
+    /// Records a legal state-machine edge.
+    fn transition(&mut self, now: ClockTime, to: SyncState) {
+        let from = self.sync_state;
+        debug_assert!(from.can_transition_to(to), "illegal edge {from} -> {to}");
+        self.sync_state = to;
+        self.transitions.push((now, from, to));
+    }
+
+    /// A fault-tolerant aggregation attempt found no quorum: degrade and
+    /// arm the re-check backoff (escalated once per failed instant).
+    fn on_quorum_lost(&mut self, now: ClockTime) {
+        self.reacquire_streak = 0;
+        match self.sync_state {
+            SyncState::Synchronized => {
+                self.transition(now, SyncState::Holdover);
+                self.holdover_since = now;
+            }
+            SyncState::Holdover if now - self.holdover_since > self.config.holdover_budget => {
+                self.transition(now, SyncState::Freerun);
+            }
+            _ => {}
+        }
+        if now != self.last_fail_at {
+            self.last_fail_at = now;
+            self.next_attempt = now + self.recheck_backoff;
+            self.recheck_backoff = if self.recheck_backoff == Nanos::ZERO {
+                self.config.sync_interval
+            } else {
+                (self.recheck_backoff + self.recheck_backoff).min(self.config.recheck_backoff_max)
+            };
+        }
+    }
+
+    /// A fault-tolerant aggregation succeeded: count toward re-acquisition
+    /// (K consecutive successes required before Synchronized is declared).
+    fn on_quorum_regained(&mut self, now: ClockTime) {
+        if !self.sync_state.is_degraded() {
+            return;
+        }
+        self.reacquire_streak += 1;
+        if self.reacquire_streak >= self.config.reacquire_consecutive {
+            self.transition(now, SyncState::Synchronized);
+            self.holdover_since = FAR_PAST;
+            self.reacquire_streak = 0;
+            self.recheck_backoff = Nanos::ZERO;
+            self.next_attempt = FAR_PAST;
+            self.last_fail_at = FAR_PAST;
+        }
     }
 
     fn aggregate(&mut self, shm: &mut FtShmem, now: ClockTime) -> SubmitOutcome {
@@ -266,6 +395,9 @@ impl MultiDomainAggregator {
 
         let Some(offset) = aggregated else {
             shm.no_quorum += 1;
+            if self.mode == AggregationMode::FaultTolerant {
+                self.on_quorum_lost(now);
+            }
             return SubmitOutcome::NoQuorum;
         };
 
@@ -279,6 +411,10 @@ impl MultiDomainAggregator {
             } else {
                 self.startup_ok_streak = 0;
             }
+        }
+
+        if self.mode == AggregationMode::FaultTolerant {
+            self.on_quorum_regained(now);
         }
 
         let servo = shm.servo.sample(offset, now);
@@ -331,6 +467,18 @@ impl SnapState for MultiDomainAggregator {
         (matches!(self.mode, AggregationMode::FaultTolerant) as u8).put(w);
         self.startup_ok_streak.put(w);
         self.shmem.lock().save_state(w);
+        self.sync_state.put(w);
+        self.holdover_since.put(w);
+        self.reacquire_streak.put(w);
+        self.recheck_backoff.put(w);
+        self.next_attempt.put(w);
+        self.last_fail_at.put(w);
+        (self.transitions.len() as u64).put(w);
+        for (at, from, to) in &self.transitions {
+            at.put(w);
+            from.put(w);
+            to.put(w);
+        }
     }
 
     fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
@@ -340,7 +488,22 @@ impl SnapState for MultiDomainAggregator {
             _ => return Err(SnapError::Malformed("aggregation mode discriminant")),
         };
         self.startup_ok_streak = Snap::get(r)?;
-        self.shmem.lock().load_state(r)
+        self.shmem.lock().load_state(r)?;
+        self.sync_state = Snap::get(r)?;
+        self.holdover_since = Snap::get(r)?;
+        self.reacquire_streak = Snap::get(r)?;
+        self.recheck_backoff = Snap::get(r)?;
+        self.next_attempt = Snap::get(r)?;
+        self.last_fail_at = Snap::get(r)?;
+        let n = u64::get(r)?;
+        self.transitions.clear();
+        for _ in 0..n {
+            let at = Snap::get(r)?;
+            let from = Snap::get(r)?;
+            let to = Snap::get(r)?;
+            self.transitions.push((at, from, to));
+        }
+        Ok(())
     }
 }
 
@@ -548,6 +711,190 @@ mod tests {
             }
             o => panic!("expected aggregation, got {o:?}"),
         }
+    }
+
+    /// Drives the aggregator into FT mode, then starves it: everything
+    /// stale, a single fresh offset cannot form a quorum. Returns the
+    /// starvation instant.
+    fn to_holdover(agg: &mut MultiDomainAggregator) -> ClockTime {
+        let t = to_fta_mode(agg, ClockTime::from_nanos(1_000_000));
+        let t = t + Nanos::from_secs(10); // everything stale
+        let outs = drive_interval(agg, t, [Some(0), None, None, None]);
+        assert_eq!(outs[0], SubmitOutcome::NoQuorum);
+        assert_eq!(agg.sync_state(), SyncState::Holdover);
+        t
+    }
+
+    #[test]
+    fn quorum_loss_enters_holdover() {
+        let mut agg = aggregator();
+        let t = to_holdover(&mut agg);
+        assert_eq!(
+            agg.take_transitions(),
+            vec![(t, SyncState::Synchronized, SyncState::Holdover)]
+        );
+        assert!(agg.take_transitions().is_empty(), "drain is destructive");
+    }
+
+    #[test]
+    fn startup_quorum_gaps_do_not_degrade() {
+        let mut agg = aggregator();
+        // Startup mode, initial domain silent, only the self domain
+        // fresh: NoQuorum without a state transition.
+        agg.set_self_domain(Some(1));
+        let t = ClockTime::from_nanos(1_000_000);
+        let outs = drive_interval(&mut agg, t, [None, Some(0), None, None]);
+        assert_eq!(outs[0], SubmitOutcome::NoQuorum);
+        assert_eq!(agg.sync_state(), SyncState::Synchronized);
+        assert!(agg.take_transitions().is_empty());
+    }
+
+    #[test]
+    fn holdover_budget_exhaustion_declares_freerun() {
+        let mut agg = aggregator();
+        let t = to_holdover(&mut agg);
+        // Past the 2 s holdover budget (and past any backoff), still no
+        // quorum: Freerun.
+        let t2 = t + Nanos::from_secs(4);
+        let outs = drive_interval(&mut agg, t2, [Some(0), None, None, None]);
+        assert_eq!(outs[0], SubmitOutcome::NoQuorum);
+        assert_eq!(agg.sync_state(), SyncState::Freerun);
+        assert_eq!(
+            agg.take_transitions(),
+            vec![
+                (t, SyncState::Synchronized, SyncState::Holdover),
+                (t2, SyncState::Holdover, SyncState::Freerun),
+            ]
+        );
+    }
+
+    #[test]
+    fn reacquisition_requires_consecutive_successes() {
+        let mut agg = aggregator();
+        let mut t = to_holdover(&mut agg);
+        let k = agg.config().reacquire_consecutive;
+        // Full quorum restored at the normal cadence: K consecutive
+        // successful intervals are needed before Synchronized returns.
+        for i in 0..k {
+            t = t + S;
+            let outs = drive_interval(&mut agg, t, [Some(0), Some(5), Some(9), None]);
+            assert!(
+                outs.iter()
+                    .any(|o| matches!(o, SubmitOutcome::Aggregated(_))),
+                "interval {i}: {outs:?}"
+            );
+            let expect_sync = i + 1 >= k;
+            assert_eq!(
+                agg.sync_state() == SyncState::Synchronized,
+                expect_sync,
+                "after {} successful intervals",
+                i + 1
+            );
+        }
+        let trans = agg.take_transitions();
+        assert_eq!(trans.len(), 2);
+        assert_eq!(trans[1].1, SyncState::Holdover);
+        assert_eq!(trans[1].2, SyncState::Synchronized);
+    }
+
+    #[test]
+    fn failed_recheck_resets_reacquire_streak() {
+        let mut agg = aggregator();
+        let mut t = to_holdover(&mut agg);
+        // One successful interval…
+        t = t + S;
+        let outs = drive_interval(&mut agg, t, [Some(0), Some(5), Some(9), None]);
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, SubmitOutcome::Aggregated(_))));
+        // …then a failure (everything stale again) resets the streak.
+        t = t + Nanos::from_secs(10);
+        let outs = drive_interval(&mut agg, t, [Some(0), None, None, None]);
+        assert_eq!(outs[0], SubmitOutcome::NoQuorum);
+        // With quorum back, re-acquisition needs K fresh successes plus
+        // whatever intervals the armed backoff gates away — strictly more
+        // than K intervals in total.
+        let k = agg.config().reacquire_consecutive;
+        let mut intervals = 0u32;
+        while agg.sync_state() != SyncState::Synchronized {
+            t = t + S;
+            drive_interval(&mut agg, t, [Some(0), Some(5), Some(9), None]);
+            intervals += 1;
+            assert!(intervals < 20, "re-acquisition never completed");
+        }
+        assert!(
+            intervals > k,
+            "streak reset + backoff must cost extra intervals (took {intervals}, K = {k})"
+        );
+    }
+
+    #[test]
+    fn degraded_rechecks_back_off_exponentially() {
+        let mut agg = aggregator();
+        let t = to_holdover(&mut agg);
+        // Second failed interval arms next_attempt = t2 + S.
+        let t2 = t + S;
+        let outs = drive_interval(&mut agg, t2, [Some(0), None, None, None]);
+        assert_eq!(outs[0], SubmitOutcome::NoQuorum);
+        // Before the backoff expires a full quorum is only *stored*…
+        let t3 = t2 + Nanos::from_millis(10);
+        let outs = drive_interval(&mut agg, t3, [Some(0), Some(5), Some(9), Some(12)]);
+        assert!(
+            outs.iter().all(|o| matches!(o, SubmitOutcome::Stored)),
+            "gated attempts must store, got {outs:?}"
+        );
+        // …and once it expires the attempt runs and succeeds.
+        let t4 = t2 + S;
+        let outs = drive_interval(&mut agg, t4, [Some(0), None, None, None]);
+        assert!(
+            matches!(outs[0], SubmitOutcome::Aggregated(_)),
+            "attempt past backoff must run: {outs:?}"
+        );
+    }
+
+    #[test]
+    fn same_instant_retries_are_not_gated() {
+        let mut agg = aggregator();
+        let t = to_holdover(&mut agg);
+        // More submissions at the exact failure instant complete the
+        // quorum immediately (existing Eq. 2.1 retry semantics).
+        let outs = drive_interval(&mut agg, t, [None, Some(5), Some(9), None]);
+        assert!(
+            matches!(outs.last().unwrap(), SubmitOutcome::Aggregated(_)),
+            "same-tick quorum completion must aggregate: {outs:?}"
+        );
+    }
+
+    #[test]
+    fn restart_silently_resets_sync_state() {
+        let mut agg = aggregator();
+        to_holdover(&mut agg);
+        agg.restart();
+        assert_eq!(agg.sync_state(), SyncState::Synchronized);
+        assert!(
+            agg.take_transitions().is_empty(),
+            "restart must not emit transitions"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_degradation_state() {
+        use tsn_snapshot::{Reader, SnapState, Writer};
+        let mut agg = aggregator();
+        let t = to_holdover(&mut agg);
+        let mut w = Writer::new();
+        agg.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut copy = aggregator();
+        let mut r = Reader::new(&bytes);
+        copy.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(copy.sync_state(), SyncState::Holdover);
+        assert_eq!(
+            copy.take_transitions(),
+            vec![(t, SyncState::Synchronized, SyncState::Holdover)]
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use tsn_time::SimTime;
+use tsn_time::{SimTime, SyncState};
 
 /// Kinds of transient `ptp4l` application faults (paper §III-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -61,6 +61,18 @@ pub enum ExperimentEvent {
         /// Node index.
         node: usize,
     },
+    /// A clock-sync VM's aggregator changed degradation state
+    /// (Synchronized / Holdover / Freerun).
+    SyncStateChange {
+        /// Node index.
+        node: usize,
+        /// VM slot on the node (0 = GM VM, 1 = redundant VM).
+        slot: usize,
+        /// State left.
+        from: SyncState,
+        /// State entered.
+        to: SyncState,
+    },
 }
 
 impl ExperimentEvent {
@@ -72,7 +84,8 @@ impl ExperimentEvent {
             | ExperimentEvent::Takeover { node }
             | ExperimentEvent::Transient { node, .. }
             | ExperimentEvent::Strike { node, .. }
-            | ExperimentEvent::GmResumed { node } => node,
+            | ExperimentEvent::GmResumed { node }
+            | ExperimentEvent::SyncStateChange { node, .. } => node,
         }
     }
 
@@ -85,6 +98,7 @@ impl ExperimentEvent {
             ExperimentEvent::VmReboot { .. } => '^',
             ExperimentEvent::Strike { .. } => '!',
             ExperimentEvent::GmResumed { .. } => '+',
+            ExperimentEvent::SyncStateChange { .. } => '~',
         }
     }
 }
@@ -117,6 +131,14 @@ impl fmt::Display for ExperimentEvent {
             }
             ExperimentEvent::GmResumed { node } => {
                 write!(f, "GM of dom{} resumed", node + 1)
+            }
+            ExperimentEvent::SyncStateChange {
+                node,
+                slot,
+                from,
+                to,
+            } => {
+                write!(f, "dev{} vm{slot} sync state: {from} -> {to}", node + 1)
             }
         }
     }
@@ -163,6 +185,37 @@ impl EventLog {
     /// Counts entries matching a predicate.
     pub fn count(&self, mut pred: impl FnMut(&ExperimentEvent) -> bool) -> usize {
         self.entries.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Total time spent in each degraded state, summed over all
+    /// `(node, slot)` aggregators, as `(holdover_ns, freerun_ns)`.
+    ///
+    /// Derived from the [`ExperimentEvent::SyncStateChange`] entries;
+    /// states still open when the run ends are closed at `end`.
+    pub fn degradation_dwell(&self, end: SimTime) -> (u64, u64) {
+        let mut open: std::collections::BTreeMap<(usize, usize), (SyncState, SimTime)> =
+            std::collections::BTreeMap::new();
+        let mut holdover = 0u64;
+        let mut freerun = 0u64;
+        let mut close = |state: SyncState, since: SimTime, until: SimTime| {
+            let dt = (until - since).as_nanos().max(0) as u64;
+            match state {
+                SyncState::Holdover => holdover += dt,
+                SyncState::Freerun => freerun += dt,
+                SyncState::Synchronized => {}
+            }
+        };
+        for (at, ev) in &self.entries {
+            if let ExperimentEvent::SyncStateChange { node, slot, to, .. } = ev {
+                if let Some((prev, since)) = open.insert((*node, *slot), (*to, *at)) {
+                    close(prev, since, *at);
+                }
+            }
+        }
+        for ((_, _), (state, since)) in open {
+            close(state, since, end.max(since));
+        }
+        (holdover, freerun)
     }
 }
 
@@ -216,6 +269,18 @@ impl Snap for ExperimentEvent {
                 5u8.put(w);
                 node.put(w);
             }
+            ExperimentEvent::SyncStateChange {
+                node,
+                slot,
+                from,
+                to,
+            } => {
+                6u8.put(w);
+                node.put(w);
+                slot.put(w);
+                from.put(w);
+                to.put(w);
+            }
         }
     }
     fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -241,6 +306,12 @@ impl Snap for ExperimentEvent {
             },
             5 => ExperimentEvent::GmResumed {
                 node: Snap::get(r)?,
+            },
+            6 => ExperimentEvent::SyncStateChange {
+                node: Snap::get(r)?,
+                slot: Snap::get(r)?,
+                from: Snap::get(r)?,
+                to: Snap::get(r)?,
             },
             _ => return Err(SnapError::Malformed("experiment event discriminant")),
         })
@@ -322,6 +393,60 @@ mod tests {
         let mut log = EventLog::new();
         log.record(SimTime::from_secs(5), ExperimentEvent::Takeover { node: 0 });
         log.record(SimTime::from_secs(4), ExperimentEvent::Takeover { node: 0 });
+    }
+
+    #[test]
+    fn degradation_dwell_sums_open_and_closed_spans() {
+        let mut log = EventLog::new();
+        let change = |node, from, to| ExperimentEvent::SyncStateChange {
+            node,
+            slot: 0,
+            from,
+            to,
+        };
+        // Node 0: holdover 10 s..13 s, freerun 13 s..15 s, resync at 15 s.
+        log.record(
+            SimTime::from_secs(10),
+            change(0, SyncState::Synchronized, SyncState::Holdover),
+        );
+        log.record(
+            SimTime::from_secs(13),
+            change(0, SyncState::Holdover, SyncState::Freerun),
+        );
+        log.record(
+            SimTime::from_secs(15),
+            change(0, SyncState::Freerun, SyncState::Synchronized),
+        );
+        // Node 1: holdover from 18 s, still open at the 20 s run end.
+        log.record(
+            SimTime::from_secs(18),
+            change(1, SyncState::Synchronized, SyncState::Holdover),
+        );
+        let (holdover, freerun) = log.degradation_dwell(SimTime::from_secs(20));
+        assert_eq!(holdover, 5_000_000_000); // 3 s (node 0) + 2 s (node 1)
+        assert_eq!(freerun, 2_000_000_000);
+        assert_eq!(
+            log.entries()[0].1.to_string(),
+            "dev1 vm0 sync state: synchronized -> holdover"
+        );
+        assert_eq!(log.entries()[0].1.marker(), '~');
+    }
+
+    #[test]
+    fn sync_state_change_snap_roundtrip() {
+        use tsn_snapshot::{Reader, Writer};
+        let e = ExperimentEvent::SyncStateChange {
+            node: 2,
+            slot: 1,
+            from: SyncState::Holdover,
+            to: SyncState::Freerun,
+        };
+        let mut w = Writer::new();
+        e.put(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(ExperimentEvent::get(&mut r).unwrap(), e);
+        r.finish().unwrap();
     }
 
     #[test]

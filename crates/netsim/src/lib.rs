@@ -17,7 +17,10 @@
 //! * [`Switch`], [`Fdb`] — VLAN-aware store-and-forward relay with static
 //!   multicast filtering entries;
 //! * [`Nic`] — PHC, hardware timestamping, and ETF launch-time
-//!   transmission (including deadline-miss faults).
+//!   transmission (including deadline-miss faults);
+//! * [`LinkFaultPlan`]/[`LinkFaults`] — per-link i.i.d. and
+//!   Gilbert–Elliott burst loss, asymmetric delay injection, and timed
+//!   link-down windows (arXiv:1609.06771's degradation surface).
 //!
 //! The simulator is *sans-IO with respect to protocols*: `tsn-gptp`'s
 //! engines are pure state machines; the experiment world in the
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod frame;
+mod linkfault;
 mod nic;
 mod qdisc;
 mod queue;
@@ -59,6 +63,7 @@ mod topology;
 mod trace;
 
 pub use frame::{ethertype, DecodeFrameError, EthernetFrame, MacAddr, VlanTag};
+pub use linkfault::{AsymmetricDelay, BurstLoss, LinkDownWindow, LinkFaultPlan, LinkFaults};
 pub use nic::{LaunchOutcome, Nic};
 pub use qdisc::EgressPort;
 pub use queue::{EventQueue, CTL_SEQ_BASE};

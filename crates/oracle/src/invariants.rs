@@ -6,8 +6,9 @@
 //! hide inside the oracle too.
 
 use crate::{Invariant, Observation};
+use std::collections::BTreeMap;
 use tsn_metrics::{drift_offset, precision_bound, ViolationLog};
-use tsn_time::{Nanos, Ppb, SimTime};
+use tsn_time::{Nanos, Ppb, SimTime, SyncState};
 
 /// Extra oscillator-rate allowance for `CLOCK_SYNCTIME` continuity on
 /// top of the servo's frequency clamp (covers host/PHC oscillator
@@ -412,6 +413,147 @@ impl Invariant for BoundAlgebra {
     }
 }
 
+/// Degradation-machine legality: every emitted transition must be a
+/// defined edge of the `SyncState` machine (Synchronized → Holdover,
+/// Holdover → Freerun, Holdover/Freerun → Synchronized). A VM restart
+/// resets the machine *silently*, so observed transitions need not chain
+/// onto each other — but each individual edge must be legal.
+#[derive(Debug, Default)]
+pub struct SyncStateLegality;
+
+impl SyncStateLegality {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        SyncStateLegality
+    }
+}
+
+impl Invariant for SyncStateLegality {
+    fn name(&self) -> &'static str {
+        "sync-state-legality"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        let Observation::SyncTransition {
+            at,
+            node,
+            slot,
+            from,
+            to,
+        } = obs
+        else {
+            return;
+        };
+        if !from.can_transition_to(*to) {
+            log.record(
+                *at,
+                self.name(),
+                format!("node{node}.vm{slot}.aggregator"),
+                format!("illegal degradation edge {from} -> {to}"),
+            );
+        }
+    }
+}
+
+/// Bounded coasting (holdover drift): while every aggregator of a node
+/// that has ever reported a transition sits in Holdover, the node's
+/// `CLOCK_SYNCTIME` holds the last PI frequency estimate — so over the
+/// *whole* holdover span its advance may deviate from true time by at
+/// most one step allowance plus `(clamp + oscillator margin) · Δt`.
+/// Unlike [`SynctimeContinuity`] (which re-grants the step allowance on
+/// every reading pair), this budget is cumulative from holdover entry.
+/// Freerun claims nothing.
+#[derive(Debug)]
+pub struct HoldoverDrift {
+    warmup: SimTime,
+    step: Nanos,
+    slew_ppb: Ppb,
+    /// Last reported state per `(node, slot)`.
+    states: BTreeMap<(usize, usize), SyncState>,
+    /// Per node: first synctime reading observed while coasting.
+    baseline: BTreeMap<usize, (SimTime, i64)>,
+}
+
+impl HoldoverDrift {
+    /// Creates the checker. `step` is the phc2sys step threshold and
+    /// `slew_ppb` the servo frequency clamp.
+    pub fn new(warmup: SimTime, step: Nanos, slew_ppb: Ppb) -> Self {
+        HoldoverDrift {
+            warmup,
+            step,
+            slew_ppb,
+            states: BTreeMap::new(),
+            baseline: BTreeMap::new(),
+        }
+    }
+
+    /// `true` while every tracked slot of `node` is in Holdover (and at
+    /// least one is tracked).
+    fn coasting(&self, node: usize) -> bool {
+        let mut any = false;
+        for ((n, _), s) in &self.states {
+            if *n == node {
+                if *s != SyncState::Holdover {
+                    return false;
+                }
+                any = true;
+            }
+        }
+        any
+    }
+}
+
+impl Invariant for HoldoverDrift {
+    fn name(&self) -> &'static str {
+        "holdover-drift"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        match obs {
+            Observation::SyncTransition { node, slot, to, .. } => {
+                self.states.insert((*node, *slot), *to);
+                if !self.coasting(*node) {
+                    self.baseline.remove(node);
+                }
+            }
+            Observation::Synctime {
+                at,
+                node,
+                synctime_ns,
+            } => {
+                if *at < self.warmup || !self.coasting(*node) {
+                    return;
+                }
+                let Some((t0, s0)) = self.baseline.get(node).copied() else {
+                    self.baseline.insert(*node, (*at, *synctime_ns));
+                    return;
+                };
+                let dt = at.as_nanos() as i64 - t0.as_nanos() as i64;
+                let ds = *synctime_ns - s0;
+                let budget = self.step.as_nanos()
+                    + CONTINUITY_MARGIN_NS
+                    + ((dt as f64) * (self.slew_ppb + OSC_MARGIN_PPB) * 1e-9).ceil() as i64;
+                if (ds - dt).abs() > budget {
+                    log.record(
+                        *at,
+                        self.name(),
+                        format!("node{node}.synctime"),
+                        format!(
+                            "holdover drift {}ns over {dt}ns of coasting \
+                             exceeds budget {budget}ns",
+                            (ds - dt).abs()
+                        ),
+                    );
+                    // Re-anchor so one runaway reading yields one record,
+                    // not one per subsequent reading.
+                    self.baseline.insert(*node, (*at, *synctime_ns));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -731,6 +873,119 @@ mod tests {
         inv.observe(&bounds_obs(12_000), &mut l);
         assert_eq!(l.len(), 1);
         assert!(l.records()[0].witness.contains("12636"));
+    }
+
+    fn transition(
+        at_s: u64,
+        node: usize,
+        slot: usize,
+        from: SyncState,
+        to: SyncState,
+    ) -> Observation<'static> {
+        Observation::SyncTransition {
+            at: SimTime::from_secs(at_s),
+            node,
+            slot,
+            from,
+            to,
+        }
+    }
+
+    #[test]
+    fn legality_accepts_machine_edges() {
+        let mut inv = SyncStateLegality::new();
+        let mut l = log();
+        let s = SyncState::Synchronized;
+        let h = SyncState::Holdover;
+        let f = SyncState::Freerun;
+        for (from, to) in [(s, h), (h, f), (h, s), (f, s)] {
+            inv.observe(&transition(1, 0, 0, from, to), &mut l);
+        }
+        assert!(l.is_empty(), "{:?}", l.records());
+    }
+
+    #[test]
+    fn legality_flags_undefined_edges() {
+        let mut inv = SyncStateLegality::new();
+        let mut l = log();
+        // Synchronized may never jump straight to Freerun.
+        inv.observe(
+            &transition(2, 1, 0, SyncState::Synchronized, SyncState::Freerun),
+            &mut l,
+        );
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.records()[0].invariant, "sync-state-legality");
+        assert!(l.records()[0].witness.contains("synchronized -> freerun"));
+    }
+
+    #[test]
+    fn holdover_drift_accepts_coasting_within_budget() {
+        let mut inv = HoldoverDrift::new(SimTime::ZERO, Nanos::from_micros(20), 900_000.0);
+        let mut l = log();
+        inv.observe(
+            &transition(10, 0, 0, SyncState::Synchronized, SyncState::Holdover),
+            &mut l,
+        );
+        // 100 µs of drift over 1 s is far inside (clamp + margin) · Δt.
+        inv.observe(&synctime(10_000, 0, 10_000_000_000), &mut l);
+        inv.observe(&synctime(11_000, 0, 11_000_100_000), &mut l);
+        assert!(l.is_empty(), "{:?}", l.records());
+    }
+
+    #[test]
+    fn holdover_drift_flags_runaway_coast() {
+        let mut inv = HoldoverDrift::new(SimTime::ZERO, Nanos::from_micros(20), 900_000.0);
+        let mut l = log();
+        inv.observe(
+            &transition(10, 0, 0, SyncState::Synchronized, SyncState::Holdover),
+            &mut l,
+        );
+        inv.observe(&synctime(10_000, 0, 10_000_000_000), &mut l);
+        // 5 ms of drift over 1 s: > 1.1 ms budget.
+        inv.observe(&synctime(11_000, 0, 11_005_000_000), &mut l);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.records()[0].invariant, "holdover-drift");
+        assert!(l.records()[0].component.contains("node0"));
+    }
+
+    #[test]
+    fn holdover_drift_is_cumulative_across_readings() {
+        let mut inv = HoldoverDrift::new(SimTime::ZERO, Nanos::from_micros(20), 900_000.0);
+        let mut l = log();
+        inv.observe(
+            &transition(10, 0, 0, SyncState::Synchronized, SyncState::Holdover),
+            &mut l,
+        );
+        // Each 10 ms step drifts 15 µs — below the per-pair step
+        // allowance SynctimeContinuity grants, but after 100 steps the
+        // cumulative 1.5 ms dwarfs the ~1.13 ms whole-span budget.
+        let mut s = 10_000_000_000i64;
+        for i in 0..=100i64 {
+            inv.observe(&synctime(10_000 + 10 * i as u64, 0, s), &mut l);
+            s += 10_000_000 + 15_000;
+        }
+        assert!(
+            !l.is_empty(),
+            "cumulative drift must eventually exceed the whole-span budget"
+        );
+    }
+
+    #[test]
+    fn holdover_drift_claims_nothing_when_any_slot_is_synchronized() {
+        let mut inv = HoldoverDrift::new(SimTime::ZERO, Nanos::from_micros(20), 900_000.0);
+        let mut l = log();
+        inv.observe(
+            &transition(10, 0, 0, SyncState::Synchronized, SyncState::Holdover),
+            &mut l,
+        );
+        // The redundant VM re-acquired: the node is not coasting.
+        inv.observe(
+            &transition(10, 0, 1, SyncState::Holdover, SyncState::Synchronized),
+            &mut l,
+        );
+        inv.observe(&synctime(10_000, 0, 10_000_000_000), &mut l);
+        inv.observe(&synctime(11_000, 0, 11_050_000_000), &mut l);
+        assert!(l.is_empty(), "{:?}", l.records());
     }
 
     /// A deliberately broken fault-tolerant average: it "forgets" to trim

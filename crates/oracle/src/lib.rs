@@ -41,11 +41,12 @@
 mod invariants;
 
 pub use invariants::{
-    BoundAlgebra, EventCausality, FrameConservation, FtaContainment, ServoClamp, SynctimeContinuity,
+    BoundAlgebra, EventCausality, FrameConservation, FtaContainment, HoldoverDrift, ServoClamp,
+    SyncStateLegality, SynctimeContinuity,
 };
 pub use tsn_metrics::{ViolationLog, ViolationRecord};
 
-use tsn_time::{Nanos, Ppb, SimTime};
+use tsn_time::{Nanos, Ppb, SimTime, SyncState};
 
 /// Parameters the standard invariants need from the simulation config.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -177,6 +178,19 @@ pub enum Observation<'a> {
         /// Frames still waiting in egress queues at the end.
         residual_frames: u64,
     },
+    /// A clock-sync VM's aggregator changed degradation state.
+    SyncTransition {
+        /// Transition time.
+        at: SimTime,
+        /// Node the aggregator belongs to.
+        node: usize,
+        /// Clock-sync VM slot on that node.
+        slot: usize,
+        /// State left.
+        from: SyncState,
+        /// State entered.
+        to: SyncState,
+    },
 }
 
 /// A runtime conformance checker.
@@ -212,7 +226,7 @@ impl std::fmt::Debug for OracleRegistry {
 }
 
 impl OracleRegistry {
-    /// The standard registry: all six conformance invariants.
+    /// The standard registry: all eight conformance invariants.
     pub fn standard(cfg: OracleConfig) -> Self {
         OracleRegistry::with_invariants(vec![
             Box::new(EventCausality::new()),
@@ -225,6 +239,12 @@ impl OracleRegistry {
             Box::new(FtaContainment::new(cfg.f)),
             Box::new(ServoClamp::new(cfg.max_frequency_ppb)),
             Box::new(BoundAlgebra::new()),
+            Box::new(SyncStateLegality::new()),
+            Box::new(HoldoverDrift::new(
+                cfg.warmup,
+                cfg.step_threshold,
+                cfg.max_frequency_ppb,
+            )),
         ])
     }
 

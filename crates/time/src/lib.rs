@@ -14,7 +14,9 @@
 //!   piecewise-linear clock driven by an oscillator;
 //! * [`PiServo`] — LinuxPTP's PI servo, including first-sample frequency
 //!   estimation, step thresholds, and the ±900 ppm output clamp;
-//! * [`JitterConfig`] — the hardware timestamping error model.
+//! * [`JitterConfig`] — the hardware timestamping error model;
+//! * [`SyncState`] — the explicit Synchronized → Holdover → Freerun
+//!   degradation vocabulary driven by `tsn-fta`'s aggregator.
 //!
 //! # Example
 //!
@@ -52,10 +54,12 @@ mod jitter;
 mod oscillator;
 mod phc;
 mod servo;
+mod sync_state;
 mod units;
 
 pub use jitter::{quantize, sample_timestamp_error, JitterConfig};
 pub use oscillator::{Oscillator, OscillatorConfig};
 pub use phc::{Phc, PHC_MAX_ADJ_PPB};
 pub use servo::{PiServo, ServoConfig, ServoOutput, ServoState};
+pub use sync_state::SyncState;
 pub use units::{ClockTime, Nanos, Ppb, SimTime};

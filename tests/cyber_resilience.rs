@@ -4,8 +4,10 @@
 //! strikes are moved to 3 min and 6 min so a 10 min simulated run
 //! exercises the full before/strike-1/strike-2 sequence.
 
-use clocksync::{scenario, TestbedConfig};
-use tsn_faults::{AttackPlan, CveId, KernelAssignment, Strike, PAPER_POT_OFFSET};
+use clocksync::{scenario, TestbedConfig, World};
+use tsn_faults::{
+    AttackPlan, ByzantineStrategy, CveId, KernelAssignment, Strike, PAPER_POT_OFFSET,
+};
 use tsn_time::{Nanos, SimTime};
 
 fn compressed_attack() -> AttackPlan {
@@ -15,12 +17,14 @@ fn compressed_attack() -> AttackPlan {
             target_node: 3,
             cve: CveId::Cve2018_18955,
             pot_offset: PAPER_POT_OFFSET,
+            strategy: None,
         },
         Strike {
             at: SimTime::from_secs(360),
             target_node: 0,
             cve: CveId::Cve2018_18955,
             pot_offset: PAPER_POT_OFFSET,
+            strategy: None,
         },
     ])
 }
@@ -109,6 +113,87 @@ fn strike_events_are_logged_with_outcome() {
 }
 
 #[test]
+fn every_strategy_on_one_domain_is_masked() {
+    // Positive control for the adversary engine: with one compromised GM
+    // (≤ f = 1) every strategy — including the trim-edge boundary hugger
+    // — is absorbed by the FTA. The runtime oracle (FtaContainment among
+    // others) must stay silent and the precision bound must hold.
+    for name in ByzantineStrategy::NAMES {
+        let strategy = ByzantineStrategy::named(name).expect("preset");
+        let mut c = TestbedConfig {
+            warmup: Nanos::from_secs(6),
+            duration: Nanos::from_secs(22),
+            ..TestbedConfig::quick(61)
+        };
+        c.attack = AttackPlan::new(vec![Strike {
+            at: SimTime::from_secs(2),
+            target_node: 3,
+            cve: CveId::Cve2018_18955,
+            pot_offset: PAPER_POT_OFFSET,
+            strategy: Some(strategy),
+        }]);
+        let mut world = World::new(c);
+        world.enable_oracle();
+        let r = world.run();
+        assert_eq!(r.counters.strikes_succeeded, 1, "{name}: strike missed");
+        assert_eq!(
+            r.violations,
+            Vec::new(),
+            "{name}: oracle flagged a masked attack"
+        );
+        assert_eq!(
+            r.series.fraction_within(r.bounds.pi_plus_gamma()),
+            1.0,
+            "{name}: single Byzantine domain not masked"
+        );
+    }
+}
+
+#[test]
+fn colluding_trim_edge_beyond_f_breaks_containment() {
+    // Negative control: f + 1 = 2 colluding GMs hugging their *joint*
+    // trim edge. A lone trim-edge adversary is capped at the validity
+    // threshold τ = 15 µs (measured from the median) and the f-trim
+    // masks it; a colluding pair shifts the median itself to target/2,
+    // so both lies stay within τ of the median up to a shared target of
+    // 2τ − margin ≈ 29 µs. After the f-trim the honest nodes average
+    // one surviving lie (≈ target/2 ≈ 14.5 µs) while the compromised
+    // nodes (which never see their own lie) stay near zero — precision
+    // breaks past π + γ. FtaContainment claims nothing beyond f, so the
+    // break is asserted on the measured series, not the oracle.
+    let mut c = TestbedConfig {
+        warmup: Nanos::from_secs(6),
+        duration: Nanos::from_secs(22),
+        ..TestbedConfig::quick(11)
+    };
+    let edge = ByzantineStrategy::Colluding {
+        target: Nanos::from_micros(29),
+    };
+    c.attack = AttackPlan::new(vec![
+        Strike {
+            at: SimTime::from_secs(2),
+            target_node: 2,
+            cve: CveId::Cve2018_18955,
+            pot_offset: PAPER_POT_OFFSET,
+            strategy: Some(edge),
+        },
+        Strike {
+            at: SimTime::from_secs(2),
+            target_node: 3,
+            cve: CveId::Cve2018_18955,
+            pot_offset: PAPER_POT_OFFSET,
+            strategy: Some(edge),
+        },
+    ]);
+    let r = World::new(c).run();
+    assert_eq!(r.counters.strikes_succeeded, 2);
+    assert!(
+        r.series.fraction_within(r.bounds.pi_plus_gamma()) < 1.0,
+        "f + 1 colluding trim-edge domains must break containment"
+    );
+}
+
+#[test]
 fn single_byzantine_gm_bounded_regardless_of_direction() {
     // A +24 µs shift (opposite sign to the paper's) is masked just the
     // same: the FTA discards extremes on both sides.
@@ -118,6 +203,7 @@ fn single_byzantine_gm_bounded_regardless_of_direction() {
         target_node: 3,
         cve: CveId::Cve2018_18955,
         pot_offset: Nanos::from_micros(24),
+        strategy: None,
     }]);
     let outcome = scenario::run(c);
     let r = &outcome.result;

@@ -26,6 +26,7 @@ fn short_attack() -> AttackPlan {
         target_node: 3,
         cve: CveId::Cve2018_18955,
         pot_offset: Nanos::from_micros(-24),
+        strategy: None,
     }])
 }
 
