@@ -1,0 +1,49 @@
+//! Overhead of structured execution tracing (`tsn-trace`).
+//!
+//! Benchmarks the same short quick-preset simulation with tracing
+//! disabled, and enabled (`World::enable_trace`). The trace-off case is
+//! the one that must be free: a disarmed tracer costs one `Option`
+//! discriminant check per event, so `run_plain` here must match the
+//! other benches' plain runs — CI pins the trace-off overhead at 0 %
+//! by construction (the hot loop is identical machine code either way;
+//! this bench exists to catch anyone accidentally adding work outside
+//! the `is_some()` guard). `run_traced` measures the armed cost for the
+//! curious; it is allowed to cost more.
+
+use clocksync::{TestbedConfig, World};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tsn_time::Nanos;
+
+fn short_cfg(seed: u64) -> TestbedConfig {
+    TestbedConfig {
+        warmup: Nanos::from_secs(2),
+        duration: Nanos::from_secs(4),
+        ..TestbedConfig::quick(seed)
+    }
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(10);
+    group.bench_function("run_plain", |b| {
+        b.iter(|| {
+            let world = World::new(black_box(short_cfg(7)));
+            let result = world.run();
+            assert!(result.trace.is_none());
+            result
+        })
+    });
+    group.bench_function("run_traced", |b| {
+        b.iter(|| {
+            let mut world = World::new(black_box(short_cfg(7)));
+            world.enable_trace();
+            let result = world.run();
+            assert!(result.trace.as_ref().is_some_and(|t| t.sim_events > 0));
+            result
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

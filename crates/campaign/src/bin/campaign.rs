@@ -2,9 +2,10 @@
 //! campaigns.
 //!
 //! ```text
-//! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check]
-//! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check]
+//! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
+//! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
 //! campaign summarize --dir DIR [--json]
+//! campaign profile   --trace DIR
 //! campaign diff      --baseline DIR --candidate DIR [--tol-violation F]
 //!                    [--tol-p95-rel F] [--tol-p95-ns F] [--tol-dwell-ms F]
 //!                    [--tol-transitions F] [--tol-uncovered F]
@@ -21,16 +22,25 @@
 //! `--check` arms the runtime invariant oracle (`tsn-oracle`) on every
 //! executed run: violations are printed to stderr and the command exits
 //! 1 if any were found. Artifacts are byte-identical either way.
+//!
+//! `--trace DIR` arms the structured tracer (`tsn-trace`) on every
+//! executed run and writes one Chrome trace-event file
+//! `trace-<hash>.json` per run into DIR (open it in `ui.perfetto.dev`),
+//! plus a `profile.jsonl` stream with per-run wall time and event
+//! counts. `campaign profile --trace DIR` aggregates that stream into a
+//! per-scenario hot-spot report. Artifacts are byte-identical either
+//! way.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tsn_campaign::json::Json;
-use tsn_campaign::{runner, summary, CampaignSpec, DiffTolerance, RunnerOptions};
+use tsn_campaign::{profile, runner, summary, CampaignSpec, DiffTolerance, RunnerOptions};
 
 const USAGE: &str = "usage:
-  campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check]
-  campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check]
+  campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
+  campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
   campaign summarize --dir DIR [--json]
+  campaign profile   --trace DIR
   campaign diff      --baseline DIR --candidate DIR [--tol-violation F] [--tol-p95-rel F] [--tol-p95-ns F]
                      [--tol-dwell-ms F] [--tol-transitions F] [--tol-uncovered F]
   campaign spec      --builtin NAME
@@ -60,6 +70,7 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
     match command.as_str() {
         "run" | "resume" => cmd_run(rest),
         "summarize" => cmd_summarize(rest),
+        "profile" => cmd_profile(rest),
         "diff" => cmd_diff(rest),
         "spec" => cmd_spec(rest),
         "list" => {
@@ -145,7 +156,7 @@ fn load_spec(flags: &Flags) -> Result<CampaignSpec, String> {
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(
         args,
-        &["--builtin", "--spec", "--dir", "--threads"],
+        &["--builtin", "--spec", "--dir", "--threads", "--trace"],
         &["--quiet", "--fork", "--check"],
     )?;
     let spec = load_spec(&flags)?;
@@ -159,6 +170,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         quiet: flags.has("--quiet"),
         fork: flags.has("--fork"),
         check: flags.has("--check"),
+        trace: flags.get("--trace").map(PathBuf::from),
     };
     let report = runner::execute(&spec, &opts).map_err(|e| e.to_string())?;
     println!(
@@ -177,6 +189,15 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     print!("{}", summary::render(&summary::summarize(&report.records)));
+    if let Some(trace_dir) = &opts.trace {
+        println!(
+            "trace: {} run(s) traced into {} (open trace-<hash>.json in ui.perfetto.dev; \
+             `campaign profile --trace {}` for the hot-spot report)",
+            report.executed,
+            trace_dir.display(),
+            trace_dir.display()
+        );
+    }
     if opts.check {
         if report.violations.is_empty() {
             println!("check: no invariant violations");
@@ -229,6 +250,33 @@ fn cmd_summarize(args: &[String]) -> Result<ExitCode, String> {
     } else {
         print!("{}", summary::render(&groups));
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_profile(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["--trace"], &[])?;
+    let dir = PathBuf::from(flags.get("--trace").ok_or("--trace is required")?);
+    let entries = profile::load(&dir).map_err(|e| e.to_string())?;
+    if entries.is_empty() {
+        return Err(format!(
+            "no profiled runs in {} (run a campaign with --trace first)",
+            dir.display()
+        ));
+    }
+    let total_wall: f64 = entries.iter().map(|e| e.wall_s).sum();
+    let total_events: u64 = entries.iter().map(|e| e.sim_events).sum();
+    println!(
+        "{} profiled run(s), {:.2}s wall, {} simulated event(s) ({:.0} events/s overall)",
+        entries.len(),
+        total_wall,
+        total_events,
+        if total_wall > 0.0 {
+            total_events as f64 / total_wall
+        } else {
+            0.0
+        },
+    );
+    print!("{}", profile::render(&profile::aggregate(&entries)));
     Ok(ExitCode::SUCCESS)
 }
 

@@ -35,12 +35,14 @@
 pub mod artifact;
 pub mod json;
 pub mod matrix;
+pub mod profile;
 pub mod runner;
 pub mod spec;
 pub mod summary;
 
 pub use artifact::RunRecord;
 pub use matrix::{expand, Coord, RunPlan};
+pub use profile::{ProfileEntry, ScenarioProfile};
 pub use runner::{CampaignReport, RunViolation, RunnerOptions};
 pub use spec::{BaseSpec, CampaignSpec, Grid, KernelChoice, Preset};
 pub use summary::{DiffTolerance, DiffVerdict, GroupSummary};

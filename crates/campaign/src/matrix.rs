@@ -12,7 +12,7 @@
 
 use crate::spec::{strategy_static, BaseSpec, CampaignSpec, KernelChoice, SpecError};
 use clocksync::scenario::ScenarioKind;
-use clocksync::{PartitionWindow, TestbedConfig};
+use clocksync::TestbedConfig;
 use tsn_faults::{
     AttackPlan, ByzantineStrategy, CveId, InjectorConfig, KernelAssignment, Strike,
     PAPER_POT_OFFSET,
@@ -139,8 +139,11 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
         .grid
         .strategies
         .iter()
-        .map(|s| strategy_static(s).expect("validate() checked strategy names"))
-        .collect();
+        .map(|s| {
+            strategy_static(s)
+                .ok_or_else(|| SpecError::Value("grid.strategies[]".to_string(), s.clone()))
+        })
+        .collect::<Result<_, _>>()?;
     for &scenario in &spec.scenarios {
         for &domains in &axis(&spec.grid.domains) {
             for &sync_ms in &axis(&spec.grid.sync_interval_ms) {
@@ -170,7 +173,7 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
                                                     &base_fingerprint,
                                                     coord,
                                                     plans.len(),
-                                                ));
+                                                )?);
                                             }
                                         }
                                     }
@@ -195,21 +198,38 @@ fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
     }
 }
 
-fn plan(base: &BaseSpec, base_fingerprint: &str, coord: Coord, index: usize) -> RunPlan {
+fn plan(
+    base: &BaseSpec,
+    base_fingerprint: &str,
+    coord: Coord,
+    index: usize,
+) -> Result<RunPlan, SpecError> {
     let seed = coord.derived_seed();
-    let config = materialize(base, coord, seed);
+    let config = materialize(base, coord, seed)?;
     let hash = content_hash(base_fingerprint, &coord);
-    RunPlan {
+    Ok(RunPlan {
         index,
         coord,
         seed,
         hash,
         config,
-    }
+    })
 }
 
 /// Materializes the testbed configuration of one grid point.
-pub fn materialize(base: &BaseSpec, coord: Coord, derived_seed: u64) -> TestbedConfig {
+///
+/// # Errors
+///
+/// Returns [`SpecError::Value`] for a strategy name outside
+/// [`ByzantineStrategy::NAMES`]. [`expand`] pre-validates the spec so
+/// this never fires there, but `materialize` is public and a caller can
+/// hand it a [`Coord`] that skipped [`CampaignSpec::validate`] — bad
+/// input must be an error, never a panic.
+pub fn materialize(
+    base: &BaseSpec,
+    coord: Coord,
+    derived_seed: u64,
+) -> Result<TestbedConfig, SpecError> {
     let mut cfg = base.materialize(derived_seed);
     if let Some(m) = coord.domains {
         cfg.nodes = m;
@@ -250,8 +270,9 @@ pub fn materialize(base: &BaseSpec, coord: Coord, derived_seed: u64) -> TestbedC
     // paper's node-3 strike) all run the same strategy from +2 s. Either
     // axis alone activates the attack with the other defaulted.
     if coord.strategy.is_some() || coord.compromised.is_some() {
-        let strategy = ByzantineStrategy::named(coord.strategy.unwrap_or("constant"))
-            .expect("validate() checked strategy names");
+        let name = coord.strategy.unwrap_or("constant");
+        let strategy = ByzantineStrategy::named(name)
+            .ok_or_else(|| SpecError::Value("grid.strategies[]".to_string(), name.to_string()))?;
         let byz = coord.compromised.unwrap_or(1).min(cfg.nodes - 1);
         let strikes = (0..byz)
             .map(|k| Strike {
@@ -271,15 +292,11 @@ pub fn materialize(base: &BaseSpec, coord: Coord, derived_seed: u64) -> TestbedC
     }
     if let Some(seconds) = coord.partition_s {
         if seconds > 0 {
-            cfg.partition = Some(PartitionWindow {
-                node: 0,
-                from: Nanos::from_secs(2),
-                until: Nanos::from_secs(2 + seconds as i64),
-            });
+            cfg.partition = Some(crate::spec::partition_window(seconds));
         }
     }
     cfg.validate();
-    cfg
+    Ok(cfg)
 }
 
 impl BaseSpec {
@@ -377,6 +394,53 @@ mod tests {
         assert_ne!(a[0].hash, b[0].hash);
         // Coordinate (and thus derived seed) is unchanged.
         assert_eq!(a[0].seed, b[0].seed);
+    }
+
+    /// Regression: `materialize` used to `expect()` that validate() had
+    /// interned the strategy name — true inside `expand`, but
+    /// `materialize` is public and a hand-built [`Coord`] could reach
+    /// the panic. Bad names are a [`SpecError`] now.
+    #[test]
+    fn materialize_rejects_unknown_strategy_without_panicking() {
+        let base = BaseSpec::quick(10);
+        let mut coord = Coord {
+            scenario: ScenarioKind::Baseline,
+            seed: 1,
+            domains: None,
+            sync_interval_ms: None,
+            kernel: None,
+            fault_rate_per_hour: None,
+            discipline: None,
+            strategy: Some("no-such-strategy"),
+            compromised: None,
+            loss_permille: None,
+            partition_s: None,
+        };
+        let err = materialize(&base, coord, 7).expect_err("unknown strategy is an error");
+        assert!(matches!(err, SpecError::Value(ref f, ref v)
+            if f == "grid.strategies[]" && v == "no-such-strategy"));
+        coord.strategy = Some("constant");
+        materialize(&base, coord, 7).expect("known strategy materializes");
+    }
+
+    #[test]
+    fn partition_axis_uses_shared_window_schedule() {
+        let base = BaseSpec::quick(10);
+        let coord = Coord {
+            scenario: ScenarioKind::Baseline,
+            seed: 1,
+            domains: None,
+            sync_interval_ms: None,
+            kernel: None,
+            fault_rate_per_hour: None,
+            discipline: None,
+            strategy: None,
+            compromised: None,
+            loss_permille: None,
+            partition_s: Some(3),
+        };
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        assert_eq!(cfg.partition, Some(crate::spec::partition_window(3)));
     }
 
     #[test]

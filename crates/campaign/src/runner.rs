@@ -16,6 +16,7 @@
 
 use crate::artifact::RunRecord;
 use crate::matrix::{expand, RunPlan};
+use crate::profile::ProfileEntry;
 use crate::spec::CampaignSpec;
 use clocksync::snapshot::{checkpoint_time, warm_prefix_config, warm_prefix_fingerprint};
 use clocksync::{World, WorldSnapshot};
@@ -47,6 +48,16 @@ pub struct RunnerOptions {
     /// the warm prefix, which would blind the oracle's frame-conservation
     /// ledger, so `check` overrides [`RunnerOptions::fork`].
     pub check: bool,
+    /// Enable structured tracing ([`World::enable_trace`]) for every
+    /// executed run and write, into this directory, one Chrome
+    /// trace-event file `trace-<hash>.json` per run plus a
+    /// [`crate::profile::PROFILE_FILE`] stream with per-run wall time
+    /// and event accounting. Artifacts stay byte-identical to an
+    /// untraced campaign. Implies cold execution (a forked run's trace
+    /// would miss the shared warm prefix), so tracing overrides
+    /// [`RunnerOptions::fork`]. Resumed runs are not re-executed and
+    /// leave no trace.
+    pub trace: Option<PathBuf>,
 }
 
 impl RunnerOptions {
@@ -59,6 +70,7 @@ impl RunnerOptions {
             quiet: false,
             fork: false,
             check: false,
+            trace: None,
         }
     }
 
@@ -125,6 +137,9 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("invalid spec: {e}")))?;
     let runs_dir = opts.dir.join("runs");
     std::fs::create_dir_all(&runs_dir)?;
+    if let Some(trace_dir) = &opts.trace {
+        std::fs::create_dir_all(trace_dir)?;
+    }
     write_atomic(
         &opts.dir.join("manifest.json"),
         &manifest(spec, &plans).render(),
@@ -151,10 +166,15 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
     // checkpoint (phase 2). Singleton groups gain nothing and run cold.
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut group_of: Vec<Option<usize>> = vec![None; pending.len()];
-    if opts.fork && opts.check && !opts.quiet && !pending.is_empty() {
-        eprintln!("check: oracle enabled, running cold (fork disabled)");
+    let cold = opts.check || opts.trace.is_some();
+    if opts.fork && cold && !opts.quiet && !pending.is_empty() {
+        if opts.check {
+            eprintln!("check: oracle enabled, running cold (fork disabled)");
+        } else {
+            eprintln!("trace: tracing enabled, running cold (fork disabled)");
+        }
     }
-    if opts.fork && !opts.check {
+    if opts.fork && !cold {
         let mut by_fp: Vec<(u64, usize)> = Vec::new();
         for (i, plan) in pending.iter().enumerate() {
             if checkpoint_time(&plan.config).is_none() {
@@ -230,6 +250,7 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
         let done = AtomicUsize::new(0);
         let fresh: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::with_capacity(pending.len()));
         let found: Mutex<Vec<(usize, RunViolation)>> = Mutex::new(Vec::new());
+        let profiles: Mutex<Vec<(usize, ProfileEntry)>> = Mutex::new(Vec::new());
         let io_error: Mutex<Option<io::Error>> = Mutex::new(None);
         let progress = Progress::new(pending.len(), skipped, opts.quiet);
         std::thread::scope(|scope| {
@@ -238,19 +259,42 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(plan) = pending.get(i) else { break };
                     let snap = group_of[i].and_then(|g| snapshots[g].as_ref());
-                    let (record, run_violations) = match run_one(spec, plan, snap, opts.check) {
-                        Ok(out) => out,
-                        Err(e) => {
-                            let mut slot = io_error.lock().expect("io_error lock");
-                            slot.get_or_insert(e);
-                            break;
-                        }
-                    };
+                    let started = Instant::now();
+                    let (record, run_violations, trace_report) =
+                        match run_one(spec, plan, snap, opts.check, opts.trace.is_some()) {
+                            Ok(out) => out,
+                            Err(e) => {
+                                let mut slot = io_error.lock().expect("io_error lock");
+                                slot.get_or_insert(e);
+                                break;
+                            }
+                        };
+                    let wall_s = started.elapsed().as_secs_f64();
                     if let Err(e) = write_atomic(&artifact_path(&runs_dir, plan), &record.encode())
                     {
                         let mut slot = io_error.lock().expect("io_error lock");
                         slot.get_or_insert(e);
                         break;
+                    }
+                    if let (Some(trace_dir), Some(report)) = (&opts.trace, trace_report) {
+                        let path = trace_dir.join(format!("trace-{}.json", plan.hash));
+                        if let Err(e) = write_atomic(&path, &report.to_chrome_json()) {
+                            let mut slot = io_error.lock().expect("io_error lock");
+                            slot.get_or_insert(e);
+                            break;
+                        }
+                        let entry = ProfileEntry::new(
+                            plan.index,
+                            &plan.coord.label(),
+                            plan.coord.scenario.name(),
+                            &plan.hash,
+                            wall_s,
+                            &report,
+                        );
+                        profiles
+                            .lock()
+                            .expect("profiles lock")
+                            .push((plan.index, entry));
                     }
                     if !run_violations.is_empty() {
                         let label = plan.coord.label();
@@ -284,6 +328,16 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
         let mut found = found.into_inner().expect("violations lock");
         found.sort_by_key(|(index, _)| *index); // stable: keeps per-run order
         violations = found.into_iter().map(|(_, v)| v).collect();
+        if let Some(trace_dir) = &opts.trace {
+            let mut profiles = profiles.into_inner().expect("profiles lock");
+            profiles.sort_by_key(|(index, _)| *index);
+            let mut stream = String::new();
+            for (_, entry) in &profiles {
+                stream.push_str(&entry.encode());
+                stream.push('\n');
+            }
+            write_atomic(&trace_dir.join(crate::profile::PROFILE_FILE), &stream)?;
+        }
     }
 
     let executed = pending.len();
@@ -314,15 +368,20 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
 
 /// Executes one run, either cold from `t = 0` or forked from a shared
 /// warm-prefix checkpoint. Both paths end in the same [`RunRecord`];
-/// with `check` the cold path additionally arms the invariant oracle
-/// and returns whatever it reported (the oracle never alters the
-/// simulation, so the record is unaffected).
+/// the cold path additionally arms the invariant oracle (`check`) and
+/// the structured tracer (`trace`) on request and returns whatever they
+/// reported (both observers are passive, so the record is unaffected).
 fn run_one(
     spec: &CampaignSpec,
     plan: &RunPlan,
     snap: Option<&WorldSnapshot>,
     check: bool,
-) -> io::Result<(RunRecord, Vec<tsn_metrics::ViolationRecord>)> {
+    trace: bool,
+) -> io::Result<(
+    RunRecord,
+    Vec<tsn_metrics::ViolationRecord>,
+    Option<tsn_trace::TraceReport>,
+)> {
     let result = match snap {
         Some(snap) => {
             let mut world = World::restore(plan.config.clone(), snap).map_err(|e| {
@@ -340,11 +399,14 @@ fn run_one(
             if check {
                 world.enable_oracle();
             }
+            if trace {
+                world.enable_trace();
+            }
             world.run()
         }
     };
     let record = RunRecord::new(&spec.name, plan, &result);
-    Ok((record, result.violations))
+    Ok((record, result.violations, result.trace))
 }
 
 /// Loads every artifact of a previously executed campaign directory, in

@@ -9,7 +9,7 @@
 
 use crate::json::{Json, JsonError};
 use clocksync::scenario::ScenarioKind;
-use clocksync::TestbedConfig;
+use clocksync::{PartitionWindow, TestbedConfig};
 use tsn_faults::ByzantineStrategy;
 use tsn_hyp::SyncClockDiscipline;
 use tsn_time::Nanos;
@@ -165,6 +165,20 @@ pub fn parse_discipline(name: &str) -> Option<SyncClockDiscipline> {
         "feed_forward" => Some(SyncClockDiscipline::FeedForward),
         "feedback" => Some(SyncClockDiscipline::Feedback),
         _ => None,
+    }
+}
+
+/// The link-fault window a `partition_s` axis value generates: node 0
+/// is cut off the switch mesh 2 s after the warm-up for `seconds`.
+/// [`crate::matrix::materialize`] installs exactly this window, and
+/// [`CampaignSpec::validate`] checks its end against the measured
+/// duration — one definition, so the check can never drift from the
+/// schedule.
+pub fn partition_window(seconds: u64) -> PartitionWindow {
+    PartitionWindow {
+        node: 0,
+        from: Nanos::from_secs(2),
+        until: Nanos::from_secs(2 + seconds as i64),
     }
 }
 
@@ -455,11 +469,25 @@ impl CampaignSpec {
             )));
         }
         if !self.grid.partition_s.is_empty() {
-            let end = 2 + *self.grid.partition_s.iter().max().expect("non-empty") as i64;
-            let duration = self.base.duration_s.unwrap_or(60);
+            // Check against the window the axis actually generates
+            // (same schedule `matrix::materialize` installs) — no
+            // hardcoded start, no silently assumed duration.
+            let Some(duration) = self.base.duration_s else {
+                return Err(SpecError::Invalid(
+                    "partition_s axis requires an explicit base.duration_s \
+                     (the window end is checked against the measured duration)"
+                        .to_string(),
+                ));
+            };
+            let longest = *self.grid.partition_s.iter().max().expect("non-empty");
+            let window = partition_window(longest);
+            let end = window.until.as_nanos() / 1_000_000_000;
             if end >= duration {
                 return Err(SpecError::Invalid(format!(
-                    "partition_s axis reaches {end} s, beyond the {duration} s measured duration"
+                    "partition_s axis reaches {end} s (window {}..{} ns), beyond the \
+                     {duration} s measured duration",
+                    window.from.as_nanos(),
+                    window.until.as_nanos(),
                 )));
             }
         }
@@ -668,6 +696,38 @@ mod tests {
             CampaignSpec::parse(bad),
             Err(SpecError::Invalid(_))
         ));
+    }
+
+    /// Regression: the partition check used to hardcode `2 + max` and
+    /// silently assume 60 s when `duration_s` was omitted, so a spec
+    /// could pass validation yet schedule a window past its real
+    /// (preset) duration. The end now derives from [`partition_window`]
+    /// and a partition axis without an explicit duration is an error.
+    #[test]
+    fn partition_axis_requires_explicit_duration() {
+        // Missing duration_s with a partition axis: error, not a silent
+        // 60 s assumption.
+        let bad = r#"{"name":"x","base":{"preset":"quick"},"scenarios":["baseline"],"grid":{"seeds":[1],"partition_s":[5]}}"#;
+        let err = CampaignSpec::parse(bad).expect_err("missing duration_s must be rejected");
+        assert!(matches!(err, SpecError::Invalid(ref m) if m.contains("duration_s")));
+        // Window end derived from the generated schedule: 2 + 9 = 11 s
+        // ≥ 10 s duration.
+        let bad = r#"{"name":"x","base":{"preset":"quick","duration_s":10},"scenarios":["baseline"],"grid":{"seeds":[1],"partition_s":[9]}}"#;
+        assert!(matches!(
+            CampaignSpec::parse(bad),
+            Err(SpecError::Invalid(_))
+        ));
+        // Same axis with room to spare is fine.
+        let ok = r#"{"name":"x","base":{"preset":"quick","duration_s":20},"scenarios":["baseline"],"grid":{"seeds":[1],"partition_s":[9]}}"#;
+        CampaignSpec::parse(ok).expect("window inside the measured duration");
+    }
+
+    #[test]
+    fn partition_window_matches_materialized_schedule() {
+        let w = partition_window(5);
+        assert_eq!(w.node, 0);
+        assert_eq!(w.from, Nanos::from_secs(2));
+        assert_eq!(w.until, Nanos::from_secs(7));
     }
 
     #[test]

@@ -115,6 +115,156 @@ fn run_with_malformed_spec_exits_two_with_message() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Regression: a `partition_s` axis without an explicit `duration_s`
+/// used to pass validation by silently assuming 60 s; it is a spec
+/// error now, surfaced as a plain exit-2 message at the CLI.
+#[test]
+fn run_with_partition_axis_and_no_duration_exits_two() {
+    let dir = scratch("partition");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("bad.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"schema":1,"name":"bad","base":{"preset":"quick"},"scenarios":["baseline"],"grid":{"seeds":[1],"partition_s":[5]}}"#,
+    )
+    .unwrap();
+
+    let out = campaign(&[
+        "run",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--dir",
+        dir.join("campaign").to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "run panicked: {stderr}");
+    assert!(
+        stderr.contains("duration_s"),
+        "error does not name the missing field: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--trace` writes one Chrome trace-event file per executed run plus a
+/// profile stream, while the run artifacts stay byte-identical to an
+/// untraced campaign — the tracer observes, it never steers.
+#[test]
+fn run_with_trace_emits_valid_traces_and_identical_artifacts() {
+    use tsn_campaign::json::Json;
+    use tsn_campaign::profile::{ProfileEntry, PROFILE_FILE};
+
+    let dir = scratch("trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("tiny.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"schema":1,"name":"tiny","base":{"preset":"quick","duration_s":6,"warmup_s":3},"scenarios":["baseline"],"grid":{"seeds":[1,2]}}"#,
+    )
+    .unwrap();
+    let spec = spec_path.to_str().unwrap().to_string();
+
+    let traced_dir = dir.join("traced");
+    let plain_dir = dir.join("plain");
+    let trace_dir = dir.join("traces");
+    let traced = campaign(&[
+        "run",
+        "--spec",
+        &spec,
+        "--dir",
+        traced_dir.to_str().unwrap(),
+        "--quiet",
+        "--trace",
+        trace_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(traced.status.code(), Some(0), "{traced:?}");
+
+    let plain = campaign(&[
+        "run",
+        "--spec",
+        &spec,
+        "--dir",
+        plain_dir.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(plain.status.code(), Some(0), "{plain:?}");
+
+    // Artifact bytes are unchanged by tracing.
+    let read = |d: &std::path::Path| {
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(d.join("runs"))
+            .expect("runs dir")
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    };
+    let artifacts = read(&traced_dir);
+    assert_eq!(
+        artifacts,
+        read(&plain_dir),
+        "--trace changed artifact bytes"
+    );
+
+    // One schema-valid Chrome trace per run, named by the run's hash.
+    for (name, _) in &artifacts {
+        let hash = name
+            .strip_prefix("run-")
+            .and_then(|n| n.strip_suffix(".jsonl"))
+            .expect("artifact name shape");
+        let trace_path = trace_dir.join(format!("trace-{hash}.json"));
+        let text = std::fs::read_to_string(&trace_path)
+            .unwrap_or_else(|e| panic!("missing trace {}: {e}", trace_path.display()));
+        let v = Json::parse(&text).expect("trace file is valid JSON");
+        assert!(v.get("displayTimeUnit").is_some());
+        let events = v
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "empty trace for {hash}");
+        for ev in events {
+            for field in ["ph", "name", "pid", "tid"] {
+                assert!(ev.get(field).is_some(), "event missing {field}: {ev:?}");
+            }
+        }
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("fta_round")),
+            "trace for {hash} has no FTA rounds"
+        );
+    }
+
+    // The profile stream carries one decodable entry per run.
+    let stream = std::fs::read_to_string(trace_dir.join(PROFILE_FILE)).expect("profile stream");
+    let entries: Vec<ProfileEntry> = stream
+        .lines()
+        .map(|l| ProfileEntry::decode(l).expect("profile line decodes"))
+        .collect();
+    assert_eq!(entries.len(), artifacts.len());
+    for e in &entries {
+        assert_eq!(e.scenario, "baseline");
+        assert!(e.sim_events > 0);
+        assert!(e.wall_s >= 0.0);
+    }
+
+    // And `campaign profile` renders the per-scenario report.
+    let profile = campaign(&["profile", "--trace", trace_dir.to_str().unwrap()]);
+    assert_eq!(profile.status.code(), Some(0), "{profile:?}");
+    let stdout = String::from_utf8_lossy(&profile.stdout);
+    assert!(stdout.contains("events/s"), "no throughput: {stdout}");
+    assert!(stdout.contains("baseline"), "no scenario row: {stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn run_with_check_is_clean_and_leaves_artifacts_untouched() {
     // `--check` arms the invariant oracle: a healthy campaign passes

@@ -51,6 +51,7 @@ fn opts(dir: &Path, threads: usize) -> RunnerOptions {
         quiet: true,
         fork: false,
         check: false,
+        trace: None,
     }
 }
 

@@ -39,6 +39,7 @@ fn opts(dir: &Path, fork: bool) -> RunnerOptions {
         quiet: true,
         fork,
         check: false,
+        trace: None,
     }
 }
 

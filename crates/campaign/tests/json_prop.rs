@@ -1,0 +1,164 @@
+//! Property tests for the hand-rolled campaign JSON codec.
+//!
+//! The codec's contract is load-bearing for resume: rendering is
+//! canonical (byte-identical across threads and invocations) and
+//! parsing must accept exactly what rendering produces — for *any*
+//! value, not just the hand-picked unit-test cases. Beyond the
+//! round-trip, the parser faces machine-written-but-truncatable files
+//! (a crashed run, a partial copy), so truncated and arbitrary input
+//! must fail as an error, never as a panic or a stack overflow.
+//!
+//! Generation notes: `Int` is kept strictly negative because the
+//! canonical renderer writes non-negative integers the same way for
+//! `Int` and `UInt`, so a non-negative `Int` re-parses as `UInt` by
+//! design. Floats are kept finite because JSON has no NaN/Inf (the
+//! renderer degrades them to `null`).
+
+use proptest::prelude::*;
+use proptest::rand::rngs::StdRng;
+use proptest::rand::Rng;
+use tsn_campaign::json::Json;
+
+/// Generates an arbitrary `Json` tree of at most `depth` nested levels.
+struct ArbJson {
+    depth: usize,
+}
+
+impl proptest::strategy::Strategy for ArbJson {
+    type Value = Json;
+    fn generate(&self, rng: &mut StdRng) -> Json {
+        gen_json(rng, self.depth)
+    }
+}
+
+fn gen_json(rng: &mut StdRng, depth: usize) -> Json {
+    let arms = if depth == 0 { 6 } else { 8 };
+    match rng.gen_range(0..arms) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen()),
+        2 => {
+            // Strictly negative (see module docs); negating a positive
+            // never overflows, and i64::MIN survives as itself.
+            let v: i64 = rng.gen();
+            Json::Int(match v.cmp(&0) {
+                std::cmp::Ordering::Greater => -v,
+                std::cmp::Ordering::Equal => -1,
+                std::cmp::Ordering::Less => v,
+            })
+        }
+        3 => Json::UInt(rng.gen()),
+        4 => Json::Float(gen_float(rng)),
+        5 => Json::Str(gen_string(rng)),
+        6 => Json::Array(
+            (0..rng.gen_range(0..4))
+                .map(|_| gen_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Object(
+            (0..rng.gen_range(0..4))
+                .map(|_| (gen_string(rng), gen_json(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+/// A finite float across ~400 orders of magnitude, so the renderer's
+/// shortest form exercises both plain decimals and exponent notation.
+fn gen_float(rng: &mut StdRng) -> f64 {
+    let mantissa: f64 = rng.gen_range(-1.0e3..1.0e3);
+    let exponent: i32 = rng.gen_range(-200..200);
+    mantissa * 10f64.powi(exponent)
+}
+
+fn gen_string(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(0..12);
+    (0..n).map(|_| gen_char(rng)).collect()
+}
+
+/// Characters across every escaping regime of the writer: the quoted
+/// pair, named escapes, raw controls (`\u00xx`), plain ASCII, BMP
+/// unicode, and a non-BMP scalar (passed through as raw UTF-8).
+fn gen_char(rng: &mut StdRng) -> char {
+    match rng.gen_range(0..7) {
+        0 => '"',
+        1 => '\\',
+        2 => char::from_u32(rng.gen_range(0..0x20)).expect("control char"),
+        3 => char::from_u32(rng.gen_range(0x20..0x7f)).expect("ascii"),
+        4 => char::from_u32(rng.gen_range(0xA0..0xD800)).expect("bmp scalar"),
+        5 => char::from_u32(rng.gen_range(0x1F300..0x1F600)).expect("non-bmp scalar"),
+        _ => 'a',
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// render → parse is the identity for arbitrary values.
+    #[test]
+    fn rendered_json_reparses_identically(v in ArbJson { depth: 3 }) {
+        let text = v.render();
+        match Json::parse(&text) {
+            Ok(back) => prop_assert_eq!(back, v),
+            Err(e) => prop_assert!(false, "rendering did not reparse: {e} in {text}"),
+        }
+    }
+
+    /// Every proper prefix of a rendered document is an error — never a
+    /// panic, and never a silent partial decode. Wrapping in an object
+    /// makes every prefix incomplete (a bare number could truncate to a
+    /// shorter valid number).
+    #[test]
+    fn truncated_documents_error_instead_of_panicking(v in ArbJson { depth: 2 }) {
+        let text = Json::object(vec![("k", v)]).render();
+        for cut in (0..text.len()).filter(|&i| text.is_char_boundary(i)) {
+            prop_assert!(
+                Json::parse(&text[..cut]).is_err(),
+                "prefix of length {cut} of {text} parsed"
+            );
+        }
+    }
+
+    /// The parser survives arbitrary byte soup (lossily decoded — the
+    /// API takes `&str`) without panicking.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&text);
+    }
+
+    /// Exponent-form numbers hit the float path, whole-number spellings
+    /// stay lossless integers.
+    #[test]
+    fn exponent_numbers_parse_as_floats(m in -1_000_000i64..1_000_000, e in -250i32..250) {
+        let text = format!("{m}.5e{e}");
+        prop_assert!(
+            matches!(Json::parse(&text), Ok(Json::Float(_))),
+            "{text} did not parse as a float"
+        );
+        let whole = format!("{m}");
+        let back = Json::parse(&whole).expect("integer parses");
+        prop_assert_eq!(back.as_i64(), Some(m));
+    }
+
+    /// Nesting past the recursion cap is an error, not a stack
+    /// overflow — whether or not the document would otherwise be
+    /// complete and well-formed.
+    #[test]
+    fn overdeep_nesting_errors_instead_of_overflowing(
+        depth in 600usize..1500,
+        complete in any::<bool>()
+    ) {
+        let text = if complete {
+            format!("{}1{}", "[".repeat(depth), "]".repeat(depth))
+        } else {
+            "[".repeat(depth)
+        };
+        let err = Json::parse(&text).expect_err("overdeep document must error");
+        prop_assert!(
+            err.to_string().contains("nesting too deep"),
+            "wrong error: {err}"
+        );
+    }
+}

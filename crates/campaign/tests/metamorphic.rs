@@ -35,6 +35,7 @@ fn opts(dir: &Path) -> RunnerOptions {
         quiet: true,
         fork: false,
         check: false,
+        trace: None,
     }
 }
 

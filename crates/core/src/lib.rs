@@ -54,3 +54,4 @@ pub use tsn_metrics as metrics;
 pub use tsn_netsim as netsim;
 pub use tsn_oracle as oracle;
 pub use tsn_time as time;
+pub use tsn_trace as trace;

@@ -117,17 +117,35 @@ impl std::fmt::Display for UnknownScenario {
 
 impl std::error::Error for UnknownScenario {}
 
+/// Optional passive observers to arm on the [`World`] before a run.
+///
+/// Both are strictly passive (no randomness, no scheduled events), so
+/// any combination yields byte-identical state hashes and artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Arm the runtime invariant oracle ([`World::enable_oracle`]).
+    pub oracle: bool,
+    /// Arm the structured execution tracer ([`World::enable_trace`]).
+    pub trace: bool,
+}
+
 /// The serde-run entry point: applies the named scenario to `config` and
 /// runs it. This is the single function an orchestrator needs: a
 /// scenario name plus a (deserialized) [`TestbedConfig`] yields a
 /// [`RunResult`].
-pub fn run_named(
+pub fn run_named(name: &str, config: TestbedConfig) -> Result<ScenarioOutcome, UnknownScenario> {
+    run_named_with(name, config, RunOptions::default())
+}
+
+/// [`run_named`] with explicit observer options.
+pub fn run_named_with(
     name: &str,
     mut config: TestbedConfig,
+    opts: RunOptions,
 ) -> Result<ScenarioOutcome, UnknownScenario> {
     let kind = ScenarioKind::parse(name).ok_or_else(|| UnknownScenario(name.to_string()))?;
     kind.apply(&mut config);
-    Ok(run(config))
+    Ok(run_with(config, opts))
 }
 
 /// Runs the testbed with no faults and no attack (sanity baseline).
@@ -169,7 +187,18 @@ fn from_paper_default(kind: ScenarioKind, seed: u64, duration: Nanos) -> Scenari
 
 /// Runs an arbitrary configuration.
 pub fn run(config: TestbedConfig) -> ScenarioOutcome {
-    let world = World::new(config.clone());
+    run_with(config, RunOptions::default())
+}
+
+/// Runs an arbitrary configuration with explicit observer options.
+pub fn run_with(config: TestbedConfig, opts: RunOptions) -> ScenarioOutcome {
+    let mut world = World::new(config.clone());
+    if opts.oracle {
+        world.enable_oracle();
+    }
+    if opts.trace {
+        world.enable_trace();
+    }
     let result = world.run();
     ScenarioOutcome { config, result }
 }

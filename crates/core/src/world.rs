@@ -20,7 +20,8 @@ use std::collections::HashMap;
 use tsn_faults::{AttackPlan, FaultEvent, FaultSchedule, StrikeOutcome, TransientFaults, VmSlot};
 use tsn_fta::{AggregationMethod, AggregationMode, MultiDomainAggregator, SubmitOutcome};
 use tsn_gptp::{
-    msg::Message, BridgeRelay, ClockIdentity, LinkDelayService, PortIdentity, SyncMaster, SyncSlave,
+    msg::Message, msg::MessageType, BridgeRelay, ClockIdentity, LinkDelayService, PortIdentity,
+    SyncMaster, SyncSlave,
 };
 use tsn_hyp::{
     DependentClockDevice, Phc2Sys, SyncClockDiscipline, SyncTimeServo, VmId, VotingMonitor,
@@ -37,6 +38,7 @@ use tsn_netsim::{
 use tsn_netsim::{LinkFaultPlan, LinkFaults, LinkId};
 use tsn_oracle::{Observation, OracleConfig, OracleRegistry};
 use tsn_time::{ClockTime, Nanos, Oscillator, Phc, ServoOutput, SimTime};
+use tsn_trace::{node_pid, Subsystem as TraceSub, TraceConfig, TraceSink, SIM_PID};
 
 /// VLAN used by the measurement probes.
 const MEASUREMENT_VID: u16 = 100;
@@ -102,6 +104,29 @@ enum Ev {
     BackgroundTick { port: PortAddr },
     /// Edge of link-down window `i` (`down = true` opens it).
     LinkWindow { i: usize, down: bool },
+}
+
+impl Ev {
+    /// Stable name and owning subsystem of this event kind, for the
+    /// trace profiler's pop accounting.
+    fn kind(&self) -> (&'static str, TraceSub) {
+        match self {
+            Ev::Transmit { .. } => ("transmit", TraceSub::Netsim),
+            Ev::Arrive { .. } => ("arrive", TraceSub::Netsim),
+            Ev::GmSyncTick { .. } => ("gm_sync_tick", TraceSub::Gptp),
+            Ev::PdelayTick { .. } => ("pdelay_tick", TraceSub::Gptp),
+            Ev::Phc2SysTick { .. } => ("phc2sys_tick", TraceSub::Hyp),
+            Ev::MonitorTick { .. } => ("monitor_tick", TraceSub::Hyp),
+            Ev::WanderTick => ("wander_tick", TraceSub::Time),
+            Ev::ProbeTick { .. } => ("probe_tick", TraceSub::Measure),
+            Ev::FaultAt(_) => ("fault", TraceSub::Faults),
+            Ev::RebootAt(_) => ("reboot", TraceSub::Faults),
+            Ev::StrikeAt(_) => ("strike", TraceSub::Faults),
+            Ev::PortFree { .. } => ("port_free", TraceSub::Netsim),
+            Ev::BackgroundTick { .. } => ("background_tick", TraceSub::Netsim),
+            Ev::LinkWindow { .. } => ("link_window", TraceSub::Faults),
+        }
+    }
 }
 
 /// One clock-synchronization VM.
@@ -202,6 +227,9 @@ pub struct RunResult {
     /// Invariant violations detected by the runtime oracle; always empty
     /// unless [`World::enable_oracle`] was called before the run.
     pub violations: Vec<tsn_metrics::ViolationRecord>,
+    /// Sealed execution trace; always `None` unless
+    /// [`World::enable_trace`] was called before the run.
+    pub trace: Option<tsn_trace::TraceReport>,
 }
 
 /// The simulation world. Construct with [`World::new`], then call
@@ -248,6 +276,11 @@ pub struct World {
     /// excluded from [`SnapState`] so enabling it cannot perturb state
     /// hashes, snapshots, or artifacts.
     oracle: Option<OracleRegistry>,
+    /// Structured execution tracer, off by default (see
+    /// [`World::enable_trace`]). Passive like the oracle and likewise
+    /// excluded from [`SnapState`]. Distinct from `trace` above, which
+    /// is the in-band gPTP frame capture.
+    tracer: Option<TraceSink>,
 }
 
 impl World {
@@ -546,6 +579,7 @@ impl World {
             counters: RunCounters::default(),
             end,
             oracle: None,
+            tracer: None,
             cfg,
         };
         world.schedule_initial();
@@ -664,6 +698,24 @@ impl World {
         self.oracle.is_some()
     }
 
+    /// Enables structured execution tracing (`tsn-trace`) for this run.
+    ///
+    /// The tracer records queue-pop accounting, gPTP message tx/rx, FTA
+    /// rounds with trim decisions, servo updates, `SyncState`
+    /// transitions, fault injections and link-down windows, all stamped
+    /// with simulated time. Like the oracle it is strictly passive — it
+    /// draws no randomness and schedules no events, so state hashes,
+    /// snapshots and artifacts stay byte-identical with it on or off.
+    /// The sealed trace is returned in [`RunResult::trace`].
+    pub fn enable_trace(&mut self) {
+        self.tracer = Some(TraceSink::new(TraceConfig::default()));
+    }
+
+    /// `true` when [`World::enable_trace`] was called.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
     fn observe(&mut self, obs: Observation<'_>) {
         if let Some(oracle) = self.oracle.as_mut() {
             oracle.observe(&obs);
@@ -679,6 +731,10 @@ impl World {
             let (t, ev) = self.queue.pop().expect("peeked");
             if self.oracle.is_some() {
                 self.observe(Observation::Event { at: t });
+            }
+            if let Some(tracer) = self.tracer.as_mut() {
+                let (kind, sub) = ev.kind();
+                tracer.pop(t, kind, sub);
             }
             self.handle(t, ev);
         }
@@ -732,6 +788,7 @@ impl World {
             }
             None => Vec::new(),
         };
+        let trace = self.tracer.take().map(|sink| sink.finish(self.end));
         let tau0 = self.cfg.probe_interval.as_secs_f64();
         RunResult {
             ground_truth: tsn_metrics::TimeErrorSeries::new(tau0, self.ground_truth_ns),
@@ -742,6 +799,7 @@ impl World {
             counters: self.counters,
             warmup: self.cfg.warmup,
             violations,
+            trace,
         }
     }
 
@@ -796,12 +854,26 @@ impl World {
             Ev::StrikeAt(i) => self.on_strike(t, i),
             Ev::PortFree { from } => self.on_port_free(t, from),
             Ev::BackgroundTick { port } => self.on_background_tick(t, port),
-            Ev::LinkWindow { i, down } => self.on_link_window(i, down),
+            Ev::LinkWindow { i, down } => self.on_link_window(t, i, down),
         }
     }
 
-    fn on_link_window(&mut self, i: usize, down: bool) {
+    fn on_link_window(&mut self, t: SimTime, i: usize, down: bool) {
         let (link, _, _) = self.down_windows[i];
+        if let Some(tracer) = self.tracer.as_mut() {
+            if down {
+                tracer.begin_span(
+                    i as u64,
+                    t,
+                    "link_down",
+                    TraceSub::Netsim,
+                    SIM_PID,
+                    TraceSub::Netsim.lane(),
+                );
+            } else {
+                tracer.end_span(i as u64, t);
+            }
+        }
         self.link_faults.set_down(link, down);
     }
 
@@ -943,6 +1015,7 @@ impl World {
             });
         }
         self.trace_frame(t, from, TraceDir::Tx, &frame);
+        self.trace_frame_event(t, from.device, true, &frame);
         // Occupy the wire for the frame's serialization time.
         let duration = frame.serialization_ns(1_000_000_000);
         self.egress
@@ -1098,6 +1171,7 @@ impl World {
 
     fn on_arrive(&mut self, t: SimTime, to: PortAddr, frame: EthernetFrame) {
         self.trace_frame(t, to, TraceDir::Rx, &frame);
+        self.trace_frame_event(t, to.device, false, &frame);
         if let Some(&(node, slot)) = self.station_map.get(&to.device) {
             self.arrive_at_station(t, node, slot, frame);
         } else if let Some(&sw) = self.switch_map.get(&to.device) {
@@ -1380,6 +1454,41 @@ impl World {
                             slot,
                             freq_adj_ppb,
                         });
+                    }
+                }
+            }
+        }
+        if let Some(tracer) = self.tracer.as_mut() {
+            if let SubmitOutcome::Aggregated(a) = &outcome {
+                let f = self.cfg.aggregation.method.trim_degree();
+                let inputs: Vec<Nanos> = a.used.iter().map(|&(_, o)| o).collect();
+                let trimmed = tsn_fta::trimmed_indices(&inputs, f);
+                let used: Vec<String> = a
+                    .used
+                    .iter()
+                    .map(|(d, o)| format!("{d}:{:+}", o.as_nanos()))
+                    .collect();
+                let trimmed: Vec<String> =
+                    trimmed.iter().map(|&i| a.used[i].0.to_string()).collect();
+                tracer
+                    .instant(t, "fta_round", TraceSub::Fta, node_pid(node), slot as u32)
+                    .arg_i64("offset_ns", a.offset.as_nanos())
+                    .arg_str(
+                        "mode",
+                        match a.mode {
+                            AggregationMode::Startup => "startup",
+                            AggregationMode::FaultTolerant => "fault_tolerant",
+                        },
+                    )
+                    .arg_str("used", used.join(","))
+                    .arg_str("trimmed", trimmed.join(","))
+                    .arg_str("servo", a.servo.kind_name());
+                if let Some(ppb) = a.servo.freq_adj_ppb() {
+                    let ev = tracer
+                        .instant(t, "servo", TraceSub::Servo, node_pid(node), slot as u32)
+                        .arg_f64("freq_adj_ppb", ppb);
+                    if let ServoOutput::Step { delta, .. } = a.servo {
+                        ev.arg_i64("step_ns", delta.as_nanos());
                     }
                 }
             }
@@ -1831,7 +1940,99 @@ impl World {
     }
 
     fn log(&mut self, t: SimTime, e: ExperimentEvent) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            match e {
+                ExperimentEvent::VmFailure { node, grandmaster } => {
+                    let slot = if grandmaster { 0 } else { 1 };
+                    tracer.instant(t, "vm_failure", TraceSub::Faults, node_pid(node), slot);
+                }
+                ExperimentEvent::VmReboot { node, grandmaster } => {
+                    let slot = if grandmaster { 0 } else { 1 };
+                    tracer.instant(t, "vm_reboot", TraceSub::Faults, node_pid(node), slot);
+                }
+                ExperimentEvent::Takeover { node } => {
+                    tracer.instant(t, "takeover", TraceSub::Hyp, node_pid(node), 0);
+                }
+                ExperimentEvent::Transient { node, kind } => {
+                    tracer
+                        .instant(t, "transient", TraceSub::Faults, node_pid(node), 0)
+                        .arg_str(
+                            "kind",
+                            match kind {
+                                TransientKind::TxTimestampTimeout => "tx_timestamp_timeout",
+                                TransientKind::DeadlineMiss => "deadline_miss",
+                            },
+                        );
+                }
+                ExperimentEvent::Strike { node, succeeded } => {
+                    tracer
+                        .instant(t, "strike", TraceSub::Faults, node_pid(node), 0)
+                        .arg_bool("succeeded", succeeded);
+                }
+                ExperimentEvent::GmResumed { node } => {
+                    tracer.instant(t, "gm_resumed", TraceSub::Gptp, node_pid(node), 0);
+                }
+                ExperimentEvent::SyncStateChange {
+                    node,
+                    slot,
+                    from,
+                    to,
+                } => {
+                    tracer
+                        .instant(t, "sync_state", TraceSub::Hyp, node_pid(node), slot as u32)
+                        .arg_str("from", from.name())
+                        .arg_str("to", to.name());
+                }
+            }
+        }
         self.events.record(t, e);
+    }
+
+    /// Mirrors a gPTP or measurement frame tx/rx into the structured
+    /// tracer as an instant on the owning station's (or the fabric's)
+    /// lane. Classification peeks the wire bytes allocation-free.
+    fn trace_frame_event(&mut self, t: SimTime, dev: DeviceId, tx: bool, frame: &EthernetFrame) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let (pid, tid) = match self.station_map.get(&dev) {
+            Some(&(node, slot)) => (node_pid(node), slot as u32),
+            None => (SIM_PID, TraceSub::Gptp.lane()),
+        };
+        match frame.ethertype {
+            ethertype::PTP => {
+                let Some(mt) = MessageType::peek(&frame.payload) else {
+                    return;
+                };
+                let domain = frame.payload.get(4).copied().unwrap_or(0);
+                let Some(tracer) = self.tracer.as_mut() else {
+                    return;
+                };
+                tracer
+                    .instant(
+                        t,
+                        if tx { "ptp_tx" } else { "ptp_rx" },
+                        TraceSub::Gptp,
+                        pid,
+                        tid,
+                    )
+                    .arg_str("type", mt.name())
+                    .arg_u64("domain", u64::from(domain));
+            }
+            ethertype::MEASUREMENT => {
+                let Some(tracer) = self.tracer.as_mut() else {
+                    return;
+                };
+                tracer.instant(
+                    t,
+                    if tx { "probe_tx" } else { "probe_rx" },
+                    TraceSub::Measure,
+                    pid,
+                    tid,
+                );
+            }
+            _ => {}
+        }
     }
 
     fn trace_frame(&mut self, t: SimTime, port: PortAddr, dir: TraceDir, frame: &EthernetFrame) {
@@ -1966,6 +2167,10 @@ impl World {
             let (now, ev) = self.queue.pop().expect("peeked");
             if self.oracle.is_some() {
                 self.observe(Observation::Event { at: now });
+            }
+            if let Some(tracer) = self.tracer.as_mut() {
+                let (kind, sub) = ev.kind();
+                tracer.pop(now, kind, sub);
             }
             self.handle(now, ev);
         }

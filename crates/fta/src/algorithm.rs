@@ -44,6 +44,16 @@ impl AggregationMethod {
         }
     }
 
+    /// Number of extreme values discarded per side before aggregating
+    /// (`f` for the fault-tolerant methods, 0 for mean/median).
+    pub fn trim_degree(&self) -> usize {
+        match self {
+            AggregationMethod::FaultTolerantAverage { f }
+            | AggregationMethod::FaultTolerantMidpoint { f } => *f,
+            AggregationMethod::Mean | AggregationMethod::Median => 0,
+        }
+    }
+
     /// Aggregates `offsets`, returning `None` if there are too few inputs.
     pub fn aggregate(&self, offsets: &[Nanos]) -> Option<Nanos> {
         match self {
@@ -102,6 +112,28 @@ pub fn fault_tolerant_midpoint(offsets: &[Nanos], f: usize) -> Option<Nanos> {
     let kept = &sorted[f..sorted.len() - f];
     let mid = (i128::from(kept[0]) + i128::from(kept[kept.len() - 1])) / 2;
     Some(Nanos::from_nanos(mid as i64))
+}
+
+/// Indices of the values a trim-`f` aggregation discards: the `f`
+/// smallest and `f` largest (ties broken by index, matching a stable
+/// sort). Empty when `f == 0` or there are too few values to aggregate.
+///
+/// This mirrors the discard step of [`fault_tolerant_average`] /
+/// [`fault_tolerant_midpoint`] so observers (tracing) can report *which*
+/// domains were trimmed, not just the surviving average.
+pub fn trimmed_indices(offsets: &[Nanos], f: usize) -> Vec<usize> {
+    if f == 0 || offsets.len() < 2 * f + 1 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..offsets.len()).collect();
+    order.sort_by_key(|&i| (offsets[i].as_nanos(), i));
+    let mut trimmed: Vec<usize> = order[..f]
+        .iter()
+        .chain(&order[order.len() - f..])
+        .copied()
+        .collect();
+    trimmed.sort_unstable();
+    trimmed
 }
 
 /// Arithmetic mean of the offsets. `None` on empty input.

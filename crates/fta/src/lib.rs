@@ -45,7 +45,7 @@ pub use aggregator::{
     Aggregation, AggregationConfig, AggregationMode, MultiDomainAggregator, SubmitOutcome,
 };
 pub use algorithm::{
-    fault_tolerant_average, fault_tolerant_midpoint, mean, median, validity_flags,
+    fault_tolerant_average, fault_tolerant_midpoint, mean, median, trimmed_indices, validity_flags,
     AggregationMethod,
 };
 pub use shmem::{shared, FtShmem, OffsetSlot, SharedFtShmem};

@@ -65,6 +65,29 @@ impl MessageType {
         })
     }
 
+    /// Lower-case name for logs and trace lanes.
+    pub fn name(self) -> &'static str {
+        match self {
+            MessageType::Sync => "sync",
+            MessageType::DelayReq => "delay_req",
+            MessageType::PdelayReq => "pdelay_req",
+            MessageType::PdelayResp => "pdelay_resp",
+            MessageType::FollowUp => "follow_up",
+            MessageType::DelayResp => "delay_resp",
+            MessageType::PdelayRespFollowUp => "pdelay_resp_follow_up",
+            MessageType::Announce => "announce",
+            MessageType::Signaling => "signaling",
+        }
+    }
+
+    /// Reads the message type from the first byte of an encoded message
+    /// without decoding the rest — the type lives in the low nibble of
+    /// octet 0, so observers (tracing, packet filters) can classify a
+    /// frame allocation-free. `None` for empty or non-PTP payloads.
+    pub fn peek(payload: &[u8]) -> Option<MessageType> {
+        MessageType::from_nibble(*payload.first()? & 0x0F)
+    }
+
     /// IEEE 1588 controlField value for this type.
     fn control_field(self) -> u8 {
         match self {

@@ -29,20 +29,23 @@ pub struct SampleSummary {
 }
 
 impl SampleSummary {
-    /// Summarizes a sample. Returns `None` for an empty sample; NaN
-    /// values are rejected the same way (they would poison the order
-    /// statistics silently otherwise).
+    /// Summarizes the finite values of a sample. Non-finite inputs (NaN,
+    /// ±∞) are filtered out rather than poisoning the moments — a single
+    /// infinity would turn `mean` and `std` into NaN, and NaN breaks the
+    /// ordering entirely. Returns `None` when no finite value remains;
+    /// `count` reports the finite values actually summarized, so a
+    /// caller can detect filtering by comparing it to `values.len()`.
     pub fn from_values(values: &[f64]) -> Option<SampleSummary> {
-        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
             return None;
         }
-        let n = values.len() as f64;
-        let mean = values.iter().sum::<f64>() / n;
-        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-        let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        sorted.sort_by(f64::total_cmp);
         Some(SampleSummary {
-            count: values.len(),
+            count: sorted.len(),
             mean,
             std: var.sqrt(),
             min: sorted[0],
@@ -98,11 +101,32 @@ mod tests {
     #[test]
     fn degenerate_samples() {
         assert!(SampleSummary::from_values(&[]).is_none());
-        assert!(SampleSummary::from_values(&[1.0, f64::NAN]).is_none());
         let s = SampleSummary::from_values(&[7.0]).unwrap();
         assert_eq!(s.mean, 7.0);
         assert_eq!(s.std, 0.0);
         assert_eq!(s.p99, 7.0);
+    }
+
+    /// Regression: non-finite inputs used to slip past the NaN check
+    /// (±∞ did) or reject the whole sample (NaN did); either way no
+    /// summary of the finite values was produced. They are filtered
+    /// now, visible through `count`.
+    #[test]
+    fn non_finite_values_are_filtered_not_fatal() {
+        // Pre-fix: `[1.0, NaN]` returned None (whole sample rejected).
+        let s = SampleSummary::from_values(&[1.0, f64::NAN]).expect("finite value summarized");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 1.0);
+        // Pre-fix: ±∞ passed the NaN check and made mean/std NaN.
+        let s = SampleSummary::from_values(&[1.0, 3.0, f64::INFINITY, f64::NEG_INFINITY])
+            .expect("finite values summarized");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+        assert!(s.std.is_finite());
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        // Nothing finite at all: still None, never a NaN-filled summary.
+        assert!(SampleSummary::from_values(&[f64::NAN, f64::INFINITY]).is_none());
     }
 
     #[test]

@@ -81,6 +81,17 @@ pub mod ethertype {
     pub const BACKGROUND: u16 = 0x0800;
     /// 802.1Q tag protocol identifier.
     pub const VLAN: u16 = 0x8100;
+
+    /// Lower-case name of a known EtherType, `"other"` otherwise.
+    pub fn name(ethertype: u16) -> &'static str {
+        match ethertype {
+            PTP => "ptp",
+            MEASUREMENT => "measurement",
+            BACKGROUND => "background",
+            VLAN => "vlan",
+            _ => "other",
+        }
+    }
 }
 
 /// An Ethernet II frame, optionally 802.1Q-tagged.

@@ -105,6 +105,15 @@ pub enum ServoOutput {
 }
 
 impl ServoOutput {
+    /// Lower-case variant name for logs and trace lanes.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ServoOutput::Gathering => "gathering",
+            ServoOutput::Step { .. } => "step",
+            ServoOutput::Adjust { .. } => "adjust",
+        }
+    }
+
     /// The frequency adjustment carried by this output, if any.
     pub fn freq_adj_ppb(&self) -> Option<Ppb> {
         match *self {

@@ -1,0 +1,162 @@
+//! Integration tests for structured execution tracing (`tsn-trace`).
+//!
+//! Two properties matter end to end: arming the tracer must not change
+//! a single simulated bit (held to `World::state_hash` parity at the
+//! midpoint and end of a run, like the oracle), and the trace a run
+//! produces must actually carry the simulation's story — gPTP message
+//! tx/rx, FTA rounds with trim decisions, servo updates, sync-state
+//! transitions — as valid Chrome trace-event JSON.
+
+use clocksync::scenario::{self, RunOptions, ScenarioKind};
+use clocksync::trace::{Subsystem, TraceReport};
+use clocksync::{PartitionWindow, TestbedConfig, World};
+use tsn_time::{Nanos, SimTime};
+
+/// A short quick-preset run: long enough to get past warm-up into
+/// fault-tolerant aggregation, short enough for a test.
+fn quick_cfg(seed: u64) -> TestbedConfig {
+    let mut cfg = TestbedConfig::quick(seed);
+    cfg.duration = Nanos::from_secs(12);
+    cfg.warmup = Nanos::from_secs(4);
+    cfg
+}
+
+fn count(report: &TraceReport, name: &str) -> usize {
+    report.events.iter().filter(|e| e.name == name).count()
+}
+
+#[test]
+fn tracer_does_not_perturb_state() {
+    let cfg = quick_cfg(3);
+    let mut plain = World::new(cfg.clone());
+    let mut traced = World::new(cfg);
+    assert!(!traced.trace_enabled());
+    traced.enable_trace();
+    assert!(traced.trace_enabled());
+
+    let mid = SimTime::ZERO + Nanos::from_secs(6);
+    plain.run_until(mid);
+    traced.run_until(mid);
+    assert_eq!(
+        plain.state_hash(),
+        traced.state_hash(),
+        "tracer perturbed simulation state by the midpoint"
+    );
+
+    let end = plain.end_time();
+    plain.run_until(end);
+    traced.run_until(end);
+    assert_eq!(
+        plain.state_hash(),
+        traced.state_hash(),
+        "tracer perturbed simulation state by the end of the run"
+    );
+
+    assert!(plain.into_result().trace.is_none());
+    assert!(traced.into_result().trace.is_some());
+}
+
+#[test]
+fn baseline_trace_tells_the_run_story() {
+    let mut world = World::new(quick_cfg(7));
+    world.enable_trace();
+    let result = world.run();
+    let report = result.trace.expect("tracing was enabled");
+
+    // Every queue pop was counted, none individually recorded.
+    assert!(report.sim_events > 0);
+    assert!(report.events.len() < report.sim_events as usize);
+    assert_eq!(report.dropped, 0);
+    let pops: u64 = report.pop_kinds.iter().map(|(_, n)| n).sum();
+    assert_eq!(pops, report.sim_events);
+    assert!(report.pop_kinds.iter().any(|(k, _)| *k == "transmit"));
+
+    // The protocol story: gPTP traffic, FTA rounds with inputs and trim
+    // decisions, servo corrections, and a sync-state transition out of
+    // the initial freerun.
+    assert!(count(&report, "ptp_tx") > 0);
+    assert!(count(&report, "ptp_rx") > 0);
+    assert!(count(&report, "servo") > 0);
+    assert!(count(&report, "sync_state") > 0);
+    let fta = report
+        .events
+        .iter()
+        .find(|e| e.name == "fta_round")
+        .expect("aggregation rounds are traced");
+    assert_eq!(fta.cat, Subsystem::Fta);
+    assert!(fta.args.iter().any(|(k, _)| *k == "offset_ns"));
+    assert!(fta.args.iter().any(|(k, _)| *k == "used"));
+    assert!(fta.args.iter().any(|(k, _)| *k == "servo"));
+
+    // Probe traffic shows up under the measurement subsystem.
+    assert!(count(&report, "probe_rx") > 0);
+    assert!(report.subsystem_share(Subsystem::Measure) > 0.0);
+
+    // And it all exports as a Chrome trace-event JSON object.
+    let json = report.to_chrome_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"cat\":\"fta\""));
+    assert!(json.contains("\"process_name\""));
+}
+
+#[test]
+fn partition_window_is_traced_as_span() {
+    let mut cfg = quick_cfg(5);
+    cfg.partition = Some(PartitionWindow {
+        node: 0,
+        from: Nanos::from_secs(2),
+        until: Nanos::from_secs(4),
+    });
+    let mut world = World::new(cfg);
+    world.enable_trace();
+    let report = world.run().trace.expect("tracing was enabled");
+    let span = report
+        .events
+        .iter()
+        .find(|e| e.name == "link_down")
+        .expect("partition window traced");
+    assert_eq!(span.cat, Subsystem::Netsim);
+    let dur = span.dur.expect("window closed as a complete span");
+    assert!(dur > Nanos::ZERO);
+}
+
+#[test]
+fn scenario_runner_arms_the_tracer_on_request() {
+    let outcome = scenario::run_named_with(
+        "baseline",
+        quick_cfg(9),
+        RunOptions {
+            oracle: false,
+            trace: true,
+        },
+    )
+    .expect("known scenario");
+    assert!(outcome.result.trace.is_some());
+
+    let outcome = scenario::run_named("baseline", quick_cfg(9)).expect("known scenario");
+    assert!(outcome.result.trace.is_none());
+}
+
+#[test]
+fn attack_run_traces_strikes_and_byzantine_domains() {
+    // The paper's strikes land at 21+ minutes; move the first one into
+    // this short run's measured window.
+    let mut cfg = quick_cfg(11);
+    ScenarioKind::CyberIdenticalKernels.apply(&mut cfg);
+    let mut strikes = cfg.attack.strikes().to_vec();
+    strikes.truncate(1);
+    strikes[0].at = SimTime::from_secs(2);
+    strikes[0].target_node = cfg.nodes - 1;
+    cfg.attack = clocksync::faults::AttackPlan::new(strikes);
+    let mut world = World::new(cfg);
+    world.enable_trace();
+    let report = world.run().trace.expect("tracing was enabled");
+    assert!(count(&report, "strike") > 0);
+    let strike = report
+        .events
+        .iter()
+        .find(|e| e.name == "strike")
+        .expect("strikes are traced");
+    assert!(strike.args.iter().any(|(k, _)| *k == "succeeded"));
+}
