@@ -1,0 +1,165 @@
+//! Simulator throughput gate: runs a fixed deterministic workload and
+//! reports events/s, tracked as a perf trajectory in
+//! `BENCH_baseline.json` at the repository root (ROADMAP item 1).
+//!
+//! The workload is the quick preset with the dynamic BMCA election
+//! enabled and a grandmaster kill mid-run, so the measured path covers
+//! the event queue, gPTP exchange, Announce/election machinery, and the
+//! failover transient — the hot loop a perf regression would hit.
+//!
+//! ```sh
+//! cargo run -p tsn-bench --release --bin perf              # print JSON
+//! cargo run -p tsn-bench --release --bin perf -- \
+//!     --check BENCH_baseline.json [--tol 0.6]              # CI gate
+//! ```
+//!
+//! `--check` enforces two things against the baseline file:
+//! * `events` must match **exactly** — the workload is deterministic,
+//!   so a different event count means simulator behaviour changed; if
+//!   that is deliberate, regenerate the baseline (run without flags and
+//!   commit the output).
+//! * `events_per_sec` must be at least `(1 - tol)` of the recorded
+//!   rate. The default tolerance (0.6) is deliberately loose: shared CI
+//!   runners are noisy, and the gate is meant to catch order-of-change
+//!   regressions, not 5% jitter.
+//!
+//! Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+
+use clocksync::{TestbedConfig, World};
+use std::time::Instant;
+use tsn_time::{Nanos, SimTime};
+
+const SCHEMA: u32 = 1;
+const SEED: u64 = 7;
+const REPS: usize = 3;
+const DEFAULT_TOL: f64 = 0.6;
+
+/// The fixed workload. Changing anything here changes `events` and
+/// requires a baseline regeneration.
+fn workload() -> TestbedConfig {
+    let mut cfg = TestbedConfig::quick(SEED);
+    cfg.warmup = Nanos::from_secs(5);
+    cfg.duration = Nanos::from_secs(20);
+    cfg.election = Some(clocksync::election::ElectionConfig {
+        gm_failure_at: Some(Nanos::from_secs(8)),
+        gm_failure_node: 0,
+        ..Default::default()
+    });
+    cfg
+}
+
+/// Runs the workload once; returns (events processed, events/s).
+fn run_once() -> (u64, f64) {
+    let cfg = workload();
+    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
+    let start = Instant::now();
+    let mut world = World::new(cfg);
+    world.run_until(end);
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let events = world.events_processed();
+    (events, events as f64 / wall)
+}
+
+/// Best-of-N: the event count is identical across reps (determinism);
+/// the rate takes the fastest rep to shed cold-cache noise.
+fn measure() -> (u64, f64) {
+    let mut events = 0;
+    let mut best = 0.0f64;
+    for rep in 0..REPS {
+        let (n, rate) = run_once();
+        if rep == 0 {
+            events = n;
+        } else {
+            assert_eq!(n, events, "non-deterministic event count");
+        }
+        best = best.max(rate);
+    }
+    (events, best)
+}
+
+fn render(events: u64, rate: f64) -> String {
+    format!(
+        "{{\"schema\":{SCHEMA},\"workload\":\"quick-election-failover\",\"seed\":{SEED},\"events\":{events},\"events_per_sec\":{rate:.0}}}\n"
+    )
+}
+
+/// Pulls a numeric field out of the flat baseline JSON without a
+/// parser dependency: the file is machine-written by this binary.
+fn field(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn check(baseline_path: &str, tol: f64) -> i32 {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let (Some(base_events), Some(base_rate)) = (
+        field(&baseline, "events"),
+        field(&baseline, "events_per_sec"),
+    ) else {
+        eprintln!("error: {baseline_path} lacks events/events_per_sec");
+        return 2;
+    };
+    let (events, rate) = measure();
+    println!("{}", render(events, rate).trim_end());
+    println!(
+        "baseline: events {}  rate {:.0}/s  (tolerance {:.0}%)",
+        base_events as u64,
+        base_rate,
+        tol * 100.0
+    );
+    let mut status = 0;
+    if events != base_events as u64 {
+        eprintln!(
+            "FAIL: event count {events} != baseline {} — simulator behaviour \
+             changed; if deliberate, regenerate BENCH_baseline.json",
+            base_events as u64
+        );
+        status = 1;
+    }
+    let floor = base_rate * (1.0 - tol);
+    if rate < floor {
+        eprintln!("FAIL: {rate:.0} events/s below floor {floor:.0} (baseline {base_rate:.0})");
+        status = 1;
+    }
+    if status == 0 {
+        println!("ok: throughput within tolerance");
+    }
+    status
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.as_slice() {
+        [] => {
+            let (events, rate) = measure();
+            print!("{}", render(events, rate));
+            0
+        }
+        [flag, path] if flag == "--check" => check(path, DEFAULT_TOL),
+        [flag, path, tflag, tval] if flag == "--check" && tflag == "--tol" => {
+            match tval.parse::<f64>() {
+                Ok(t) if (0.0..1.0).contains(&t) => check(path, t),
+                _ => {
+                    eprintln!("error: --tol needs a fraction in [0, 1)");
+                    2
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: perf [--check BENCH_baseline.json [--tol F]]");
+            2
+        }
+    };
+    std::process::exit(code);
+}

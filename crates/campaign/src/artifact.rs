@@ -27,7 +27,12 @@ use tsn_time::SyncState;
 /// (`sync_transitions`, `holdover_ns`, `freerun_ns`,
 /// `uncovered_failures`), and records carry the run's sync-state
 /// transition sequence.
-pub const ARTIFACT_SCHEMA: u64 = 3;
+///
+/// 4: coordinates gained the election axes (election,
+/// announce_interval_ms, gm_failure_at_s, rogue_master) and counters
+/// gained the election/diagnostic fields (`unhandled_frames`,
+/// `announce_tx`, `elected_gm_changes`, `reconvergence_ns`).
+pub const ARTIFACT_SCHEMA: u64 = 4;
 
 /// One sync-state transition of one aggregator, as recorded in the run's
 /// event log (times are absolute simulation nanoseconds).
@@ -206,6 +211,19 @@ impl RunRecord {
                 opt_uint(self.coord.loss_permille.map(u64::from)),
             ),
             ("partition_s", opt_uint(self.coord.partition_s)),
+            (
+                "election",
+                self.coord.election.map_or(Json::Null, Json::Bool),
+            ),
+            (
+                "announce_interval_ms",
+                opt_uint(self.coord.announce_interval_ms),
+            ),
+            ("gm_failure_at_s", opt_uint(self.coord.gm_failure_at_s)),
+            (
+                "rogue_master",
+                opt_uint(self.coord.rogue_master.map(|n| n as u64)),
+            ),
         ]);
         let c = &self.counters;
         let counters = Json::object(vec![
@@ -223,6 +241,10 @@ impl RunRecord {
             ("holdover_ns", Json::UInt(c.holdover_ns)),
             ("freerun_ns", Json::UInt(c.freerun_ns)),
             ("uncovered_failures", Json::UInt(c.uncovered_failures)),
+            ("unhandled_frames", Json::UInt(c.unhandled_frames)),
+            ("announce_tx", Json::UInt(c.announce_tx)),
+            ("elected_gm_changes", Json::UInt(c.elected_gm_changes)),
+            ("reconvergence_ns", Json::UInt(c.reconvergence_ns)),
         ]);
         let b = &self.bounds;
         let bounds = Json::object(vec![
@@ -313,6 +335,10 @@ impl RunRecord {
                 x.as_u64().and_then(|p| u32::try_from(p).ok())
             })?,
             partition_s: opt_field(coord_v, "partition_s", Json::as_u64)?,
+            election: opt_field(coord_v, "election", Json::as_bool)?,
+            announce_interval_ms: opt_field(coord_v, "announce_interval_ms", Json::as_u64)?,
+            gm_failure_at_s: opt_field(coord_v, "gm_failure_at_s", Json::as_u64)?,
+            rogue_master: opt_field(coord_v, "rogue_master", |x| x.as_u64().map(|n| n as usize))?,
         };
         let c = v.get("counters")?;
         let counters = RunCounters {
@@ -330,6 +356,10 @@ impl RunRecord {
             holdover_ns: c.get("holdover_ns")?.as_u64()?,
             freerun_ns: c.get("freerun_ns")?.as_u64()?,
             uncovered_failures: c.get("uncovered_failures")?.as_u64()?,
+            unhandled_frames: c.get("unhandled_frames")?.as_u64()?,
+            announce_tx: c.get("announce_tx")?.as_u64()?,
+            elected_gm_changes: c.get("elected_gm_changes")?.as_u64()?,
+            reconvergence_ns: c.get("reconvergence_ns")?.as_u64()?,
         };
         let b = v.get("bounds")?;
         let bounds = BoundsRecord {
@@ -442,6 +472,10 @@ mod tests {
                 compromised: Some(2),
                 loss_permille: Some(20),
                 partition_s: None,
+                election: Some(true),
+                announce_interval_ms: Some(250),
+                gm_failure_at_s: None,
+                rogue_master: Some(1),
             },
             seed: u64::MAX - 3,
             counters: RunCounters::default(),
@@ -502,7 +536,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_other_schemas_and_garbage() {
-        let line = record().encode().replace("\"schema\":3", "\"schema\":1");
+        let line = record().encode().replace("\"schema\":4", "\"schema\":3");
         assert!(RunRecord::decode(&line).is_none());
         assert!(RunRecord::decode("not json").is_none());
         assert!(RunRecord::decode("{}").is_none());

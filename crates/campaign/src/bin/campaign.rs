@@ -46,7 +46,7 @@ const USAGE: &str = "usage:
   campaign spec      --builtin NAME
   campaign list
 
-built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval, adversary-sweep
+built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval, adversary-sweep, election-sweep
 exit codes (diff): 0 parity, 1 regression, 2 error
 exit codes (run --check): 0 clean, 1 invariant violation(s), 2 error";
 

@@ -48,6 +48,15 @@ pub struct Coord {
     pub loss_permille: Option<u32>,
     /// Partition duration in seconds (node 0, from +2 s), if active.
     pub partition_s: Option<u64>,
+    /// Dynamic BMCA election override, if the axis is active (`None`
+    /// defers to the family rule — see [`Coord::election_active`]).
+    pub election: Option<bool>,
+    /// Announce interval in ms, if the axis is active.
+    pub announce_interval_ms: Option<u64>,
+    /// Scheduled GM kill time (seconds after warm-up), if active.
+    pub gm_failure_at_s: Option<u64>,
+    /// Rogue-master count, if the axis is active.
+    pub rogue_master: Option<usize>,
 }
 
 impl Coord {
@@ -57,7 +66,7 @@ impl Coord {
         fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
             v.map_or_else(|| "-".to_string(), |v| v.to_string())
         }
-        format!(
+        let mut label = format!(
             "scenario={}/seed={}/domains={}/sync_ms={}/kernel={}/rate={}/discipline={}/strategy={}/byz={}/loss_pm={}/partition_s={}",
             self.scenario.name(),
             self.seed,
@@ -70,6 +79,34 @@ impl Coord {
             opt(self.compromised),
             opt(self.loss_permille),
             opt(self.partition_s),
+        );
+        // Election segments appear only when their axis is active, so
+        // labels — and the hashes and seeds derived from them — of
+        // campaigns that never touch the election axes are unchanged.
+        if let Some(e) = self.election {
+            label.push_str(&format!("/election={e}"));
+        }
+        if let Some(ms) = self.announce_interval_ms {
+            label.push_str(&format!("/announce_ms={ms}"));
+        }
+        if let Some(s) = self.gm_failure_at_s {
+            label.push_str(&format!("/gm_kill_s={s}"));
+        }
+        if let Some(r) = self.rogue_master {
+            label.push_str(&format!("/rogue={r}"));
+        }
+        label
+    }
+
+    /// Whether this coordinate runs with the dynamic election: an
+    /// explicit `election` value wins; otherwise any active election
+    /// axis (`announce_interval_ms`, `gm_failure_at_s`, `rogue_master`)
+    /// activates it implicitly.
+    pub fn election_active(&self) -> bool {
+        self.election.unwrap_or(
+            self.announce_interval_ms.is_some()
+                || self.gm_failure_at_s.is_some()
+                || self.rogue_master.is_some(),
         )
     }
 
@@ -83,13 +120,24 @@ impl Coord {
         fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
             v.map_or_else(|| "-".to_string(), |v| v.to_string())
         }
-        format!(
+        let mut label = format!(
             "seed={}/domains={}/sync_ms={}/discipline={}",
             self.seed,
             opt(self.domains),
             opt(self.sync_interval_ms),
             opt(self.discipline.map(crate::spec::discipline_name)),
-        )
+        );
+        // The election's Announce traffic runs during the warm-up, so
+        // its *effective* activation and interval shape the prefix; the
+        // GM kill and rogue strikes fire strictly after it and stay
+        // excluded (their variants remain paired comparisons).
+        if self.election_active() {
+            label.push_str(&format!(
+                "/election=on/announce_ms={}",
+                self.announce_interval_ms.unwrap_or(250)
+            ));
+        }
+        label
     }
 
     /// The run's derived seed: splittable hash of the grid seed and the
@@ -154,26 +202,43 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
                                 for &compromised in &axis(&spec.grid.compromised) {
                                     for &loss_permille in &axis(&spec.grid.loss_permille) {
                                         for &partition_s in &axis(&spec.grid.partition_s) {
-                                            for &seed in &spec.grid.seeds {
-                                                let coord = Coord {
-                                                    scenario,
-                                                    seed,
-                                                    domains,
-                                                    sync_interval_ms: sync_ms,
-                                                    kernel,
-                                                    fault_rate_per_hour: rate,
-                                                    discipline,
-                                                    strategy,
-                                                    compromised,
-                                                    loss_permille,
-                                                    partition_s,
-                                                };
-                                                plans.push(plan(
-                                                    &spec.base,
-                                                    &base_fingerprint,
-                                                    coord,
-                                                    plans.len(),
-                                                )?);
+                                            for &election in &axis(&spec.grid.election) {
+                                                for &announce in
+                                                    &axis(&spec.grid.announce_interval_ms)
+                                                {
+                                                    for &gm_kill in
+                                                        &axis(&spec.grid.gm_failure_at_s)
+                                                    {
+                                                        for &rogue in &axis(&spec.grid.rogue_master)
+                                                        {
+                                                            for &seed in &spec.grid.seeds {
+                                                                let coord = Coord {
+                                                                    scenario,
+                                                                    seed,
+                                                                    domains,
+                                                                    sync_interval_ms: sync_ms,
+                                                                    kernel,
+                                                                    fault_rate_per_hour: rate,
+                                                                    discipline,
+                                                                    strategy,
+                                                                    compromised,
+                                                                    loss_permille,
+                                                                    partition_s,
+                                                                    election,
+                                                                    announce_interval_ms: announce,
+                                                                    gm_failure_at_s: gm_kill,
+                                                                    rogue_master: rogue,
+                                                                };
+                                                                plans.push(plan(
+                                                                    &spec.base,
+                                                                    &base_fingerprint,
+                                                                    coord,
+                                                                    plans.len(),
+                                                                )?);
+                                                            }
+                                                        }
+                                                    }
+                                                }
                                             }
                                         }
                                     }
@@ -293,6 +358,34 @@ pub fn materialize(
     if let Some(seconds) = coord.partition_s {
         if seconds > 0 {
             cfg.partition = Some(crate::spec::partition_window(seconds));
+        }
+    }
+    // Election axes: any of them activates dynamic BMCA election unless
+    // an explicit `election=false` cell keeps the static control.
+    if coord.election_active() {
+        let mut el = clocksync::election::ElectionConfig::default();
+        if let Some(ms) = coord.announce_interval_ms {
+            el.announce_interval = Nanos::from_millis(ms as i64);
+        }
+        if let Some(s) = coord.gm_failure_at_s {
+            el.gm_failure_at = Some(Nanos::from_secs(s as i64));
+            el.gm_failure_node = 0;
+        }
+        cfg.election = Some(el);
+        if let Some(rogues) = coord.rogue_master {
+            let rogues = rogues.min(cfg.nodes - 1);
+            let strikes = (0..rogues)
+                .map(|k| Strike {
+                    at: SimTime::from_secs(2),
+                    target_node: cfg.nodes - 1 - k,
+                    cve: CveId::Cve2018_18955,
+                    pot_offset: PAPER_POT_OFFSET,
+                    strategy: Some(ByzantineStrategy::RogueMaster {
+                        offset: PAPER_POT_OFFSET,
+                    }),
+                })
+                .collect();
+            cfg.attack = AttackPlan::new(strikes);
         }
     }
     cfg.validate();
@@ -415,12 +508,71 @@ mod tests {
             compromised: None,
             loss_permille: None,
             partition_s: None,
+            election: None,
+            announce_interval_ms: None,
+            gm_failure_at_s: None,
+            rogue_master: None,
         };
         let err = materialize(&base, coord, 7).expect_err("unknown strategy is an error");
         assert!(matches!(err, SpecError::Value(ref f, ref v)
             if f == "grid.strategies[]" && v == "no-such-strategy"));
         coord.strategy = Some("constant");
         materialize(&base, coord, 7).expect("known strategy materializes");
+    }
+
+    #[test]
+    fn election_axes_materialize_with_the_family_rule() {
+        let base = BaseSpec::quick(30);
+        let mut coord = Coord {
+            scenario: ScenarioKind::Baseline,
+            seed: 1,
+            domains: None,
+            sync_interval_ms: None,
+            kernel: None,
+            fault_rate_per_hour: None,
+            discipline: None,
+            strategy: None,
+            compromised: None,
+            loss_permille: None,
+            partition_s: None,
+            election: None,
+            announce_interval_ms: None,
+            gm_failure_at_s: Some(10),
+            rogue_master: Some(1),
+        };
+        // Any election axis activates the election implicitly.
+        assert!(coord.election_active());
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        let el = cfg.election.expect("election on");
+        assert_eq!(el.gm_failure_at, Some(Nanos::from_secs(10)));
+        assert_eq!(el.gm_failure_node, 0);
+        let strikes = cfg.attack.strikes();
+        assert_eq!(strikes.len(), 1);
+        assert_eq!(strikes[0].target_node, cfg.nodes - 1);
+        assert!(matches!(
+            strikes[0].strategy,
+            Some(ByzantineStrategy::RogueMaster { .. })
+        ));
+        // An explicit `false` wins over the family rule: static
+        // assignment, no rogue strikes (the honest control cell).
+        coord.election = Some(false);
+        assert!(!coord.election_active());
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        assert!(cfg.election.is_none());
+        assert!(cfg.attack.strikes().is_empty());
+        // The election segments are label-conditional: a coordinate
+        // without election axes renders the pre-election label, so
+        // hashes of existing campaigns are unchanged.
+        coord.election = None;
+        coord.gm_failure_at_s = None;
+        coord.rogue_master = None;
+        assert!(!coord.label().contains("election"));
+        assert!(!coord.prefix_label().contains("election"));
+        coord.gm_failure_at_s = Some(10);
+        assert!(coord.label().ends_with("/gm_kill_s=10"));
+        assert!(coord
+            .prefix_label()
+            .ends_with("/election=on/announce_ms=250"));
     }
 
     #[test]
@@ -438,6 +590,10 @@ mod tests {
             compromised: None,
             loss_permille: None,
             partition_s: Some(3),
+            election: None,
+            announce_interval_ms: None,
+            gm_failure_at_s: None,
+            rogue_master: None,
         };
         let cfg = materialize(&base, coord, 7).expect("valid coord");
         assert_eq!(cfg.partition, Some(crate::spec::partition_window(3)));
@@ -466,6 +622,7 @@ mod tests {
                 compromised: vec![1, 2],
                 loss_permille: vec![20],
                 partition_s: vec![],
+                ..Grid::default()
             },
         };
         let plans = expand(&spec).expect("valid spec");

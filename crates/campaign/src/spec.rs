@@ -221,6 +221,24 @@ pub struct Grid {
     /// Partition durations in seconds: node 0 is cut off the switch
     /// mesh 2 s after the warm-up for this long (`0` means no cut).
     pub partition_s: Vec<u64>,
+    /// Dynamic BMCA grandmaster election on/off. Omitted, the election
+    /// activates implicitly whenever any of the other election axes
+    /// (`announce_interval_ms`, `gm_failure_at_s`, `rogue_master`) is
+    /// active; an explicit `false` cell keeps the paper's static
+    /// assignment and ignores those axes (the honest control).
+    pub election: Vec<bool>,
+    /// Announce intervals of acting masters, in milliseconds
+    /// (activates the election; default 250 ms).
+    pub announce_interval_ms: Vec<u64>,
+    /// Scheduled grandmaster kill: seconds after the warm-up at which
+    /// node 0's GM VM is permanently shut down, forcing domain 0 to
+    /// re-elect its second-best master (activates the election).
+    pub gm_failure_at_s: Vec<u64>,
+    /// Number of rogue masters: compromised nodes (highest indices)
+    /// that forge a best-possible priority vector on their foreign
+    /// target domain (`0` is the honest control; activates the
+    /// election).
+    pub rogue_master: Vec<usize>,
 }
 
 impl Grid {
@@ -239,6 +257,10 @@ impl Grid {
             * axis(self.compromised.len())
             * axis(self.loss_permille.len())
             * axis(self.partition_s.len())
+            * axis(self.election.len())
+            * axis(self.announce_interval_ms.len())
+            * axis(self.gm_failure_at_s.len())
+            * axis(self.rogue_master.len())
     }
 
     fn to_json(&self) -> Json {
@@ -318,6 +340,37 @@ impl Grid {
                 "partition_s",
                 Json::Array(self.partition_s.iter().map(|&s| Json::UInt(s)).collect()),
             ),
+            (
+                "election",
+                Json::Array(self.election.iter().map(|&e| Json::Bool(e)).collect()),
+            ),
+            (
+                "announce_interval_ms",
+                Json::Array(
+                    self.announce_interval_ms
+                        .iter()
+                        .map(|&s| Json::UInt(s))
+                        .collect(),
+                ),
+            ),
+            (
+                "gm_failure_at_s",
+                Json::Array(
+                    self.gm_failure_at_s
+                        .iter()
+                        .map(|&s| Json::UInt(s))
+                        .collect(),
+                ),
+            ),
+            (
+                "rogue_master",
+                Json::Array(
+                    self.rogue_master
+                        .iter()
+                        .map(|&n| Json::UInt(n as u64))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -352,6 +405,10 @@ impl Grid {
                 x.as_u64().and_then(|p| u32::try_from(p).ok())
             })?,
             partition_s: list(v, "partition_s", Json::as_u64)?,
+            election: list(v, "election", Json::as_bool)?,
+            announce_interval_ms: list(v, "announce_interval_ms", Json::as_u64)?,
+            gm_failure_at_s: list(v, "gm_failure_at_s", Json::as_u64)?,
+            rogue_master: list(v, "rogue_master", |x| x.as_u64().map(|n| n as usize))?,
         })
     }
 }
@@ -468,6 +525,39 @@ impl CampaignSpec {
                 "loss_permille axis value {p} is not a probability (max 1000)"
             )));
         }
+        if self.grid.announce_interval_ms.contains(&0) {
+            return Err(SpecError::Invalid("announce interval of 0 ms".to_string()));
+        }
+        if let Some(&n) = self.grid.rogue_master.iter().find(|&&n| n > 3) {
+            return Err(SpecError::Invalid(format!(
+                "rogue_master axis value {n} exceeds the 3 capturable foreign domains"
+            )));
+        }
+        if self.grid.rogue_master.iter().any(|&n| n > 0)
+            && (!self.grid.strategies.is_empty() || !self.grid.compromised.is_empty())
+        {
+            return Err(SpecError::Invalid(
+                "rogue_master cannot combine with the strategies/compromised axes \
+                 (both materialize strikes on the highest node indices)"
+                    .to_string(),
+            ));
+        }
+        if !self.grid.gm_failure_at_s.is_empty() {
+            let Some(duration) = self.base.duration_s else {
+                return Err(SpecError::Invalid(
+                    "gm_failure_at_s axis requires an explicit base.duration_s \
+                     (the kill time is checked against the measured duration)"
+                        .to_string(),
+                ));
+            };
+            let latest = *self.grid.gm_failure_at_s.iter().max().expect("non-empty");
+            if latest as i64 >= duration {
+                return Err(SpecError::Invalid(format!(
+                    "gm_failure_at_s axis reaches {latest} s, beyond the {duration} s \
+                     measured duration (no time left to observe the re-election)"
+                )));
+            }
+        }
         if !self.grid.partition_s.is_empty() {
             // Check against the window the axis actually generates
             // (same schedule `matrix::materialize` installs) — no
@@ -557,12 +647,13 @@ impl CampaignSpec {
     }
 
     /// Names of the built-in specs (see [`CampaignSpec::builtin`]).
-    pub const BUILTINS: [&'static str; 5] = [
+    pub const BUILTINS: [&'static str; 6] = [
         "quick-baseline",
         "repro-all",
         "abl2-domains",
         "abl3-sync-interval",
         "adversary-sweep",
+        "election-sweep",
     ];
 
     /// A built-in spec by name.
@@ -577,7 +668,10 @@ impl CampaignSpec {
     /// * `adversary-sweep` — every [`ByzantineStrategy`] preset ×
     ///   compromised ∈ {1, 2} (≤ f and f + 1) × loss ∈ {0, 20} ‰ ×
     ///   2 seeds, reporting worst-case observed precision per cell
-    ///   (48 runs; `specs/adversary_sweep.json` is its file form).
+    ///   (48 runs; `specs/adversary_sweep.json` is its file form);
+    /// * `election-sweep` — dynamic BMCA election with a scheduled kill
+    ///   of node 0's GM at +10 s × rogue masters ∈ {0, 1} × 2 seeds
+    ///   (4 runs; `specs/election_sweep.json` is its file form).
     pub fn builtin(name: &str) -> Option<CampaignSpec> {
         let spec = match name {
             "quick-baseline" => CampaignSpec {
@@ -642,6 +736,23 @@ impl CampaignSpec {
                         .collect(),
                     compromised: vec![1, 2],
                     loss_permille: vec![0, 20],
+                    ..Grid::default()
+                },
+            },
+            "election-sweep" => CampaignSpec {
+                name: "election-sweep".to_string(),
+                base: BaseSpec {
+                    preset: Preset::Quick,
+                    duration_s: Some(30),
+                    warmup_s: Some(10),
+                },
+                scenarios: vec![ScenarioKind::Baseline],
+                grid: Grid {
+                    seeds: vec![1, 2],
+                    election: vec![true],
+                    announce_interval_ms: vec![250],
+                    gm_failure_at_s: vec![10],
+                    rogue_master: vec![0, 1],
                     ..Grid::default()
                 },
             },

@@ -38,6 +38,14 @@ pub struct GroupKey {
     pub loss_permille: Option<u32>,
     /// Partition window length in seconds, if swept.
     pub partition_s: Option<u64>,
+    /// Dynamic BMCA election override, if swept.
+    pub election: Option<bool>,
+    /// Announce interval in ms, if swept.
+    pub announce_interval_ms: Option<u64>,
+    /// Scheduled GM kill time in seconds after warm-up, if swept.
+    pub gm_failure_at_s: Option<u64>,
+    /// Rogue-master count, if swept.
+    pub rogue_master: Option<usize>,
 }
 
 impl GroupKey {
@@ -54,6 +62,10 @@ impl GroupKey {
             compromised: coord.compromised,
             loss_permille: coord.loss_permille,
             partition_s: coord.partition_s,
+            election: coord.election,
+            announce_interval_ms: coord.announce_interval_ms,
+            gm_failure_at_s: coord.gm_failure_at_s,
+            rogue_master: coord.rogue_master,
         }
     }
 
@@ -86,6 +98,18 @@ impl GroupKey {
         }
         if let Some(p) = self.partition_s {
             parts.push(format!("partition={p}s"));
+        }
+        if let Some(e) = self.election {
+            parts.push(format!("election={}", if e { "on" } else { "off" }));
+        }
+        if let Some(a) = self.announce_interval_ms {
+            parts.push(format!("announce={a}ms"));
+        }
+        if let Some(t) = self.gm_failure_at_s {
+            parts.push(format!("gm-kill={t}s"));
+        }
+        if let Some(r) = self.rogue_master {
+            parts.push(format!("rogue={r}"));
         }
         parts.join(" ")
     }
@@ -122,6 +146,13 @@ pub struct GroupSummary {
     pub degraded_dwell_ms: Option<SampleSummary>,
     /// Failures the monitor could not cover with a standby, per run.
     pub uncovered_failures: Option<SampleSummary>,
+    /// Elected-GM changes (BMCA winner churn) per run.
+    pub elected_gm_changes: Option<SampleSummary>,
+    /// Kill-to-re-election latency per run (ms; 0 when no GM was
+    /// killed).
+    pub reconvergence_ms: Option<SampleSummary>,
+    /// Frames delivered to a port with no handler per run.
+    pub unhandled_frames: Option<SampleSummary>,
     /// Mean derived bound Π + γ across seeds (ns).
     pub bound_ns_mean: f64,
 }
@@ -178,6 +209,15 @@ pub fn summarize(records: &[RunRecord]) -> Vec<GroupSummary> {
                 uncovered_failures: RunRecord::summarize(&members, |r| {
                     Some(r.counters.uncovered_failures as f64)
                 }),
+                elected_gm_changes: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.elected_gm_changes as f64)
+                }),
+                reconvergence_ms: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.reconvergence_ns as f64 / 1e6)
+                }),
+                unhandled_frames: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.unhandled_frames as f64)
+                }),
                 bound_ns_mean,
             }
         })
@@ -225,6 +265,16 @@ pub fn render(groups: &[GroupSummary]) -> String {
                 tr.mean, tr.max, dw.mean, dw.max, uc.mean, uc.max
             ));
         }
+        if let (Some(ch), Some(rc), Some(uf)) = (
+            &g.elected_gm_changes,
+            &g.reconvergence_ms,
+            &g.unhandled_frames,
+        ) {
+            out.push_str(&format!(
+                "  election/run: churn mean {:.1} (max {:.0})  reconv mean {:.1} ms (max {:.1} ms)  unhandled mean {:.1} (max {:.0})\n",
+                ch.mean, ch.max, rc.mean, rc.max, uf.mean, uf.max
+            ));
+        }
     }
     out
 }
@@ -266,6 +316,9 @@ pub fn render_json(groups: &[GroupSummary]) -> String {
                     ("sync_transitions", stat(&g.sync_transitions)),
                     ("degraded_dwell_ms", stat(&g.degraded_dwell_ms)),
                     ("uncovered_failures", stat(&g.uncovered_failures)),
+                    ("elected_gm_changes", stat(&g.elected_gm_changes)),
+                    ("reconvergence_ms", stat(&g.reconvergence_ms)),
+                    ("unhandled_frames", stat(&g.unhandled_frames)),
                 ])
             })
             .collect(),
@@ -456,6 +509,10 @@ mod tests {
                 compromised: None,
                 loss_permille: None,
                 partition_s: None,
+                election: None,
+                announce_interval_ms: None,
+                gm_failure_at_s: None,
+                rogue_master: None,
             },
             seed: seed * 1000,
             counters: RunCounters::default(),

@@ -98,6 +98,12 @@ pub struct TestbedConfig {
     /// the node's switch goes down for the window (relative to the end of
     /// the warm-up).
     pub partition: Option<PartitionWindow>,
+    /// Dynamic BMCA grandmaster election (`None` keeps the paper's static
+    /// per-domain grandmaster assignment; the run is then byte-identical
+    /// to a build without the election subsystem). When set, slot-0 VMs
+    /// run a live Announce/BMCA state machine per domain and the roles in
+    /// the Fig. 2 topology become the election's *initial* condition.
+    pub election: Option<tsn_election::ElectionConfig>,
     /// Measured experiment duration (excludes warm-up).
     pub duration: Nanos,
     /// Warm-up before measurement starts (initial synchronization per
@@ -229,6 +235,7 @@ impl TestbedConfig {
             explicit_faults: None,
             link_faults: None,
             partition: None,
+            election: None,
             duration: Nanos::from_secs(3600),
             warmup: Nanos::from_secs(30),
             measurement_node: 1,
@@ -331,6 +338,9 @@ impl TestbedConfig {
         if let Some(p) = &self.partition {
             assert!(p.node < self.nodes, "partition node out of range");
             assert!(p.until > p.from, "partition window empty or inverted");
+        }
+        if let Some(el) = &self.election {
+            el.validate(self.nodes);
         }
     }
 }

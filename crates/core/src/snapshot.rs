@@ -14,7 +14,7 @@ use tsn_time::{Nanos, SimTime};
 
 /// Version of the world's encoded state schema. Bump whenever any
 /// `SnapState` implementation in the workspace changes its layout.
-pub const WORLD_STATE_VERSION: u32 = 2;
+pub const WORLD_STATE_VERSION: u32 = 3;
 
 /// Fingerprint of a configuration (FNV-1a over its canonical `Debug`
 /// rendering), binding snapshots to the configuration that produced
@@ -43,6 +43,12 @@ pub fn warm_prefix_config(cfg: &TestbedConfig) -> TestbedConfig {
     prefix.kernels = KernelAssignment::identical(prefix.nodes);
     prefix.link_faults = None;
     prefix.partition = None;
+    if let Some(el) = &mut prefix.election {
+        // The scheduled grandmaster kill fires strictly after the
+        // warm-up; the election machinery itself (Announce traffic,
+        // timeouts) runs during the prefix and must stay.
+        el.gm_failure_at = None;
+    }
     prefix
 }
 

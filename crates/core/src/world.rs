@@ -16,8 +16,12 @@
 use crate::config::{HypMonitorMode, TestbedConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
-use tsn_faults::{AttackPlan, FaultEvent, FaultSchedule, StrikeOutcome, TransientFaults, VmSlot};
+use std::collections::{BTreeMap, HashMap};
+use tsn_election::{ElectionEvent, NodeElection};
+use tsn_faults::{
+    AttackPlan, ByzantineStrategy, FaultEvent, FaultSchedule, StrikeOutcome, TransientFaults,
+    VmSlot,
+};
 use tsn_fta::{AggregationMethod, AggregationMode, MultiDomainAggregator, SubmitOutcome};
 use tsn_gptp::{
     msg::Message, msg::MessageType, BridgeRelay, ClockIdentity, LinkDelayService, PortIdentity,
@@ -54,8 +58,10 @@ const DEFAULT_LINK_DELAY: Nanos = Nanos::from_nanos(2_000);
 enum TxCtx {
     /// No follow-up action (general messages, probes).
     None,
-    /// A grandmaster's Sync: emit the Follow_Up.
-    GmSync { node: usize, seq: u16 },
+    /// A grandmaster's Sync: emit the Follow_Up. `domain` selects the
+    /// originating master function (home domain or an election-acquired
+    /// foreign domain).
+    GmSync { node: usize, domain: u8, seq: u16 },
     /// A bridge-regenerated Sync: report to the relay.
     BridgeSync { sw: usize, domain: u8, seq: u16 },
     /// A Pdelay_Req: report t1 to the initiator.
@@ -104,6 +110,10 @@ enum Ev {
     BackgroundTick { port: PortAddr },
     /// Edge of link-down window `i` (`down = true` opens it).
     LinkWindow { i: usize, down: bool },
+    /// Election round on one node: expire claims, decide, announce.
+    ElectionTick { node: usize },
+    /// Scheduled permanent grandmaster kill (election failover scenario).
+    GmKill,
 }
 
 impl Ev {
@@ -125,6 +135,8 @@ impl Ev {
             Ev::PortFree { .. } => ("port_free", TraceSub::Netsim),
             Ev::BackgroundTick { .. } => ("background_tick", TraceSub::Netsim),
             Ev::LinkWindow { .. } => ("link_window", TraceSub::Faults),
+            Ev::ElectionTick { .. } => ("election_tick", TraceSub::Election),
+            Ev::GmKill => ("gm_kill", TraceSub::Election),
         }
     }
 }
@@ -149,6 +161,13 @@ struct VmState {
     pd: LinkDelayService,
     phc2sys: Phc2Sys,
     sync_servo: SyncTimeServo,
+    /// Live BMCA election state; present on slot-0 VMs when the
+    /// testbed's election mode is on, `None` otherwise (static external
+    /// port configuration).
+    election: Option<NodeElection>,
+    /// Master functions for foreign domains this node won by election,
+    /// keyed by domain.
+    acquired: BTreeMap<u8, SyncMaster>,
 }
 
 /// One ECD.
@@ -202,6 +221,19 @@ pub struct RunCounters {
     pub freerun_ns: u64,
     /// Active-VM failures the monitors could not cover (no standby).
     pub uncovered_failures: u64,
+    /// gPTP frames received by a handler with no role for them in the
+    /// active configuration (Announce outside election mode, E2E
+    /// delay-mechanism and Signaling messages).
+    pub unhandled_frames: u64,
+    /// Announce messages originated by acting masters (election mode).
+    pub announce_tx: u64,
+    /// Elected-grandmaster changes observed across all nodes' BMCA
+    /// instances (election churn; 0 in a stable run).
+    pub elected_gm_changes: u64,
+    /// Time from the scheduled grandmaster kill to the first replacement
+    /// promotion on the killed domain (ns; 0 when no kill happened or
+    /// the domain never recovered).
+    pub reconvergence_ns: u64,
 }
 
 /// The result of one experiment run.
@@ -258,6 +290,15 @@ pub struct World {
     /// Resolved link-down windows `(link, from, until)` relative to the
     /// warm-up end: the plan's own windows plus the partition expansion.
     down_windows: Vec<(LinkId, Nanos, Nanos)>,
+    /// Mesh port map: `mesh_port[a][b]` is switch `a`'s port toward
+    /// switch `b` (election rerooting rebuilds relay trees from it).
+    mesh_port: Vec<Vec<Option<u8>>>,
+    /// Current relay-tree root of each domain (initially the static
+    /// assignment `domain d → node d`; changed by election handoffs).
+    domain_roots: Vec<usize>,
+    /// The scheduled GM kill once it fired: `(kill time, killed node)` —
+    /// the re-election stopwatch for `reconvergence_ns`.
+    gm_kill: Option<(SimTime, u8)>,
     probes: HashMap<u64, Vec<ClockTime>>,
     probe_sent_at: HashMap<u64, SimTime>,
     /// Ground-truth time error of node 0's CLOCK_SYNCTIME (ns), sampled
@@ -385,6 +426,15 @@ impl World {
                 let master = (slot == 0).then(|| {
                     SyncMaster::new(node as u8, port_id, log2_interval(cfg.sync_interval))
                 });
+                let election = (slot == 0)
+                    .then_some(cfg.election.as_ref())
+                    .flatten()
+                    .map(|el| {
+                        let ids = (0..n)
+                            .map(|x| ClockIdentity::for_index(station_ids[x][0].0 as u32))
+                            .collect();
+                        NodeElection::new(node, ids, el)
+                    });
                 vms.push(VmState {
                     nic_device: dev,
                     nic,
@@ -406,6 +456,8 @@ impl World {
                         tsn_time::ServoConfig::default(),
                         cfg.phc2sys_interval,
                     ),
+                    election,
+                    acquired: BTreeMap::new(),
                 });
             }
             let voting = (cfg.monitor_mode == HypMonitorMode::Voting).then(|| {
@@ -570,6 +622,9 @@ impl World {
             link_faults,
             linkfault_rng,
             down_windows,
+            mesh_port,
+            domain_roots: (0..n).collect(),
+            gm_kill: None,
             probes: HashMap::new(),
             probe_sent_at: HashMap::new(),
             ground_truth_ns: Vec::new(),
@@ -600,6 +655,19 @@ impl World {
                     SimTime::from_millis(20) + jitter + Nanos::from_nanos(slot as i64 * 977),
                     Ev::Phc2SysTick { node, slot },
                 );
+            }
+            if self.cfg.election.is_some() {
+                self.queue
+                    .schedule_at(SimTime::from_millis(60) + jitter, Ev::ElectionTick { node });
+            }
+        }
+        // The election failover scenario's GM kill is a post-warmup
+        // intervention like faults and strikes: control sequence space,
+        // offset by the warm-up (and stripped from the warm prefix).
+        if let Some(el) = &self.cfg.election {
+            if let Some(at) = el.gm_failure_at {
+                self.queue
+                    .schedule_ctl_at(SimTime::ZERO + self.cfg.warmup + at, Ev::GmKill);
             }
         }
         // Pdelay on every wired port of every device.
@@ -690,6 +758,11 @@ impl World {
             step_threshold,
             max_frequency_ppb: self.cfg.servo.max_frequency_ppb,
             f,
+            election_convergence: self
+                .cfg
+                .election
+                .map(|el| el.convergence_bound())
+                .unwrap_or(Nanos::from_millis(2_000)),
         }));
     }
 
@@ -855,6 +928,8 @@ impl World {
             Ev::PortFree { from } => self.on_port_free(t, from),
             Ev::BackgroundTick { port } => self.on_background_tick(t, port),
             Ev::LinkWindow { i, down } => self.on_link_window(t, i, down),
+            Ev::ElectionTick { node } => self.on_election_tick(t, node),
+            Ev::GmKill => self.on_gm_kill(t),
         }
     }
 
@@ -1027,11 +1102,17 @@ impl World {
         // Departure timestamp with the sender's clock, then ctx actions.
         match ctx {
             TxCtx::None => {}
-            TxCtx::GmSync { node, seq } => {
+            TxCtx::GmSync { node, domain, seq } => {
                 let timed_out = self.transient.tx_timestamp_times_out();
+                let home = domain as usize == node;
                 let vm = &mut self.nodes[node].vms[0];
                 if timed_out {
-                    if let Some(m) = &mut vm.master {
+                    let m = if home {
+                        vm.master.as_mut()
+                    } else {
+                        vm.acquired.get_mut(&domain)
+                    };
+                    if let Some(m) = m {
                         m.sync_tx_failed(seq);
                     }
                     self.log(
@@ -1048,11 +1129,15 @@ impl World {
                         self.frame_rng = rng;
                         ts
                     };
-                    if let Some(m) = &mut vm.master {
-                        if let Some(fu) = m.sync_sent(seq, tx_ts) {
-                            let fu_frame = Self::ptp_frame(self.nodes[node].vms[0].nic.mac, fu);
-                            self.send_general(t, from, fu_frame, TxCtx::None);
-                        }
+                    let m = if home {
+                        vm.master.as_mut()
+                    } else {
+                        vm.acquired.get_mut(&domain)
+                    };
+                    let fu = m.and_then(|m| m.sync_sent(seq, tx_ts));
+                    if let Some(fu) = fu {
+                        let fu_frame = Self::ptp_frame(self.nodes[node].vms[0].nic.mac, fu);
+                        self.send_general(t, from, fu_frame, TxCtx::None);
                     }
                 }
             }
@@ -1231,8 +1316,13 @@ impl World {
                 if domain >= vm.slaves.len() {
                     return;
                 }
-                // The GM's own domain has no slave function.
-                if slot == 0 && domain == node && vm.gm_active {
+                // A domain this VM currently originates Syncs for (its
+                // own as acting GM, or one acquired by election) has no
+                // slave function.
+                if slot == 0
+                    && ((domain == node && vm.gm_active)
+                        || vm.acquired.contains_key(&header.domain))
+                {
                     return;
                 }
                 // Prior-work baseline: GM VMs do not run multi-domain
@@ -1286,10 +1376,28 @@ impl World {
             Message::PdelayRespFollowUp { .. } => {
                 let _ = self.nodes[node].vms[slot].pd.handle(&msg, ClockTime::ZERO);
             }
-            Message::Announce { .. } => {}
+            Message::Announce { header, .. } => {
+                if self.cfg.election.is_none() {
+                    // Static external port configuration: Announce plays
+                    // no role.
+                    self.counters.unhandled_frames += 1;
+                    return;
+                }
+                // Only slot-0 VMs participate in the election; standby
+                // VMs drop Announce by design.
+                if slot == 0 {
+                    let vm = &mut self.nodes[node].vms[slot];
+                    let now = vm.nic.phc.now(t);
+                    if let Some(e) = vm.election.as_mut() {
+                        e.on_announce(header.domain, &msg, now);
+                    }
+                }
+            }
             // The testbed runs the gPTP profile: peer delay, no E2E
             // mechanism, no runtime interval changes.
-            Message::DelayReq { .. } | Message::DelayResp { .. } | Message::Signaling { .. } => {}
+            Message::DelayReq { .. } | Message::DelayResp { .. } | Message::Signaling { .. } => {
+                self.counters.unhandled_frames += 1;
+            }
         }
     }
 
@@ -1424,8 +1532,59 @@ impl World {
                     let _ = svc.handle(&msg, ClockTime::ZERO);
                 }
             }
-            Message::Announce { .. } => {}
-            Message::DelayReq { .. } | Message::DelayResp { .. } | Message::Signaling { .. } => {}
+            Message::Announce {
+                header,
+                path_trace,
+                body,
+            } => {
+                if self.cfg.election.is_none() {
+                    self.counters.unhandled_frames += 1;
+                    return;
+                }
+                // Announce floods the whole fabric (the election runs on
+                // one logical port per VM); the path trace caps the
+                // flood — a switch never forwards an Announce it already
+                // carried (802.1AS clause 10.3.8.23 loop prevention).
+                let dev = self.switches[sw].device;
+                let own = ClockIdentity::for_index(dev.0 as u32);
+                if path_trace.contains(&own) {
+                    return;
+                }
+                let mut pt = path_trace.clone();
+                pt.push(own);
+                let mut fwd_body = *body;
+                fwd_body.steps_removed = fwd_body.steps_removed.saturating_add(1);
+                let fwd = Message::Announce {
+                    header: *header,
+                    path_trace: pt,
+                    body: fwd_body,
+                };
+                let bytes = fwd.encode();
+                let residence = self.switches[sw].fabric.residence;
+                let src = MacAddr::for_nic(dev.0 as u32);
+                let out_ports: Vec<u8> = self
+                    .topo
+                    .wired_ports(dev)
+                    .into_iter()
+                    .map(|p| p.port.0)
+                    .filter(|&p| p != port)
+                    .collect();
+                for out_port in out_ports {
+                    let delay = residence.sample(&mut self.frame_rng);
+                    let ann_frame = Self::ptp_frame(src, bytes.clone());
+                    self.queue.schedule_at(
+                        t + delay,
+                        Ev::Transmit {
+                            from: PortAddr::new(dev, out_port),
+                            frame: ann_frame,
+                            ctx: TxCtx::None,
+                        },
+                    );
+                }
+            }
+            Message::DelayReq { .. } | Message::DelayResp { .. } | Message::Signaling { .. } => {
+                self.counters.unhandled_frames += 1;
+            }
         }
     }
 
@@ -1545,6 +1704,21 @@ impl World {
             self.queue.schedule_at(t + s, Ev::GmSyncTick { node });
             return;
         }
+        // Serve election-acquired foreign domains first, then fall into
+        // the home-domain flow below.
+        self.emit_acquired_syncs(t, node);
+        // A home GM demoted by the election stops originating its own
+        // domain's Syncs (and stops self-submitting) until re-promoted.
+        let acting_home = self.nodes[node].vms[0]
+            .election
+            .as_ref()
+            .map(|e| e.acting(node as u8))
+            .unwrap_or(true);
+        if !acting_home {
+            self.queue.schedule_at(t + s, Ev::GmSyncTick { node });
+            return;
+        }
+        let vm = &mut self.nodes[node].vms[0];
         // The GM's own-domain instance stores its self-offset of zero
         // each interval — this is what keeps the GM inside the
         // distributed FTA ensemble (and what bootstraps the initial
@@ -1586,6 +1760,11 @@ impl World {
                 if let Some(m) = &mut self.nodes[node].vms[0].master {
                     m.pot_offset = offset;
                 }
+                // A rogue master lies on every domain it serves,
+                // including captured foreign ones.
+                for m in self.nodes[node].vms[0].acquired.values_mut() {
+                    m.pot_offset = offset;
+                }
             }
         }
         let vm = &mut self.nodes[node].vms[0];
@@ -1620,7 +1799,11 @@ impl World {
                     Ev::Transmit {
                         from: PortAddr::new(dev, 0),
                         frame,
-                        ctx: TxCtx::GmSync { node, seq },
+                        ctx: TxCtx::GmSync {
+                            node,
+                            domain: node as u8,
+                            seq,
+                        },
                     },
                 );
                 // Next tick lands LAUNCH_LEAD + margin before the next
@@ -1646,6 +1829,227 @@ impl World {
                 self.queue.schedule_at(t + s, Ev::GmSyncTick { node });
             }
         }
+    }
+
+    /// Originates one Sync per election-acquired foreign domain. These
+    /// go out driver-timed (not launch-scheduled): an interim master is
+    /// a degraded-mode stand-in, not a planned ETF emission.
+    fn emit_acquired_syncs(&mut self, t: SimTime, node: usize) {
+        let domains: Vec<u8> = self.nodes[node].vms[0].acquired.keys().copied().collect();
+        for d in domains {
+            let vm = &mut self.nodes[node].vms[0];
+            let Some(m) = vm.acquired.get_mut(&d) else {
+                continue;
+            };
+            let (bytes, seq) = m.make_sync();
+            let mac = vm.nic.mac;
+            let dev = vm.nic_device;
+            let frame = Self::ptp_frame(mac, bytes);
+            self.send_general(
+                t,
+                PortAddr::new(dev, 0),
+                frame,
+                TxCtx::GmSync {
+                    node,
+                    domain: d,
+                    seq,
+                },
+            );
+        }
+    }
+
+    /// One election round on `node`: expire stale Announce claims, run
+    /// the BMCA decision per domain, apply the transitions, and emit
+    /// this node's Announce for every domain it acts for.
+    fn on_election_tick(&mut self, t: SimTime, node: usize) {
+        let interval = match self.nodes[node].vms[0].election.as_ref() {
+            Some(e) => e.announce_interval(),
+            None => return,
+        };
+        self.queue
+            .schedule_at(t + interval, Ev::ElectionTick { node });
+        if !self.nodes[node].vms[0].running {
+            return;
+        }
+        let now = self.nodes[node].vms[0].nic.phc.now(t);
+        let events = self.nodes[node].vms[0]
+            .election
+            .as_mut()
+            .expect("checked above")
+            .step(now);
+        for ev in events {
+            self.apply_election_event(t, node, ev);
+        }
+        let acting = self.nodes[node].vms[0]
+            .election
+            .as_ref()
+            .expect("checked above")
+            .acting_domains();
+        for d in acting {
+            let msg = self.nodes[node].vms[0]
+                .election
+                .as_mut()
+                .expect("checked above")
+                .make_announce(d);
+            let bytes = msg.encode();
+            let mac = self.nodes[node].vms[0].nic.mac;
+            let dev = self.nodes[node].vms[0].nic_device;
+            let frame = Self::ptp_frame(mac, bytes);
+            self.send_general(t, PortAddr::new(dev, 0), frame, TxCtx::None);
+            self.counters.announce_tx += 1;
+        }
+    }
+
+    fn apply_election_event(&mut self, t: SimTime, node: usize, ev: ElectionEvent) {
+        match ev {
+            ElectionEvent::Promoted { domain } => self.promote_acting(t, node, domain),
+            ElectionEvent::Demoted { domain } => {
+                if let Some(tracer) = self.tracer.as_mut() {
+                    tracer
+                        .instant(t, "demoted", TraceSub::Election, node_pid(node), 0)
+                        .arg_u64("domain", u64::from(domain));
+                }
+                if self.oracle.is_some() {
+                    self.observe(Observation::ElectionActing {
+                        at: t,
+                        domain: domain as usize,
+                        node,
+                        acting: false,
+                    });
+                }
+                let vm = &mut self.nodes[node].vms[0];
+                if domain as usize == node {
+                    vm.gm_active = false;
+                } else {
+                    vm.acquired.remove(&domain);
+                }
+            }
+            ElectionEvent::Elected {
+                domain,
+                node: winner,
+                prev,
+            } => {
+                self.counters.elected_gm_changes += 1;
+                if let Some(tracer) = self.tracer.as_mut() {
+                    tracer
+                        .instant(t, "elected", TraceSub::Election, node_pid(node), 0)
+                        .arg_u64("domain", u64::from(domain))
+                        .arg_u64("winner", winner as u64)
+                        .arg_u64("prev", prev as u64);
+                }
+            }
+        }
+    }
+
+    /// Makes `node` the acting master of `domain`: home domain → resume
+    /// the static master function; foreign domain → instantiate an
+    /// interim one. Reroots the domain's relay tree at the node's switch
+    /// and stops the re-election stopwatch on the killed domain.
+    fn promote_acting(&mut self, t: SimTime, node: usize, domain: u8) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer
+                .instant(t, "promoted", TraceSub::Election, node_pid(node), 0)
+                .arg_u64("domain", u64::from(domain));
+        }
+        if self.oracle.is_some() {
+            self.observe(Observation::ElectionActing {
+                at: t,
+                domain: domain as usize,
+                node,
+                acting: true,
+            });
+        }
+        let s = self.cfg.sync_interval;
+        let vm = &mut self.nodes[node].vms[0];
+        if domain as usize == node {
+            vm.gm_active = true;
+        } else {
+            let identity = ClockIdentity::for_index(vm.nic_device.0 as u32);
+            let port_id = PortIdentity::new(identity, 1);
+            vm.acquired
+                .entry(domain)
+                .or_insert_with(|| SyncMaster::new(domain, port_id, log2_interval(s)));
+        }
+        if self.domain_roots[domain as usize] != node {
+            self.domain_roots[domain as usize] = node;
+            self.reroot_domain(domain as usize, node);
+        }
+        if let Some((kill_at, killed)) = self.gm_kill {
+            if domain == killed && self.counters.reconvergence_ns == 0 {
+                self.counters.reconvergence_ns = (t - kill_at).as_nanos() as u64;
+            }
+        }
+    }
+
+    /// Rebuilds every switch's relay for `domain` around the new root:
+    /// the root's switch takes the Sync feed from its VM port, everyone
+    /// else slaves toward the root through the mesh. In-flight partial
+    /// Sync/Follow_Up sequences of the old tree are dropped (they belong
+    /// to the dead master anyway).
+    fn reroot_domain(&mut self, domain: usize, root: usize) {
+        let vpn = self.cfg.vms_per_node;
+        let n = self.cfg.nodes;
+        for y in 0..n {
+            let identity = ClockIdentity::for_index(self.switches[y].device.0 as u32);
+            let relay = if y == root {
+                let mut masters: Vec<u16> = (1..vpn as u16).collect();
+                for z in 0..n {
+                    if z != y {
+                        masters.push(u16::from(self.mesh_port[y][z].expect("mesh port")));
+                    }
+                }
+                BridgeRelay::new(domain as u8, identity, 0, masters)
+            } else {
+                let slave = u16::from(self.mesh_port[y][root].expect("mesh port"));
+                BridgeRelay::new(domain as u8, identity, slave, (0..vpn as u16).collect())
+            };
+            self.switches[y].relays[domain] = relay;
+        }
+    }
+
+    /// The scheduled grandmaster kill: permanently shuts down the
+    /// configured node's GM VM (no reboot — the failover must come from
+    /// re-election, not recovery).
+    fn on_gm_kill(&mut self, t: SimTime) {
+        let Some(el) = self.cfg.election else {
+            return;
+        };
+        let node = el.gm_failure_node;
+        let vm = &mut self.nodes[node].vms[0];
+        if !vm.running {
+            return;
+        }
+        vm.running = false;
+        vm.gm_active = false;
+        self.counters.vm_failures += 1;
+        self.counters.gm_failures += 1;
+        let acting: Vec<u8> = vm
+            .election
+            .as_ref()
+            .map(|e| e.acting_domains())
+            .unwrap_or_default();
+        self.gm_kill = Some((t, node as u8));
+        if self.oracle.is_some() {
+            for d in acting {
+                self.observe(Observation::ElectionActing {
+                    at: t,
+                    domain: d as usize,
+                    node,
+                    acting: false,
+                });
+                self.observe(Observation::GmKilled {
+                    at: t,
+                    domain: d as usize,
+                });
+            }
+        }
+        self.log(
+            t,
+            ExperimentEvent::VmFailure {
+                node,
+                grandmaster: true,
+            },
+        );
     }
 
     fn on_pdelay_tick(&mut self, t: SimTime, port: PortAddr) {
@@ -1866,9 +2270,24 @@ impl World {
         }
         vm.running = false;
         vm.gm_active = false;
+        let was_acting: Vec<u8> = vm
+            .election
+            .as_ref()
+            .map(|e| e.acting_domains())
+            .unwrap_or_default();
         self.counters.vm_failures += 1;
         if f.slot == VmSlot::Grandmaster {
             self.counters.gm_failures += 1;
+        }
+        if self.oracle.is_some() {
+            for d in was_acting {
+                self.observe(Observation::ElectionActing {
+                    at: t,
+                    domain: d as usize,
+                    node: f.node,
+                    acting: false,
+                });
+            }
         }
         self.log(
             t,
@@ -1927,6 +2346,19 @@ impl World {
             }
             // The malicious ptp4l serves the domain unconditionally.
             vm.gm_active = true;
+            // A rogue master additionally forges a best-possible BMCA
+            // claim on its cyclic predecessor's domain, capturing it
+            // through the election (no effect without election mode).
+            if self.cfg.election.is_some()
+                && matches!(strike.strategy, Some(ByzantineStrategy::RogueMaster { .. }))
+            {
+                let n = self.cfg.nodes;
+                let domain = ((strike.target_node + n - 1) % n) as u8;
+                if let Some(e) = self.nodes[strike.target_node].vms[0].election.as_mut() {
+                    e.capture(domain, 0);
+                    self.promote_acting(t, strike.target_node, domain);
+                }
+            }
         } else {
             self.counters.strikes_failed += 1;
         }
@@ -2087,6 +2519,27 @@ impl World {
         out
     }
 
+    /// Nodes currently acting as grandmaster for `domain` (running
+    /// clock-sync VMs only). With the election disabled this is the
+    /// static home assignment; with it enabled, whatever BMCA decided.
+    pub fn acting_masters(&self, domain: u8) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let vm = &node.vms[0];
+            if !vm.running {
+                continue;
+            }
+            let acting = match &vm.election {
+                Some(e) => e.acting(domain),
+                None => i == domain as usize && vm.gm_active,
+            };
+            if acting {
+                out.push(i);
+            }
+        }
+        out
+    }
+
     /// Ground truth: the spread of the clock-sync VMs' PHCs at true time
     /// `t` (running VMs only). Not available to any simulated component.
     pub fn phc_spread(&mut self, t: SimTime) -> Nanos {
@@ -2209,9 +2662,10 @@ impl Snap for TxCtx {
     fn put(&self, w: &mut Writer) {
         match self {
             TxCtx::None => 0u8.put(w),
-            TxCtx::GmSync { node, seq } => {
+            TxCtx::GmSync { node, domain, seq } => {
                 1u8.put(w);
                 node.put(w);
+                domain.put(w);
                 seq.put(w);
             }
             TxCtx::BridgeSync { sw, domain, seq } => {
@@ -2242,6 +2696,7 @@ impl Snap for TxCtx {
             0 => TxCtx::None,
             1 => TxCtx::GmSync {
                 node: Snap::get(r)?,
+                domain: Snap::get(r)?,
                 seq: Snap::get(r)?,
             },
             2 => TxCtx::BridgeSync {
@@ -2324,6 +2779,11 @@ impl Snap for Ev {
                 i.put(w);
                 down.put(w);
             }
+            Ev::ElectionTick { node } => {
+                14u8.put(w);
+                node.put(w);
+            }
+            Ev::GmKill => 15u8.put(w),
         }
     }
     fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -2365,6 +2825,10 @@ impl Snap for Ev {
                 i: Snap::get(r)?,
                 down: Snap::get(r)?,
             },
+            14 => Ev::ElectionTick {
+                node: Snap::get(r)?,
+            },
+            15 => Ev::GmKill,
             _ => return Err(SnapError::Malformed("event discriminant")),
         })
     }
@@ -2386,6 +2850,10 @@ impl Snap for RunCounters {
         self.holdover_ns.put(w);
         self.freerun_ns.put(w);
         self.uncovered_failures.put(w);
+        self.unhandled_frames.put(w);
+        self.announce_tx.put(w);
+        self.elected_gm_changes.put(w);
+        self.reconvergence_ns.put(w);
     }
     fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         Ok(RunCounters {
@@ -2403,6 +2871,10 @@ impl Snap for RunCounters {
             holdover_ns: Snap::get(r)?,
             freerun_ns: Snap::get(r)?,
             uncovered_failures: Snap::get(r)?,
+            unhandled_frames: Snap::get(r)?,
+            announce_tx: Snap::get(r)?,
+            elected_gm_changes: Snap::get(r)?,
+            reconvergence_ns: Snap::get(r)?,
         })
     }
 }
@@ -2432,6 +2904,17 @@ impl SnapState for VmState {
         self.pd.save_state(w);
         self.phc2sys.save_state(w);
         self.sync_servo.save_state(w);
+        self.election.is_some().put(w);
+        if let Some(e) = &self.election {
+            e.save_state(w);
+        }
+        // Acquired masters are dynamic: encode domain keys so load can
+        // reconstruct each function before overwriting its state.
+        self.acquired.len().put(w);
+        for (d, m) in &self.acquired {
+            d.put(w);
+            m.save_state(w);
+        }
     }
 
     fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
@@ -2457,7 +2940,28 @@ impl SnapState for VmState {
         self.aggregator.load_state(r)?;
         self.pd.load_state(r)?;
         self.phc2sys.load_state(r)?;
-        self.sync_servo.load_state(r)
+        self.sync_servo.load_state(r)?;
+        if bool::get(r)? != self.election.is_some() {
+            return Err(SnapError::Malformed("election presence"));
+        }
+        if let Some(e) = &mut self.election {
+            e.load_state(r)?;
+        }
+        let n = usize::get(r)?;
+        let mut acquired = BTreeMap::new();
+        let identity = ClockIdentity::for_index(self.nic_device.0 as u32);
+        for _ in 0..n {
+            let d = u8::get(r)?;
+            // The log2 interval is part of the saved state; the
+            // placeholder is overwritten by load_state.
+            let mut m = SyncMaster::new(d, PortIdentity::new(identity, 1), -3);
+            m.load_state(r)?;
+            if acquired.insert(d, m).is_some() {
+                return Err(SnapError::Malformed("duplicate acquired domain"));
+            }
+        }
+        self.acquired = acquired;
+        Ok(())
     }
 }
 
@@ -2525,6 +3029,9 @@ impl SnapState for World {
         for node in &self.nodes {
             node.save_state(w);
         }
+        // Roots precede switch states: restore must reroot the relay
+        // trees before overwriting their (topology-shaped) states.
+        self.domain_roots.put(w);
         for sw in &self.switches {
             sw.save_state(w);
         }
@@ -2551,12 +3058,27 @@ impl SnapState for World {
         self.counters.put(w);
         self.link_faults.save_state(w);
         self.linkfault_rng.put(w);
+        self.gm_kill.is_some().put(w);
+        if let Some((at, node)) = self.gm_kill {
+            at.put(w);
+            node.put(w);
+        }
     }
 
     fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
         self.queue.load_state(r)?;
         for node in &mut self.nodes {
             node.load_state(r)?;
+        }
+        let roots: Vec<usize> = Snap::get(r)?;
+        if roots.len() != self.domain_roots.len() {
+            return Err(SnapError::Malformed("domain root count"));
+        }
+        for (d, &root) in roots.iter().enumerate() {
+            if self.domain_roots[d] != root {
+                self.domain_roots[d] = root;
+                self.reroot_domain(d, root);
+            }
         }
         for sw in &mut self.switches {
             sw.load_state(r)?;
@@ -2589,6 +3111,11 @@ impl SnapState for World {
         self.counters = Snap::get(r)?;
         self.link_faults.load_state(r)?;
         self.linkfault_rng = Snap::get(r)?;
+        self.gm_kill = if bool::get(r)? {
+            Some((Snap::get(r)?, Snap::get(r)?))
+        } else {
+            None
+        };
         Ok(())
     }
 }

@@ -71,6 +71,15 @@ pub enum ByzantineStrategy {
         /// The target offset shared by all colluders.
         target: Nanos,
     },
+    /// Rogue master (election mode only): the compromised node forges a
+    /// best-possible BMCA priority vector on a *foreign* domain, wins
+    /// its election, and serves time shifted by `offset` — the classic
+    /// Announce-spoofing attack that external port configuration is
+    /// immune to and that FTA must contain once election is dynamic.
+    RogueMaster {
+        /// POT shift served on the captured domain.
+        offset: Nanos,
+    },
 }
 
 impl ByzantineStrategy {
@@ -90,6 +99,7 @@ impl ByzantineStrategy {
             ByzantineStrategy::Intermittent { .. } => "intermittent",
             ByzantineStrategy::TrimEdge { .. } => "trim-edge",
             ByzantineStrategy::Colluding { .. } => "colluding",
+            ByzantineStrategy::RogueMaster { .. } => "rogue-master",
         }
     }
 
@@ -118,18 +128,22 @@ impl ByzantineStrategy {
             "colluding" => ByzantineStrategy::Colluding {
                 target: Nanos::from_micros(14),
             },
+            "rogue-master" => ByzantineStrategy::RogueMaster {
+                offset: PAPER_POT_OFFSET,
+            },
             _ => return None,
         })
     }
 
     /// Names accepted by [`ByzantineStrategy::named`], in a stable order.
-    pub const NAMES: [&'static str; 6] = [
+    pub const NAMES: [&'static str; 7] = [
         "constant",
         "ramp",
         "oscillating",
         "intermittent",
         "trim-edge",
         "colluding",
+        "rogue-master",
     ];
 
     /// The POT shift `elapsed` after the strike landed.
@@ -159,6 +173,7 @@ impl ByzantineStrategy {
             }
             ByzantineStrategy::TrimEdge { margin } => validity_threshold - margin,
             ByzantineStrategy::Colluding { target } => target,
+            ByzantineStrategy::RogueMaster { offset } => offset,
         }
     }
 }
@@ -216,6 +231,10 @@ impl Snap for ByzantineStrategy {
                 5u8.put(w);
                 target.put(w);
             }
+            ByzantineStrategy::RogueMaster { offset } => {
+                6u8.put(w);
+                offset.put(w);
+            }
         }
     }
     fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -240,6 +259,9 @@ impl Snap for ByzantineStrategy {
             },
             5 => ByzantineStrategy::Colluding {
                 target: Snap::get(r)?,
+            },
+            6 => ByzantineStrategy::RogueMaster {
+                offset: Snap::get(r)?,
             },
             _ => return Err(SnapError::Malformed("byzantine strategy discriminant")),
         })
@@ -333,7 +355,7 @@ mod tests {
             seen.push(std::mem::discriminant(&s));
         }
         seen.dedup();
-        assert_eq!(seen.len(), 6, "each name maps to a distinct variant");
+        assert_eq!(seen.len(), 7, "each name maps to a distinct variant");
         assert_eq!(ByzantineStrategy::named("nope"), None);
     }
 

@@ -122,6 +122,14 @@ impl Bmca {
         &self.own
     }
 
+    /// Overrides the local `priority1`, e.g. when a rogue master forges
+    /// a best-possible vector after compromise. Does not touch the
+    /// per-port best-master records; the next [`Bmca::decide`] compares
+    /// against the forged value.
+    pub fn set_priority1(&mut self, priority1: u8) {
+        self.own.priority1 = priority1;
+    }
+
     /// Feeds a received Announce. `now` is the local clock used only for
     /// receipt-timeout bookkeeping.
     pub fn consider_announce(&mut self, port: u16, msg: &Message, now: ClockTime) {
@@ -226,6 +234,53 @@ impl Bmca {
                 slave_port,
             }
         }
+    }
+}
+
+use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
+
+impl Snap for PriorityVector {
+    fn put(&self, w: &mut Writer) {
+        self.system.put(w);
+        self.steps_removed.put(w);
+        self.source_port.put(w);
+        self.receiving_port.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(PriorityVector {
+            system: Snap::get(r)?,
+            steps_removed: Snap::get(r)?,
+            source_port: Snap::get(r)?,
+            receiving_port: Snap::get(r)?,
+        })
+    }
+}
+
+impl Snap for ErBest {
+    fn put(&self, w: &mut Writer) {
+        self.vector.put(w);
+        self.last_announce.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(ErBest {
+            vector: Snap::get(r)?,
+            last_announce: Snap::get(r)?,
+        })
+    }
+}
+
+impl SnapState for Bmca {
+    // The port list and receipt timeout are construction-time
+    // configuration; `priority1` is mutable (rogue-master forging) and
+    // travels with the per-port best-master records.
+    fn save_state(&self, w: &mut Writer) {
+        self.own.priority1.put(w);
+        self.er_best.put(w);
+    }
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.own.priority1 = Snap::get(r)?;
+        self.er_best = Snap::get(r)?;
+        Ok(())
     }
 }
 
@@ -368,5 +423,127 @@ mod tests {
         );
         bmca.expire(ClockTime::from_nanos(4_000_000_000));
         assert!(!bmca.decide().is_grandmaster, "refresh kept the GM alive");
+    }
+
+    #[test]
+    fn steps_removed_qualification_boundary() {
+        // Clause 10.3.10: stepsRemoved >= 255 disqualifies an Announce.
+        // 254 is the last qualifying value (the vector stores 255 after
+        // the +1 hop to us).
+        let mut bmca = Bmca::new(sys(246, 5), vec![1], TIMEOUT);
+        bmca.consider_announce(1, &announce(&sys(100, 2), 255, 2), ClockTime::ZERO);
+        assert!(bmca.decide().is_grandmaster, "steps_removed=255 accepted");
+        bmca.consider_announce(1, &announce(&sys(100, 2), 254, 2), ClockTime::ZERO);
+        let d = bmca.decide();
+        assert!(!d.is_grandmaster, "steps_removed=254 rejected");
+        let er = bmca.er_best.get(&1).expect("recorded");
+        assert_eq!(er.vector.steps_removed, 255, "hop increment applied");
+    }
+
+    #[test]
+    fn same_source_refresh_accepts_worse_vector() {
+        // A degraded Announce from the *recorded* source must replace the
+        // stale record (the source's state changed); the same degraded
+        // vector from a different source must not displace the better one.
+        let mut bmca = Bmca::new(sys(246, 5), vec![1], TIMEOUT);
+        let good = sys(100, 2);
+        bmca.consider_announce(1, &announce(&good, 0, 2), ClockTime::ZERO);
+        assert_eq!(bmca.decide().grandmaster.identity, good.identity);
+
+        // Same source (src_idx 2), now advertising a worse GM.
+        let degraded = sys(150, 9);
+        let mut msg = announce(&degraded, 0, 2);
+        if let Message::Announce { header, .. } = &mut msg {
+            header.source_port = PortIdentity::new(ClockIdentity::for_index(2), 1);
+        }
+        bmca.consider_announce(1, &msg, ClockTime::from_nanos(1));
+        assert_eq!(
+            bmca.decide().grandmaster.identity,
+            degraded.identity,
+            "same-source refresh must overwrite, not keep the stale best"
+        );
+
+        // Reinstate the good record, then offer the worse vector from a
+        // *different* source: it must be ignored.
+        bmca.consider_announce(1, &announce(&good, 0, 2), ClockTime::from_nanos(2));
+        bmca.consider_announce(1, &announce(&degraded, 0, 7), ClockTime::from_nanos(3));
+        assert_eq!(
+            bmca.decide().grandmaster.identity,
+            good.identity,
+            "worse vector from a new source displaced the best"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::types::{ClockIdentity, ClockQuality};
+    use proptest::prelude::*;
+
+    fn arb_vector() -> impl Strategy<Value = PriorityVector> {
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u16>(),
+            any::<u8>(),
+            0u32..8,
+            any::<u16>(),
+            0u32..8,
+            any::<u16>(),
+            any::<u16>(),
+        )
+            .prop_map(
+                |(p1, class, acc, var, p2, id, steps, src_id, src_port, rx)| PriorityVector {
+                    system: SystemIdentity {
+                        priority1: p1,
+                        quality: ClockQuality {
+                            class,
+                            accuracy: acc,
+                            variance: var,
+                        },
+                        priority2: p2,
+                        identity: ClockIdentity::for_index(id),
+                    },
+                    steps_removed: steps,
+                    source_port: PortIdentity::new(ClockIdentity::for_index(src_id), src_port),
+                    receiving_port: rx,
+                },
+            )
+    }
+
+    proptest! {
+        /// The dataset comparison (clause 10.3.5) is a total order:
+        /// antisymmetric, transitive, and total, with equality agreeing
+        /// with structural equality — `min_by` in `decide` relies on it.
+        #[test]
+        fn priority_vector_ordering_is_a_total_order(
+            a in arb_vector(), b in arb_vector(), c in arb_vector()
+        ) {
+            use std::cmp::Ordering;
+            // Consistency: Ord, PartialOrd, and Eq agree.
+            prop_assert_eq!(a.partial_cmp(&b), Some(a.cmp(&b)));
+            prop_assert_eq!(a.cmp(&b) == Ordering::Equal, a == b);
+            // Antisymmetry.
+            prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+            // Transitivity over every ordering of the triple.
+            let mut sorted = [a, b, c];
+            sorted.sort();
+            prop_assert!(sorted[0] <= sorted[1] && sorted[1] <= sorted[2]);
+            prop_assert!(sorted[0] <= sorted[2]);
+            // Reflexivity / totality.
+            prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+        }
+
+        /// A strictly better system identity always wins the comparison
+        /// regardless of steps/ports (lexicographic dominance).
+        #[test]
+        fn system_identity_dominates_tiebreaks(
+            a in arb_vector(), b in arb_vector()
+        ) {
+            prop_assume!(a.system.better_than(&b.system));
+            prop_assert!(a < b);
+        }
     }
 }

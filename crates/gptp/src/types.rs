@@ -251,6 +251,38 @@ impl Snap for Correction {
     }
 }
 
+impl Snap for ClockQuality {
+    fn put(&self, w: &mut Writer) {
+        self.class.put(w);
+        self.accuracy.put(w);
+        self.variance.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(ClockQuality {
+            class: Snap::get(r)?,
+            accuracy: Snap::get(r)?,
+            variance: Snap::get(r)?,
+        })
+    }
+}
+
+impl Snap for SystemIdentity {
+    fn put(&self, w: &mut Writer) {
+        self.priority1.put(w);
+        self.quality.put(w);
+        self.priority2.put(w);
+        self.identity.put(w);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(SystemIdentity {
+            priority1: Snap::get(r)?,
+            quality: Snap::get(r)?,
+            priority2: Snap::get(r)?,
+            identity: Snap::get(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,7 @@
 //! hide inside the oracle too.
 
 use crate::{Invariant, Observation};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use tsn_metrics::{drift_offset, precision_bound, ViolationLog};
 use tsn_time::{Nanos, Ppb, SimTime, SyncState};
 
@@ -554,6 +554,182 @@ impl Invariant for HoldoverDrift {
     }
 }
 
+/// Election safety: at most one acting grandmaster per domain, modulo a
+/// bounded hand-over window. BMCA role transitions are not atomic — the
+/// old master keeps announcing until it hears a better vector — so two
+/// acting masters may legitimately overlap, but only for at most the
+/// configured convergence bound. A persistent dual-master split means
+/// the election diverged.
+#[derive(Debug)]
+pub struct AtMostOneActingMaster {
+    bound: Nanos,
+    /// Current acting masters per domain.
+    acting: BTreeMap<usize, BTreeSet<usize>>,
+    /// When a domain first entered a multi-master overlap.
+    overlap_since: BTreeMap<usize, SimTime>,
+    /// Domains already reported (one record per overlap episode).
+    flagged: BTreeSet<usize>,
+    last_at: Option<SimTime>,
+}
+
+impl AtMostOneActingMaster {
+    /// Creates the checker; `bound` is the allowed hand-over overlap.
+    pub fn new(bound: Nanos) -> Self {
+        AtMostOneActingMaster {
+            bound,
+            acting: BTreeMap::new(),
+            overlap_since: BTreeMap::new(),
+            flagged: BTreeSet::new(),
+            last_at: None,
+        }
+    }
+
+    fn judge(&mut self, now: SimTime, log: &mut ViolationLog) {
+        for (domain, since) in &self.overlap_since {
+            let held = now.as_nanos() as i64 - since.as_nanos() as i64;
+            if held > self.bound.as_nanos() && self.flagged.insert(*domain) {
+                let nodes: Vec<usize> = self
+                    .acting
+                    .get(domain)
+                    .into_iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                log.record(
+                    now,
+                    self.name(),
+                    format!("domain{domain}.election"),
+                    format!(
+                        "nodes {nodes:?} all acting as grandmaster for {held}ns \
+                         (> {}ns convergence bound)",
+                        self.bound.as_nanos()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+impl Invariant for AtMostOneActingMaster {
+    fn name(&self) -> &'static str {
+        "election-at-most-one-master"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        let at = match obs {
+            Observation::ElectionActing {
+                at,
+                domain,
+                node,
+                acting,
+            } => {
+                let set = self.acting.entry(*domain).or_default();
+                if *acting {
+                    set.insert(*node);
+                } else {
+                    set.remove(node);
+                }
+                if set.len() > 1 {
+                    self.overlap_since.entry(*domain).or_insert(*at);
+                } else {
+                    self.overlap_since.remove(domain);
+                    self.flagged.remove(domain);
+                }
+                *at
+            }
+            Observation::GmKilled { at, .. } | Observation::RunEnd { at, .. } => *at,
+            _ => return,
+        };
+        self.last_at = Some(self.last_at.map_or(at, |p| p.max(at)));
+        self.judge(at, log);
+    }
+
+    fn finish(&mut self, log: &mut ViolationLog) {
+        if let Some(at) = self.last_at {
+            self.judge(at, log);
+        }
+    }
+}
+
+/// Election liveness: after the scenario kills a domain's acting
+/// grandmaster, a replacement must start acting within the configured
+/// convergence bound (announce-receipt timeout plus BMCA settling).
+#[derive(Debug)]
+pub struct ElectionConvergence {
+    bound: Nanos,
+    /// Unresolved kills: domain → kill time.
+    pending: BTreeMap<usize, SimTime>,
+    end: Option<SimTime>,
+}
+
+impl ElectionConvergence {
+    /// Creates the checker; `bound` is the re-election deadline.
+    pub fn new(bound: Nanos) -> Self {
+        ElectionConvergence {
+            bound,
+            pending: BTreeMap::new(),
+            end: None,
+        }
+    }
+}
+
+impl Invariant for ElectionConvergence {
+    fn name(&self) -> &'static str {
+        "election-convergence"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        match obs {
+            Observation::GmKilled { at, domain } => {
+                self.pending.entry(*domain).or_insert(*at);
+            }
+            Observation::ElectionActing {
+                at,
+                domain,
+                acting: true,
+                ..
+            } => {
+                if let Some(killed) = self.pending.remove(domain) {
+                    let took = at.as_nanos() as i64 - killed.as_nanos() as i64;
+                    if took > self.bound.as_nanos() {
+                        log.record(
+                            *at,
+                            self.name(),
+                            format!("domain{domain}.election"),
+                            format!(
+                                "re-election took {took}ns after grandmaster kill \
+                                 (> {}ns convergence bound)",
+                                self.bound.as_nanos()
+                            ),
+                        );
+                    }
+                }
+            }
+            Observation::RunEnd { at, .. } => self.end = Some(*at),
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, log: &mut ViolationLog) {
+        let Some(end) = self.end else { return };
+        for (domain, killed) in &self.pending {
+            let waited = end.as_nanos() as i64 - killed.as_nanos() as i64;
+            if waited > self.bound.as_nanos() {
+                log.record(
+                    end,
+                    self.name(),
+                    format!("domain{domain}.election"),
+                    format!(
+                        "no replacement grandmaster acted within {waited}ns of the \
+                         kill (> {}ns convergence bound)",
+                        self.bound.as_nanos()
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1043,5 +1219,143 @@ mod tests {
             rec.witness
         );
         assert!(rec.witness.contains("byzantine=1"));
+    }
+
+    fn acting(at_ms: u64, domain: usize, node: usize, acting: bool) -> Observation<'static> {
+        Observation::ElectionActing {
+            at: SimTime::from_millis(at_ms),
+            domain,
+            node,
+            acting,
+        }
+    }
+
+    #[test]
+    fn one_master_accepts_bounded_handover_overlap() {
+        let mut inv = AtMostOneActingMaster::new(Nanos::from_millis(2_000));
+        let mut l = log();
+        inv.observe(&acting(1_000, 0, 0, true), &mut l);
+        // Node 1 promotes itself before node 0 stands down: a 500 ms
+        // overlap, well inside the 2 s hand-over window.
+        inv.observe(&acting(5_000, 0, 1, true), &mut l);
+        inv.observe(&acting(5_500, 0, 0, false), &mut l);
+        inv.finish(&mut l);
+        assert!(l.is_empty(), "{:?}", l.records());
+    }
+
+    #[test]
+    fn one_master_flags_persistent_split() {
+        let mut inv = AtMostOneActingMaster::new(Nanos::from_millis(2_000));
+        let mut l = log();
+        inv.observe(&acting(1_000, 2, 0, true), &mut l);
+        inv.observe(&acting(5_000, 2, 3, true), &mut l);
+        // Nothing resolves; the run ends 10 s later.
+        inv.observe(
+            &Observation::RunEnd {
+                at: SimTime::from_secs(15),
+                residual_frames: 0,
+            },
+            &mut l,
+        );
+        inv.finish(&mut l);
+        assert_eq!(l.len(), 1);
+        let rec = &l.records()[0];
+        assert_eq!(rec.invariant, "election-at-most-one-master");
+        assert_eq!(rec.component, "domain2.election");
+        assert!(rec.witness.contains("[0, 3]"));
+    }
+
+    #[test]
+    fn one_master_reports_each_split_episode_once() {
+        let mut inv = AtMostOneActingMaster::new(Nanos::from_millis(1_000));
+        let mut l = log();
+        inv.observe(&acting(0, 0, 0, true), &mut l);
+        inv.observe(&acting(100, 0, 1, true), &mut l);
+        // Repeated late observations of the same split: one record.
+        inv.observe(&acting(3_000, 0, 2, true), &mut l);
+        inv.observe(&acting(4_000, 0, 2, false), &mut l);
+        inv.finish(&mut l);
+        assert_eq!(l.len(), 1, "{:?}", l.records());
+    }
+
+    #[test]
+    fn convergence_accepts_timely_reelection() {
+        let mut inv = ElectionConvergence::new(Nanos::from_millis(2_000));
+        let mut l = log();
+        inv.observe(
+            &Observation::GmKilled {
+                at: SimTime::from_secs(10),
+                domain: 0,
+            },
+            &mut l,
+        );
+        inv.observe(&acting(11_000, 0, 1, true), &mut l);
+        inv.finish(&mut l);
+        assert!(l.is_empty(), "{:?}", l.records());
+    }
+
+    #[test]
+    fn convergence_flags_slow_reelection() {
+        let mut inv = ElectionConvergence::new(Nanos::from_millis(2_000));
+        let mut l = log();
+        inv.observe(
+            &Observation::GmKilled {
+                at: SimTime::from_secs(10),
+                domain: 1,
+            },
+            &mut l,
+        );
+        inv.observe(&acting(14_000, 1, 2, true), &mut l);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.records()[0].invariant, "election-convergence");
+        assert!(l.records()[0].witness.contains("re-election took"));
+    }
+
+    #[test]
+    fn convergence_flags_domain_never_recovering() {
+        let mut inv = ElectionConvergence::new(Nanos::from_millis(2_000));
+        let mut l = log();
+        inv.observe(
+            &Observation::GmKilled {
+                at: SimTime::from_secs(10),
+                domain: 3,
+            },
+            &mut l,
+        );
+        // A different domain recovering does not resolve domain 3.
+        inv.observe(&acting(10_500, 2, 1, true), &mut l);
+        inv.observe(
+            &Observation::RunEnd {
+                at: SimTime::from_secs(30),
+                residual_frames: 0,
+            },
+            &mut l,
+        );
+        inv.finish(&mut l);
+        assert_eq!(l.len(), 1);
+        assert!(l.records()[0].witness.contains("no replacement"));
+        assert_eq!(l.records()[0].component, "domain3.election");
+    }
+
+    #[test]
+    fn convergence_claims_nothing_when_run_ends_inside_bound() {
+        let mut inv = ElectionConvergence::new(Nanos::from_millis(2_000));
+        let mut l = log();
+        inv.observe(
+            &Observation::GmKilled {
+                at: SimTime::from_secs(10),
+                domain: 0,
+            },
+            &mut l,
+        );
+        inv.observe(
+            &Observation::RunEnd {
+                at: SimTime::from_millis(11_000),
+                residual_frames: 0,
+            },
+            &mut l,
+        );
+        inv.finish(&mut l);
+        assert!(l.is_empty(), "{:?}", l.records());
     }
 }

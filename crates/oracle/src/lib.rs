@@ -41,8 +41,8 @@
 mod invariants;
 
 pub use invariants::{
-    BoundAlgebra, EventCausality, FrameConservation, FtaContainment, HoldoverDrift, ServoClamp,
-    SyncStateLegality, SynctimeContinuity,
+    AtMostOneActingMaster, BoundAlgebra, ElectionConvergence, EventCausality, FrameConservation,
+    FtaContainment, HoldoverDrift, ServoClamp, SyncStateLegality, SynctimeContinuity,
 };
 pub use tsn_metrics::{ViolationLog, ViolationRecord};
 
@@ -63,6 +63,10 @@ pub struct OracleConfig {
     /// when the method provides no Byzantine masking (Mean/Median
     /// ablations) and containment is not claimed.
     pub f: Option<usize>,
+    /// Bound on grandmaster-election settling (election mode): after a
+    /// GM failure a replacement must act within this window, and two
+    /// acting masters may overlap on one domain for at most this long.
+    pub election_convergence: Nanos,
 }
 
 impl Default for OracleConfig {
@@ -72,6 +76,7 @@ impl Default for OracleConfig {
             step_threshold: Nanos::from_micros(20),
             max_frequency_ppb: 900_000.0,
             f: Some(1),
+            election_convergence: Nanos::from_millis(2_000),
         }
     }
 }
@@ -178,6 +183,27 @@ pub enum Observation<'a> {
         /// Frames still waiting in egress queues at the end.
         residual_frames: u64,
     },
+    /// A node's acting-grandmaster status changed on a domain (election
+    /// mode): `true` when it started emitting Sync/Announce as master,
+    /// `false` when it ceded the role.
+    ElectionActing {
+        /// Transition time.
+        at: SimTime,
+        /// gPTP domain concerned.
+        domain: usize,
+        /// Node whose role changed.
+        node: usize,
+        /// New acting-master status.
+        acting: bool,
+    },
+    /// The scenario killed the acting grandmaster of a domain (the
+    /// re-election stopwatch starts here).
+    GmKilled {
+        /// Kill time.
+        at: SimTime,
+        /// gPTP domain that lost its grandmaster.
+        domain: usize,
+    },
     /// A clock-sync VM's aggregator changed degradation state.
     SyncTransition {
         /// Transition time.
@@ -226,7 +252,7 @@ impl std::fmt::Debug for OracleRegistry {
 }
 
 impl OracleRegistry {
-    /// The standard registry: all eight conformance invariants.
+    /// The standard registry: all ten conformance invariants.
     pub fn standard(cfg: OracleConfig) -> Self {
         OracleRegistry::with_invariants(vec![
             Box::new(EventCausality::new()),
@@ -245,6 +271,8 @@ impl OracleRegistry {
                 cfg.step_threshold,
                 cfg.max_frequency_ppb,
             )),
+            Box::new(AtMostOneActingMaster::new(cfg.election_convergence)),
+            Box::new(ElectionConvergence::new(cfg.election_convergence)),
         ])
     }
 

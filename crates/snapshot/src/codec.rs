@@ -11,7 +11,7 @@
 //! - unordered containers ([`HashMap`]) are encoded in ascending key
 //!   order.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::hash::Hash;
 
@@ -292,6 +292,31 @@ impl<K: Snap + Ord + Eq + Hash, V: Snap> Snap for HashMap<K, V> {
             return Err(SnapError::Malformed("collection length exceeds input"));
         }
         let mut out = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let k = K::get(r)?;
+            let v = V::get(r)?;
+            if out.insert(k, v).is_some() {
+                return Err(SnapError::Malformed("duplicate map key"));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Snap + Ord, V: Snap> Snap for BTreeMap<K, V> {
+    fn put(&self, w: &mut Writer) {
+        self.len().put(w);
+        for (k, v) in self {
+            k.put(w);
+            v.put(w);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let n = usize::get(r)?;
+        if n > r.remaining() {
+            return Err(SnapError::Malformed("collection length exceeds input"));
+        }
+        let mut out = BTreeMap::new();
         for _ in 0..n {
             let k = K::get(r)?;
             let v = V::get(r)?;

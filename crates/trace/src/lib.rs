@@ -73,11 +73,14 @@ pub enum Subsystem {
     Faults,
     /// Precision measurement probes.
     Measure,
+    /// BMCA grandmaster election: Announce tx/rx, role transitions,
+    /// election rounds, GM handoff.
+    Election,
 }
 
 impl Subsystem {
     /// Every subsystem, in canonical (report) order.
-    pub const ALL: [Subsystem; 8] = [
+    pub const ALL: [Subsystem; 9] = [
         Subsystem::Netsim,
         Subsystem::Gptp,
         Subsystem::Fta,
@@ -86,6 +89,7 @@ impl Subsystem {
         Subsystem::Time,
         Subsystem::Faults,
         Subsystem::Measure,
+        Subsystem::Election,
     ];
 
     /// The stable textual name (trace category, profile key).
@@ -99,6 +103,7 @@ impl Subsystem {
             Subsystem::Time => "time",
             Subsystem::Faults => "faults",
             Subsystem::Measure => "measure",
+            Subsystem::Election => "election",
         }
     }
 

@@ -1,0 +1,150 @@
+//! Integration: dynamic BMCA grandmaster election wired into the world.
+//!
+//! With `TestbedConfig::election` set, acting grandmasters are decided
+//! at runtime from Announce traffic instead of the paper's static
+//! external port configuration. These tests exercise the three regimes
+//! end to end: steady state (every domain elects its home node),
+//! failover (a scheduled GM kill re-elects the configured second-best
+//! within the convergence bound), and adversarial capture (a rogue
+//! master wins a foreign domain yet stays contained by FTA).
+
+use clocksync::election::ElectionConfig;
+use clocksync::faults::{AttackPlan, ByzantineStrategy, CveId, Strike, PAPER_POT_OFFSET};
+use clocksync::{TestbedConfig, World};
+use tsn_time::{Nanos, SimTime};
+
+fn quick_cfg(seed: u64) -> TestbedConfig {
+    let mut cfg = TestbedConfig::quick(seed);
+    cfg.duration = Nanos::from_secs(14);
+    cfg.warmup = Nanos::from_secs(4);
+    cfg
+}
+
+/// Steady state: with no failures, the election converges on exactly
+/// the static assignment — each domain's home node acts as its GM.
+#[test]
+fn election_converges_to_home_masters() {
+    let mut cfg = quick_cfg(21);
+    cfg.election = Some(ElectionConfig::default());
+    let n = cfg.nodes;
+    let mut world = World::new(cfg);
+    world.enable_oracle();
+    let end = world.end_time();
+    world.run_until(end);
+    for d in 0..n {
+        assert_eq!(
+            world.acting_masters(d as u8),
+            vec![d],
+            "domain {d} should elect its home node"
+        );
+    }
+    let result = world.into_result();
+    assert!(result.counters.announce_tx > 0, "masters announce");
+    assert!(
+        result.violations.is_empty(),
+        "oracle flagged a clean election run:\n{:#?}",
+        result.violations
+    );
+}
+
+/// A scheduled kill of the best GM re-elects the configured
+/// second-best (`(d + 1) % n`) within the convergence bound, and the
+/// run stays free of invariant violations.
+#[test]
+fn gm_kill_reelects_second_best_within_bound() {
+    let mut cfg = quick_cfg(22);
+    let el = ElectionConfig {
+        gm_failure_at: Some(Nanos::from_secs(3)),
+        gm_failure_node: 0,
+        ..ElectionConfig::default()
+    };
+    cfg.election = Some(el);
+    let n = cfg.nodes;
+    let mut world = World::new(cfg);
+    world.enable_oracle();
+    let end = world.end_time();
+    world.run_until(end);
+    assert_eq!(
+        world.acting_masters(0),
+        vec![1],
+        "domain 0 fails over to its configured second-best"
+    );
+    for d in 1..n {
+        assert_eq!(world.acting_masters(d as u8), vec![d]);
+    }
+    let result = world.into_result();
+    assert!(
+        result.counters.elected_gm_changes >= 1,
+        "the failover is counted as an elected-GM change"
+    );
+    assert!(result.counters.reconvergence_ns > 0, "failover timed");
+    assert!(
+        result.counters.reconvergence_ns <= el.convergence_bound().as_nanos() as u64,
+        "re-election took {} ns, bound {} ns",
+        result.counters.reconvergence_ns,
+        el.convergence_bound().as_nanos()
+    );
+    assert!(
+        result.violations.is_empty(),
+        "oracle flagged the failover run:\n{:#?}",
+        result.violations
+    );
+}
+
+/// A rogue master captures its foreign target domain (the forged
+/// priority vector beats the home node's), yet the single Byzantine
+/// domain stays contained: every oracle invariant — including
+/// at-most-one-acting-master — remains silent.
+#[test]
+fn rogue_master_wins_election_but_is_contained() {
+    let mut cfg = quick_cfg(23);
+    cfg.election = Some(ElectionConfig::default());
+    cfg.attack = AttackPlan::new(vec![Strike {
+        at: SimTime::from_secs(3),
+        target_node: 2,
+        cve: CveId::Cve2018_18955,
+        pot_offset: PAPER_POT_OFFSET,
+        strategy: Some(ByzantineStrategy::RogueMaster {
+            offset: PAPER_POT_OFFSET,
+        }),
+    }]);
+    let n = cfg.nodes;
+    let mut world = World::new(cfg);
+    world.enable_oracle();
+    let end = world.end_time();
+    world.run_until(end);
+    // Node 2 forges the best vector on domain (2 + n - 1) % n = 1.
+    let captured = (2 + n - 1) % n;
+    assert_eq!(
+        world.acting_masters(captured as u8),
+        vec![2],
+        "the rogue captures its foreign target domain"
+    );
+    for d in 0..n {
+        if d != captured {
+            assert_eq!(world.acting_masters(d as u8), vec![d]);
+        }
+    }
+    let result = world.into_result();
+    assert!(
+        result.violations.is_empty(),
+        "a single rogue domain must stay contained:\n{:#?}",
+        result.violations
+    );
+}
+
+/// With the election disabled the acting-master view is the paper's
+/// static assignment, unchanged.
+#[test]
+fn election_off_keeps_static_assignment() {
+    let cfg = quick_cfg(24);
+    assert!(cfg.election.is_none());
+    let n = cfg.nodes;
+    let mut world = World::new(cfg);
+    let end = world.end_time();
+    world.run_until(end);
+    for d in 0..n {
+        assert_eq!(world.acting_masters(d as u8), vec![d]);
+    }
+    assert_eq!(world.into_result().counters.announce_tx, 0);
+}

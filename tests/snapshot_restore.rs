@@ -113,3 +113,38 @@ fn forked_prefix_reproduces_cold_run_with_interventions() {
     // The intervention actually fired in both.
     assert_eq!(a.counters.strikes_succeeded, 1);
 }
+
+#[test]
+fn forked_prefix_reproduces_election_failover_run() {
+    // The election machinery (Announce traffic, BMCA state, timers) runs
+    // during the warm prefix and is snapshotted; the scheduled GM kill is
+    // stripped by the projection and re-armed on restore. The forked
+    // continuation must reproduce the cold failover run byte-exactly.
+    let mut cfg = short_cfg(41);
+    cfg.election = Some(clocksync::election::ElectionConfig {
+        gm_failure_at: Some(Nanos::from_secs(2)),
+        gm_failure_node: 1,
+        ..clocksync::election::ElectionConfig::default()
+    });
+    let end = SimTime::ZERO + cfg.warmup + cfg.duration;
+
+    let mut cold = World::new(cfg.clone());
+    cold.run_until(end);
+
+    let cp = checkpoint_time(&cfg).expect("has warmup");
+    let mut prefix = World::new(warm_prefix_config(&cfg));
+    prefix.run_until(cp);
+    let snap = prefix.snapshot();
+
+    let mut forked = World::restore(cfg, &snap).expect("fork restore");
+    forked.run_until(end);
+
+    assert_eq!(forked.state_hash(), cold.state_hash());
+    assert_eq!(forked.acting_masters(1), vec![2], "failover happened");
+    let a = cold.into_result();
+    let b = forked.into_result();
+    assert_eq!(a.series, b.series);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.counters, b.counters);
+    assert!(a.counters.elected_gm_changes >= 1);
+}
