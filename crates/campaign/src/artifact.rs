@@ -32,7 +32,12 @@ use tsn_time::SyncState;
 /// announce_interval_ms, gm_failure_at_s, rogue_master) and counters
 /// gained the election/diagnostic fields (`unhandled_frames`,
 /// `announce_tx`, `elected_gm_changes`, `reconvergence_ns`).
-pub const ARTIFACT_SCHEMA: u64 = 4;
+///
+/// 5: coordinates gained the fabric axes (hops, cross_traffic_pct,
+/// asymmetry_ns, tc_mode) and counters gained the fabric fields
+/// (`fabric_frames_forwarded`, `fabric_frames_dropped`,
+/// `max_residence_ns`, `path_asymmetry_ns`).
+pub const ARTIFACT_SCHEMA: u64 = 5;
 
 /// One sync-state transition of one aggregator, as recorded in the run's
 /// event log (times are absolute simulation nanoseconds).
@@ -224,6 +229,13 @@ impl RunRecord {
                 "rogue_master",
                 opt_uint(self.coord.rogue_master.map(|n| n as u64)),
             ),
+            ("hops", opt_uint(self.coord.hops.map(u64::from))),
+            (
+                "cross_traffic_pct",
+                opt_uint(self.coord.cross_traffic_pct.map(u64::from)),
+            ),
+            ("asymmetry_ns", opt_uint(self.coord.asymmetry_ns)),
+            ("tc_mode", self.coord.tc_mode.map_or(Json::Null, Json::Bool)),
         ]);
         let c = &self.counters;
         let counters = Json::object(vec![
@@ -245,6 +257,13 @@ impl RunRecord {
             ("announce_tx", Json::UInt(c.announce_tx)),
             ("elected_gm_changes", Json::UInt(c.elected_gm_changes)),
             ("reconvergence_ns", Json::UInt(c.reconvergence_ns)),
+            (
+                "fabric_frames_forwarded",
+                Json::UInt(c.fabric_frames_forwarded),
+            ),
+            ("fabric_frames_dropped", Json::UInt(c.fabric_frames_dropped)),
+            ("max_residence_ns", Json::UInt(c.max_residence_ns)),
+            ("path_asymmetry_ns", Json::UInt(c.path_asymmetry_ns)),
         ]);
         let b = &self.bounds;
         let bounds = Json::object(vec![
@@ -339,6 +358,14 @@ impl RunRecord {
             announce_interval_ms: opt_field(coord_v, "announce_interval_ms", Json::as_u64)?,
             gm_failure_at_s: opt_field(coord_v, "gm_failure_at_s", Json::as_u64)?,
             rogue_master: opt_field(coord_v, "rogue_master", |x| x.as_u64().map(|n| n as usize))?,
+            hops: opt_field(coord_v, "hops", |x| {
+                x.as_u64().and_then(|h| u32::try_from(h).ok())
+            })?,
+            cross_traffic_pct: opt_field(coord_v, "cross_traffic_pct", |x| {
+                x.as_u64().and_then(|p| u32::try_from(p).ok())
+            })?,
+            asymmetry_ns: opt_field(coord_v, "asymmetry_ns", Json::as_u64)?,
+            tc_mode: opt_field(coord_v, "tc_mode", Json::as_bool)?,
         };
         let c = v.get("counters")?;
         let counters = RunCounters {
@@ -360,6 +387,10 @@ impl RunRecord {
             announce_tx: c.get("announce_tx")?.as_u64()?,
             elected_gm_changes: c.get("elected_gm_changes")?.as_u64()?,
             reconvergence_ns: c.get("reconvergence_ns")?.as_u64()?,
+            fabric_frames_forwarded: c.get("fabric_frames_forwarded")?.as_u64()?,
+            fabric_frames_dropped: c.get("fabric_frames_dropped")?.as_u64()?,
+            max_residence_ns: c.get("max_residence_ns")?.as_u64()?,
+            path_asymmetry_ns: c.get("path_asymmetry_ns")?.as_u64()?,
         };
         let b = v.get("bounds")?;
         let bounds = BoundsRecord {
@@ -476,6 +507,10 @@ mod tests {
                 announce_interval_ms: Some(250),
                 gm_failure_at_s: None,
                 rogue_master: Some(1),
+                hops: Some(3),
+                cross_traffic_pct: Some(30),
+                asymmetry_ns: None,
+                tc_mode: Some(true),
             },
             seed: u64::MAX - 3,
             counters: RunCounters::default(),
@@ -536,7 +571,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_other_schemas_and_garbage() {
-        let line = record().encode().replace("\"schema\":4", "\"schema\":3");
+        let line = record().encode().replace("\"schema\":5", "\"schema\":4");
         assert!(RunRecord::decode(&line).is_none());
         assert!(RunRecord::decode("not json").is_none());
         assert!(RunRecord::decode("{}").is_none());

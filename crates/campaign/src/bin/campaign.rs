@@ -5,10 +5,11 @@
 //! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
 //! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
 //! campaign summarize --dir DIR [--json]
-//! campaign profile   --trace DIR
+//! campaign profile   --trace DIR [--json]
 //! campaign diff      --baseline DIR --candidate DIR [--tol-violation F]
 //!                    [--tol-p95-rel F] [--tol-p95-ns F] [--tol-dwell-ms F]
 //!                    [--tol-transitions F] [--tol-uncovered F]
+//!                    [--tol-reconvergence-ns F]
 //! campaign spec      --builtin NAME
 //! campaign list
 //! ```
@@ -28,8 +29,8 @@
 //! `trace-<hash>.json` per run into DIR (open it in `ui.perfetto.dev`),
 //! plus a `profile.jsonl` stream with per-run wall time and event
 //! counts. `campaign profile --trace DIR` aggregates that stream into a
-//! per-scenario hot-spot report. Artifacts are byte-identical either
-//! way.
+//! per-scenario hot-spot report (`--json` for the machine-readable
+//! table). Artifacts are byte-identical either way.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -40,13 +41,13 @@ const USAGE: &str = "usage:
   campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
   campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
   campaign summarize --dir DIR [--json]
-  campaign profile   --trace DIR
+  campaign profile   --trace DIR [--json]
   campaign diff      --baseline DIR --candidate DIR [--tol-violation F] [--tol-p95-rel F] [--tol-p95-ns F]
-                     [--tol-dwell-ms F] [--tol-transitions F] [--tol-uncovered F]
+                     [--tol-dwell-ms F] [--tol-transitions F] [--tol-uncovered F] [--tol-reconvergence-ns F]
   campaign spec      --builtin NAME
   campaign list
 
-built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval, adversary-sweep, election-sweep
+built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval, adversary-sweep, election-sweep, fabric-sweep
 exit codes (diff): 0 parity, 1 regression, 2 error
 exit codes (run --check): 0 clean, 1 invariant violation(s), 2 error";
 
@@ -254,7 +255,7 @@ fn cmd_summarize(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_profile(args: &[String]) -> Result<ExitCode, String> {
-    let flags = Flags::parse(args, &["--trace"], &[])?;
+    let flags = Flags::parse(args, &["--trace"], &["--json"])?;
     let dir = PathBuf::from(flags.get("--trace").ok_or("--trace is required")?);
     let entries = profile::load(&dir).map_err(|e| e.to_string())?;
     if entries.is_empty() {
@@ -262,6 +263,10 @@ fn cmd_profile(args: &[String]) -> Result<ExitCode, String> {
             "no profiled runs in {} (run a campaign with --trace first)",
             dir.display()
         ));
+    }
+    if flags.has("--json") {
+        println!("{}", profile::render_json(&profile::aggregate(&entries)));
+        return Ok(ExitCode::SUCCESS);
     }
     let total_wall: f64 = entries.iter().map(|e| e.wall_s).sum();
     let total_events: u64 = entries.iter().map(|e| e.sim_events).sum();
@@ -292,6 +297,7 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
             "--tol-dwell-ms",
             "--tol-transitions",
             "--tol-uncovered",
+            "--tol-reconvergence-ns",
         ],
         &[],
     )?;
@@ -315,6 +321,9 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(v) = flags.get_parsed("--tol-uncovered")? {
         tol.uncovered_abs = v;
+    }
+    if let Some(v) = flags.get_parsed("--tol-reconvergence-ns")? {
+        tol.reconvergence_abs_ns = v;
     }
     let report = summary::diff(
         &load_summaries(&baseline)?,

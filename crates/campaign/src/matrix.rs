@@ -57,6 +57,21 @@ pub struct Coord {
     pub gm_failure_at_s: Option<u64>,
     /// Rogue-master count, if the axis is active.
     pub rogue_master: Option<usize>,
+    /// Fabric depth (hops through the line of TSN switches), if the
+    /// axis is active (activates the fabric — see
+    /// [`Coord::fabric_active`]).
+    pub hops: Option<u32>,
+    /// Best-effort cross-traffic load on each fabric egress port, in
+    /// percent of the gate-open window, if the axis is active
+    /// (activates the fabric).
+    pub cross_traffic_pct: Option<u32>,
+    /// Directional link-delay asymmetry per fabric hop in nanoseconds,
+    /// if the axis is active (activates the fabric).
+    pub asymmetry_ns: Option<u64>,
+    /// Transparent-clock mode: `true` accumulates per-hop residence
+    /// into the gPTP correction field, `false` exposes the raw
+    /// end-to-end queuing error. Activates the fabric.
+    pub tc_mode: Option<bool>,
 }
 
 impl Coord {
@@ -95,7 +110,33 @@ impl Coord {
         if let Some(r) = self.rogue_master {
             label.push_str(&format!("/rogue={r}"));
         }
+        // Fabric segments follow the same rule: absent axes render the
+        // pre-fabric label, so existing campaign hashes are unchanged.
+        if let Some(h) = self.hops {
+            label.push_str(&format!("/hops={h}"));
+        }
+        if let Some(p) = self.cross_traffic_pct {
+            label.push_str(&format!("/xload_pct={p}"));
+        }
+        if let Some(a) = self.asymmetry_ns {
+            label.push_str(&format!("/asym_ns={a}"));
+        }
+        if let Some(t) = self.tc_mode {
+            label.push_str(&format!("/tc={t}"));
+        }
         label
+    }
+
+    /// Whether this coordinate runs behind the multi-hop switch fabric:
+    /// any active fabric axis (`hops`, `cross_traffic_pct`,
+    /// `asymmetry_ns`, `tc_mode`) activates it, with the others
+    /// defaulted ([`tsn_fabric::FabricConfig::line`] of 1 hop, no
+    /// cross-traffic, symmetric links, end-to-end mode).
+    pub fn fabric_active(&self) -> bool {
+        self.hops.is_some()
+            || self.cross_traffic_pct.is_some()
+            || self.asymmetry_ns.is_some()
+            || self.tc_mode.is_some()
     }
 
     /// Whether this coordinate runs with the dynamic election: an
@@ -135,6 +176,17 @@ impl Coord {
             label.push_str(&format!(
                 "/election=on/announce_ms={}",
                 self.announce_interval_ms.unwrap_or(250)
+            ));
+        }
+        // The fabric carries every inter-node gPTP frame from t = 0, so
+        // all four of its effective knobs shape the warm prefix.
+        if self.fabric_active() {
+            label.push_str(&format!(
+                "/fabric=on/hops={}/xload_pct={}/asym_ns={}/tc={}",
+                self.hops.unwrap_or(1),
+                self.cross_traffic_pct.unwrap_or(0),
+                self.asymmetry_ns.unwrap_or(0),
+                self.tc_mode.unwrap_or(false),
             ));
         }
         label
@@ -211,10 +263,12 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
                                                     {
                                                         for &rogue in &axis(&spec.grid.rogue_master)
                                                         {
-                                                            for &seed in &spec.grid.seeds {
-                                                                let coord = Coord {
+                                                            expand_fabric(
+                                                                spec,
+                                                                &base_fingerprint,
+                                                                Coord {
                                                                     scenario,
-                                                                    seed,
+                                                                    seed: 0,
                                                                     domains,
                                                                     sync_interval_ms: sync_ms,
                                                                     kernel,
@@ -228,14 +282,13 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
                                                                     announce_interval_ms: announce,
                                                                     gm_failure_at_s: gm_kill,
                                                                     rogue_master: rogue,
-                                                                };
-                                                                plans.push(plan(
-                                                                    &spec.base,
-                                                                    &base_fingerprint,
-                                                                    coord,
-                                                                    plans.len(),
-                                                                )?);
-                                                            }
+                                                                    hops: None,
+                                                                    cross_traffic_pct: None,
+                                                                    asymmetry_ns: None,
+                                                                    tc_mode: None,
+                                                                },
+                                                                &mut plans,
+                                                            )?;
                                                         }
                                                     }
                                                 }
@@ -251,6 +304,38 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
         }
     }
     Ok(plans)
+}
+
+/// The innermost loops of [`expand`]: the fabric axes and the seeds
+/// (still innermost), split out so the nesting stays readable. The
+/// partial coordinate carries every outer axis; its placeholder seed is
+/// overwritten here.
+fn expand_fabric(
+    spec: &CampaignSpec,
+    base_fingerprint: &str,
+    partial: Coord,
+    plans: &mut Vec<RunPlan>,
+) -> Result<(), SpecError> {
+    for &hops in &axis(&spec.grid.hops) {
+        for &cross_traffic_pct in &axis(&spec.grid.cross_traffic_pct) {
+            for &asymmetry_ns in &axis(&spec.grid.asymmetry_ns) {
+                for &tc_mode in &axis(&spec.grid.tc_mode) {
+                    for &seed in &spec.grid.seeds {
+                        let coord = Coord {
+                            seed,
+                            hops,
+                            cross_traffic_pct,
+                            asymmetry_ns,
+                            tc_mode,
+                            ..partial
+                        };
+                        plans.push(plan(&spec.base, base_fingerprint, coord, plans.len())?);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// An axis as its `Some`-wrapped values, or a single `None` when the
@@ -388,6 +473,20 @@ pub fn materialize(
             cfg.attack = AttackPlan::new(strikes);
         }
     }
+    // Fabric axes: any of them routes inter-node gPTP traffic through a
+    // line of TSN switches, with unset axes at their neutral defaults
+    // (1 hop, no cross-traffic, symmetric links, end-to-end mode).
+    if coord.fabric_active() {
+        let mut fabric = clocksync::fabric::FabricConfig::line(coord.hops.unwrap_or(1));
+        if let Some(pct) = coord.cross_traffic_pct {
+            fabric.cross_traffic_load = f64::from(pct) / 100.0;
+        }
+        if let Some(ns) = coord.asymmetry_ns {
+            fabric.asymmetry_ns = Nanos::from_nanos(ns as i64);
+        }
+        fabric.transparent_clock = coord.tc_mode.unwrap_or(false);
+        cfg.fabric = Some(fabric);
+    }
     cfg.validate();
     Ok(cfg)
 }
@@ -512,6 +611,10 @@ mod tests {
             announce_interval_ms: None,
             gm_failure_at_s: None,
             rogue_master: None,
+            hops: None,
+            cross_traffic_pct: None,
+            asymmetry_ns: None,
+            tc_mode: None,
         };
         let err = materialize(&base, coord, 7).expect_err("unknown strategy is an error");
         assert!(matches!(err, SpecError::Value(ref f, ref v)
@@ -539,6 +642,10 @@ mod tests {
             announce_interval_ms: None,
             gm_failure_at_s: Some(10),
             rogue_master: Some(1),
+            hops: None,
+            cross_traffic_pct: None,
+            asymmetry_ns: None,
+            tc_mode: None,
         };
         // Any election axis activates the election implicitly.
         assert!(coord.election_active());
@@ -576,6 +683,64 @@ mod tests {
     }
 
     #[test]
+    fn fabric_axes_materialize_with_the_family_rule() {
+        let base = BaseSpec::quick(20);
+        let mut coord = Coord {
+            scenario: ScenarioKind::Baseline,
+            seed: 1,
+            domains: None,
+            sync_interval_ms: None,
+            kernel: None,
+            fault_rate_per_hour: None,
+            discipline: None,
+            strategy: None,
+            compromised: None,
+            loss_permille: None,
+            partition_s: None,
+            election: None,
+            announce_interval_ms: None,
+            gm_failure_at_s: None,
+            rogue_master: None,
+            hops: Some(3),
+            cross_traffic_pct: Some(30),
+            asymmetry_ns: None,
+            tc_mode: Some(true),
+        };
+        assert!(coord.fabric_active());
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        let fabric = cfg.fabric.expect("fabric on");
+        assert_eq!(fabric.hops, 3);
+        assert!((fabric.cross_traffic_load - 0.30).abs() < 1e-12);
+        assert!(fabric.transparent_clock);
+        // Any single fabric axis activates it with the rest defaulted.
+        coord.hops = None;
+        coord.cross_traffic_pct = None;
+        coord.tc_mode = None;
+        coord.asymmetry_ns = Some(200);
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        let fabric = cfg.fabric.expect("fabric on");
+        assert_eq!(fabric.hops, 1);
+        assert_eq!(fabric.asymmetry_ns, Nanos::from_nanos(200));
+        assert!(!fabric.transparent_clock);
+        // The fabric segments are label-conditional: a coordinate
+        // without fabric axes renders the pre-fabric label (and no
+        // fabric config), so hashes of existing campaigns are unchanged.
+        coord.asymmetry_ns = None;
+        assert!(!coord.fabric_active());
+        assert!(materialize(&base, coord, 7)
+            .expect("valid coord")
+            .fabric
+            .is_none());
+        assert!(!coord.label().contains("hops"));
+        assert!(!coord.prefix_label().contains("fabric"));
+        coord.hops = Some(6);
+        assert!(coord.label().ends_with("/hops=6"));
+        assert!(coord
+            .prefix_label()
+            .ends_with("/fabric=on/hops=6/xload_pct=0/asym_ns=0/tc=false"));
+    }
+
+    #[test]
     fn partition_axis_uses_shared_window_schedule() {
         let base = BaseSpec::quick(10);
         let coord = Coord {
@@ -594,6 +759,10 @@ mod tests {
             announce_interval_ms: None,
             gm_failure_at_s: None,
             rogue_master: None,
+            hops: None,
+            cross_traffic_pct: None,
+            asymmetry_ns: None,
+            tc_mode: None,
         };
         let cfg = materialize(&base, coord, 7).expect("valid coord");
         assert_eq!(cfg.partition, Some(crate::spec::partition_window(3)));

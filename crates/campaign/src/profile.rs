@@ -248,6 +248,49 @@ pub fn render(aggregates: &[ScenarioProfile]) -> String {
     out
 }
 
+/// Renders the aggregate as a machine-readable JSON document
+/// (`campaign profile --json`): one object per scenario, hottest
+/// first, with throughput and per-subsystem shares precomputed so
+/// scripts don't re-derive them.
+pub fn render_json(aggregates: &[ScenarioProfile]) -> String {
+    Json::Array(
+        aggregates
+            .iter()
+            .map(|a| {
+                Json::object(vec![
+                    ("scenario", Json::Str(a.scenario.clone())),
+                    ("runs", Json::UInt(a.runs as u64)),
+                    ("wall_s", Json::Float(a.wall_s)),
+                    ("sim_events", Json::UInt(a.sim_events)),
+                    ("events_per_sec", Json::Float(a.events_per_sec())),
+                    ("dropped", Json::UInt(a.dropped)),
+                    (
+                        "subsystems",
+                        Json::object(
+                            a.subsystems
+                                .iter()
+                                .map(|(name, n)| (name.as_str(), Json::UInt(*n)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "subsystem_share",
+                        Json::object(
+                            a.subsystems
+                                .iter()
+                                .map(|(name, _)| {
+                                    (name.as_str(), Json::Float(a.subsystem_share(name)))
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +333,41 @@ mod tests {
         let table = render(&aggs);
         assert!(table.contains("fault_injection"));
         assert!(table.contains("events/s"));
+    }
+
+    /// Pins the machine-readable schema: scripts key off these exact
+    /// field names, so renaming any of them is a breaking change.
+    #[test]
+    fn profile_json_schema_is_pinned() {
+        let aggs = aggregate(&[entry("baseline", 0.5, 100)]);
+        let json = render_json(&aggs);
+        for key in [
+            "\"scenario\"",
+            "\"runs\"",
+            "\"wall_s\"",
+            "\"sim_events\"",
+            "\"events_per_sec\"",
+            "\"dropped\"",
+            "\"subsystems\"",
+            "\"subsystem_share\"",
+        ] {
+            assert!(json.contains(key), "profile --json must carry {key}");
+        }
+        let parsed = Json::parse(&json).expect("valid JSON");
+        let Json::Array(rows) = &parsed else {
+            panic!("top level must be an array");
+        };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].get("events_per_sec").and_then(Json::as_f64),
+            Some(200.0)
+        );
+        let share = rows[0]
+            .get("subsystem_share")
+            .and_then(|s| s.get("netsim"))
+            .and_then(Json::as_f64)
+            .expect("netsim share");
+        assert!(share > 0.0 && share <= 1.0);
     }
 
     #[test]

@@ -239,6 +239,19 @@ pub struct Grid {
     /// target domain (`0` is the honest control; activates the
     /// election).
     pub rogue_master: Vec<usize>,
+    /// Fabric depths: hops through the line of TSN switches between
+    /// sender and receiver (activates the fabric; default 1 hop).
+    pub hops: Vec<u32>,
+    /// Best-effort cross-traffic loads on each fabric egress port, in
+    /// percent of the gate-open window (activates the fabric).
+    pub cross_traffic_pct: Vec<u32>,
+    /// Directional link-delay asymmetries per fabric hop, in
+    /// nanoseconds (activates the fabric).
+    pub asymmetry_ns: Vec<u64>,
+    /// Transparent-clock modes: `true` accumulates per-hop residence
+    /// into the gPTP correction field, `false` leaves the raw
+    /// end-to-end queuing error (activates the fabric).
+    pub tc_mode: Vec<bool>,
 }
 
 impl Grid {
@@ -261,6 +274,10 @@ impl Grid {
             * axis(self.announce_interval_ms.len())
             * axis(self.gm_failure_at_s.len())
             * axis(self.rogue_master.len())
+            * axis(self.hops.len())
+            * axis(self.cross_traffic_pct.len())
+            * axis(self.asymmetry_ns.len())
+            * axis(self.tc_mode.len())
     }
 
     fn to_json(&self) -> Json {
@@ -371,6 +388,32 @@ impl Grid {
                         .collect(),
                 ),
             ),
+            (
+                "hops",
+                Json::Array(
+                    self.hops
+                        .iter()
+                        .map(|&h| Json::UInt(u64::from(h)))
+                        .collect(),
+                ),
+            ),
+            (
+                "cross_traffic_pct",
+                Json::Array(
+                    self.cross_traffic_pct
+                        .iter()
+                        .map(|&p| Json::UInt(u64::from(p)))
+                        .collect(),
+                ),
+            ),
+            (
+                "asymmetry_ns",
+                Json::Array(self.asymmetry_ns.iter().map(|&a| Json::UInt(a)).collect()),
+            ),
+            (
+                "tc_mode",
+                Json::Array(self.tc_mode.iter().map(|&t| Json::Bool(t)).collect()),
+            ),
         ])
     }
 
@@ -409,6 +452,14 @@ impl Grid {
             announce_interval_ms: list(v, "announce_interval_ms", Json::as_u64)?,
             gm_failure_at_s: list(v, "gm_failure_at_s", Json::as_u64)?,
             rogue_master: list(v, "rogue_master", |x| x.as_u64().map(|n| n as usize))?,
+            hops: list(v, "hops", |x| {
+                x.as_u64().and_then(|h| u32::try_from(h).ok())
+            })?,
+            cross_traffic_pct: list(v, "cross_traffic_pct", |x| {
+                x.as_u64().and_then(|p| u32::try_from(p).ok())
+            })?,
+            asymmetry_ns: list(v, "asymmetry_ns", Json::as_u64)?,
+            tc_mode: list(v, "tc_mode", Json::as_bool)?,
         })
     }
 }
@@ -542,6 +593,21 @@ impl CampaignSpec {
                     .to_string(),
             ));
         }
+        if let Some(&h) = self.grid.hops.iter().find(|&&h| !(1..=64).contains(&h)) {
+            return Err(SpecError::Invalid(format!(
+                "hops axis value {h} outside the supported 1..=64"
+            )));
+        }
+        if let Some(&p) = self.grid.cross_traffic_pct.iter().find(|&&p| p > 95) {
+            return Err(SpecError::Invalid(format!(
+                "cross_traffic_pct axis value {p} exceeds the 95 % gate-load ceiling"
+            )));
+        }
+        if let Some(&a) = self.grid.asymmetry_ns.iter().find(|&&a| a > 1_000_000) {
+            return Err(SpecError::Invalid(format!(
+                "asymmetry_ns axis value {a} exceeds 1 ms per hop (not a plausible link)"
+            )));
+        }
         if !self.grid.gm_failure_at_s.is_empty() {
             let Some(duration) = self.base.duration_s else {
                 return Err(SpecError::Invalid(
@@ -647,13 +713,14 @@ impl CampaignSpec {
     }
 
     /// Names of the built-in specs (see [`CampaignSpec::builtin`]).
-    pub const BUILTINS: [&'static str; 6] = [
+    pub const BUILTINS: [&'static str; 7] = [
         "quick-baseline",
         "repro-all",
         "abl2-domains",
         "abl3-sync-interval",
         "adversary-sweep",
         "election-sweep",
+        "fabric-sweep",
     ];
 
     /// A built-in spec by name.
@@ -671,7 +738,11 @@ impl CampaignSpec {
     ///   (48 runs; `specs/adversary_sweep.json` is its file form);
     /// * `election-sweep` — dynamic BMCA election with a scheduled kill
     ///   of node 0's GM at +10 s × rogue masters ∈ {0, 1} × 2 seeds
-    ///   (4 runs; `specs/election_sweep.json` is its file form).
+    ///   (4 runs; `specs/election_sweep.json` is its file form);
+    /// * `fabric-sweep` — the network depth sweep: hops ∈ {1, 3, 6}
+    ///   through the TSN switch fabric × 30 % cross-traffic ×
+    ///   transparent clocks {off, on} × 2 seeds (12 runs;
+    ///   `specs/fabric_sweep.json` is its file form).
     pub fn builtin(name: &str) -> Option<CampaignSpec> {
         let spec = match name {
             "quick-baseline" => CampaignSpec {
@@ -753,6 +824,22 @@ impl CampaignSpec {
                     announce_interval_ms: vec![250],
                     gm_failure_at_s: vec![10],
                     rogue_master: vec![0, 1],
+                    ..Grid::default()
+                },
+            },
+            "fabric-sweep" => CampaignSpec {
+                name: "fabric-sweep".to_string(),
+                base: BaseSpec {
+                    preset: Preset::Quick,
+                    duration_s: Some(15),
+                    warmup_s: Some(5),
+                },
+                scenarios: vec![ScenarioKind::Baseline],
+                grid: Grid {
+                    seeds: vec![7, 8],
+                    hops: vec![1, 3, 6],
+                    cross_traffic_pct: vec![30],
+                    tc_mode: vec![false, true],
                     ..Grid::default()
                 },
             },

@@ -46,6 +46,14 @@ pub struct GroupKey {
     pub gm_failure_at_s: Option<u64>,
     /// Rogue-master count, if swept.
     pub rogue_master: Option<usize>,
+    /// Fabric hop count, if swept.
+    pub hops: Option<u32>,
+    /// Fabric cross-traffic load in percent, if swept.
+    pub cross_traffic_pct: Option<u32>,
+    /// Fabric per-hop delay asymmetry in ns, if swept.
+    pub asymmetry_ns: Option<u64>,
+    /// Transparent-clock mode, if swept.
+    pub tc_mode: Option<bool>,
 }
 
 impl GroupKey {
@@ -66,6 +74,10 @@ impl GroupKey {
             announce_interval_ms: coord.announce_interval_ms,
             gm_failure_at_s: coord.gm_failure_at_s,
             rogue_master: coord.rogue_master,
+            hops: coord.hops,
+            cross_traffic_pct: coord.cross_traffic_pct,
+            asymmetry_ns: coord.asymmetry_ns,
+            tc_mode: coord.tc_mode,
         }
     }
 
@@ -111,6 +123,18 @@ impl GroupKey {
         if let Some(r) = self.rogue_master {
             parts.push(format!("rogue={r}"));
         }
+        if let Some(h) = self.hops {
+            parts.push(format!("hops={h}"));
+        }
+        if let Some(p) = self.cross_traffic_pct {
+            parts.push(format!("xload={p}%"));
+        }
+        if let Some(a) = self.asymmetry_ns {
+            parts.push(format!("asym={a}ns"));
+        }
+        if let Some(t) = self.tc_mode {
+            parts.push(format!("tc={}", if t { "on" } else { "off" }));
+        }
         parts.join(" ")
     }
 }
@@ -153,6 +177,14 @@ pub struct GroupSummary {
     pub reconvergence_ms: Option<SampleSummary>,
     /// Frames delivered to a port with no handler per run.
     pub unhandled_frames: Option<SampleSummary>,
+    /// Frames the fabric forwarded per run.
+    pub fabric_forwarded: Option<SampleSummary>,
+    /// Frames the fabric dropped (gate overruns) per run.
+    pub fabric_dropped: Option<SampleSummary>,
+    /// Worst per-frame switch residence per run (ns).
+    pub max_residence_ns: Option<SampleSummary>,
+    /// Accumulated forward/reverse path asymmetry per run (ns).
+    pub path_asymmetry_ns: Option<SampleSummary>,
     /// Mean derived bound Π + γ across seeds (ns).
     pub bound_ns_mean: f64,
 }
@@ -218,6 +250,18 @@ pub fn summarize(records: &[RunRecord]) -> Vec<GroupSummary> {
                 unhandled_frames: RunRecord::summarize(&members, |r| {
                     Some(r.counters.unhandled_frames as f64)
                 }),
+                fabric_forwarded: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.fabric_frames_forwarded as f64)
+                }),
+                fabric_dropped: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.fabric_frames_dropped as f64)
+                }),
+                max_residence_ns: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.max_residence_ns as f64)
+                }),
+                path_asymmetry_ns: RunRecord::summarize(&members, |r| {
+                    Some(r.counters.path_asymmetry_ns as f64)
+                }),
                 bound_ns_mean,
             }
         })
@@ -275,6 +319,21 @@ pub fn render(groups: &[GroupSummary]) -> String {
                 ch.mean, ch.max, rc.mean, rc.max, uf.mean, uf.max
             ));
         }
+        // Fabric line only when the group actually carried fabric
+        // traffic — paper-default campaigns render exactly as before.
+        if let (Some(ff), Some(fd), Some(mr), Some(pa)) = (
+            &g.fabric_forwarded,
+            &g.fabric_dropped,
+            &g.max_residence_ns,
+            &g.path_asymmetry_ns,
+        ) {
+            if ff.max > 0.0 {
+                out.push_str(&format!(
+                    "  fabric/run: fwd mean {:.0} (max {:.0})  drop mean {:.1} (max {:.0})  residence max {:.0} ns  asym max {:.0} ns\n",
+                    ff.mean, ff.max, fd.mean, fd.max, mr.max, pa.max
+                ));
+            }
+        }
     }
     out
 }
@@ -319,6 +378,10 @@ pub fn render_json(groups: &[GroupSummary]) -> String {
                     ("elected_gm_changes", stat(&g.elected_gm_changes)),
                     ("reconvergence_ms", stat(&g.reconvergence_ms)),
                     ("unhandled_frames", stat(&g.unhandled_frames)),
+                    ("fabric_forwarded", stat(&g.fabric_forwarded)),
+                    ("fabric_dropped", stat(&g.fabric_dropped)),
+                    ("max_residence_ns", stat(&g.max_residence_ns)),
+                    ("path_asymmetry_ns", stat(&g.path_asymmetry_ns)),
                 ])
             })
             .collect(),
@@ -347,6 +410,10 @@ pub struct DiffTolerance {
     /// Absolute slack on the mean uncovered failures per run
     /// (default 0: any new uncovered window is a regression).
     pub uncovered_abs: f64,
+    /// Absolute slack on the mean kill-to-re-election latency per run,
+    /// in ns (default 50 ms): a slower BMCA reconvergence beyond this
+    /// is a regression even when precision stats look fine.
+    pub reconvergence_abs_ns: f64,
 }
 
 impl Default for DiffTolerance {
@@ -358,6 +425,7 @@ impl Default for DiffTolerance {
             dwell_ms_abs: 250.0,
             transitions_abs: 2.0,
             uncovered_abs: 0.0,
+            reconvergence_abs_ns: 50_000_000.0,
         }
     }
 }
@@ -462,6 +530,18 @@ pub fn diff(
                 }
             }
         }
+        if worst.is_none() {
+            if let (Some(br), Some(cr)) = (&b.reconvergence_ms, &c.reconvergence_ms) {
+                if cr.mean * 1e6 > br.mean * 1e6 + tol.reconvergence_abs_ns {
+                    worst = Some(format!(
+                        "reconvergence {:.1} ms -> {:.1} ms (tol +{:.1} ms)",
+                        br.mean,
+                        cr.mean,
+                        tol.reconvergence_abs_ns / 1e6
+                    ));
+                }
+            }
+        }
         match worst {
             Some(reason) => {
                 lines.push(format!("REGRESS  {}: {reason}", b.key.label()));
@@ -513,6 +593,10 @@ mod tests {
                 announce_interval_ms: None,
                 gm_failure_at_s: None,
                 rogue_master: None,
+                hops: None,
+                cross_traffic_pct: None,
+                asymmetry_ns: None,
+                tc_mode: None,
             },
             seed: seed * 1000,
             counters: RunCounters::default(),
@@ -608,6 +692,51 @@ mod tests {
         }
         let d = diff(&base, &summarize(&ok), DiffTolerance::default());
         assert_eq!(d.verdict, DiffVerdict::Parity);
+    }
+
+    #[test]
+    fn diff_flags_reconvergence_regressions() {
+        let base = summarize(&records(4000, 1.0));
+        // A re-election 80 ms slower than baseline exceeds the 50 ms
+        // default slack.
+        let mut slow: Vec<RunRecord> = records(4000, 1.0);
+        for r in &mut slow {
+            r.counters.reconvergence_ns = 80_000_000;
+        }
+        let d = diff(&base, &summarize(&slow), DiffTolerance::default());
+        assert_eq!(d.verdict, DiffVerdict::Regression);
+        assert!(d.lines.iter().any(|l| l.contains("reconvergence")));
+        // Within a loosened tolerance it is parity again (the
+        // --tol-reconvergence-ns CLI path).
+        let tol = DiffTolerance {
+            reconvergence_abs_ns: 100_000_000.0,
+            ..DiffTolerance::default()
+        };
+        let d = diff(&base, &summarize(&slow), tol);
+        assert_eq!(d.verdict, DiffVerdict::Parity);
+    }
+
+    #[test]
+    fn fabric_axes_group_and_render() {
+        let mut recs = records(4000, 1.0);
+        for r in &mut recs {
+            r.coord.hops = Some(3);
+            r.coord.tc_mode = Some(true);
+            r.counters.fabric_frames_forwarded = 120;
+            r.counters.max_residence_ns = 900;
+        }
+        let groups = summarize(&recs);
+        assert_eq!(groups.len(), 2, "fabric axes join the grouping key");
+        assert!(groups[0].key.label().contains("hops=3"));
+        assert!(groups[0].key.label().contains("tc=on"));
+        let text = render(&groups);
+        assert!(text.contains("fabric/run"));
+        let json = render_json(&groups);
+        assert!(json.contains("\"fabric_forwarded\""));
+        assert!(json.contains("\"max_residence_ns\""));
+        // Without fabric traffic the text line is suppressed.
+        let plain = render(&summarize(&records(4000, 1.0)));
+        assert!(!plain.contains("fabric/run"));
     }
 
     #[test]

@@ -104,6 +104,13 @@ pub struct TestbedConfig {
     /// run a live Announce/BMCA state machine per domain and the roles in
     /// the Fig. 2 topology become the election's *initial* condition.
     pub election: Option<tsn_election::ElectionConfig>,
+    /// Multi-hop switch fabric between the integrated TSN switches
+    /// (`None` keeps the paper's direct mesh; the run is then
+    /// byte-identical to a build without the fabric subsystem). When
+    /// set, every inter-switch link is expanded into a chain of
+    /// store-and-forward fabric switches with 802.1Qbv gates, analytic
+    /// cross-traffic, and optional transparent clocks.
+    pub fabric: Option<tsn_fabric::FabricConfig>,
     /// Measured experiment duration (excludes warm-up).
     pub duration: Nanos,
     /// Warm-up before measurement starts (initial synchronization per
@@ -236,6 +243,7 @@ impl TestbedConfig {
             link_faults: None,
             partition: None,
             election: None,
+            fabric: None,
             duration: Nanos::from_secs(3600),
             warmup: Nanos::from_secs(30),
             measurement_node: 1,
@@ -341,6 +349,9 @@ impl TestbedConfig {
         }
         if let Some(el) = &self.election {
             el.validate(self.nodes);
+        }
+        if let Some(fab) = &self.fabric {
+            fab.validate();
         }
     }
 }

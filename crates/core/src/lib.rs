@@ -47,6 +47,7 @@ pub use world::{RunCounters, RunResult, World};
 pub use tsn_snapshot::WorldSnapshot;
 
 pub use tsn_election as election;
+pub use tsn_fabric as fabric;
 pub use tsn_faults as faults;
 pub use tsn_fta as fta;
 pub use tsn_gptp as gptp;

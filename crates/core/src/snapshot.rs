@@ -14,7 +14,7 @@ use tsn_time::{Nanos, SimTime};
 
 /// Version of the world's encoded state schema. Bump whenever any
 /// `SnapState` implementation in the workspace changes its layout.
-pub const WORLD_STATE_VERSION: u32 = 3;
+pub const WORLD_STATE_VERSION: u32 = 4;
 
 /// Fingerprint of a configuration (FNV-1a over its canonical `Debug`
 /// rendering), binding snapshots to the configuration that produced

@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
 use tsn_election::{ElectionEvent, NodeElection};
+use tsn_fabric::{Fabric, FrameClass};
 use tsn_faults::{
     AttackPlan, ByzantineStrategy, FaultEvent, FaultSchedule, StrikeOutcome, TransientFaults,
     VmSlot,
@@ -51,6 +52,28 @@ const LAUNCH_LEAD: Nanos = Nanos::from_millis(20);
 /// Default link-delay assumption before the first pdelay exchange
 /// completes.
 const DEFAULT_LINK_DELAY: Nanos = Nanos::from_nanos(2_000);
+
+/// Sequence id of an encoded gPTP message (header bytes 30..32).
+fn peek_sequence(payload: &[u8]) -> u16 {
+    if payload.len() < 32 {
+        return 0;
+    }
+    u16::from_be_bytes([payload[30], payload[31]])
+}
+
+/// Adds `residence_ns` to the correction field of an encoded gPTP
+/// message in place (header bytes 8..16, nanoseconds scaled by 2^16 —
+/// IEEE 1588 clause 13.3.2.7), as a chain of transparent clocks would.
+fn add_correction(frame: &mut EthernetFrame, residence_ns: i64) {
+    if frame.payload.len() < 16 {
+        return;
+    }
+    let mut buf = frame.payload.to_vec();
+    let cur = i64::from_be_bytes(buf[8..16].try_into().expect("slice of 8"));
+    let patched = cur.saturating_add(residence_ns.saturating_mul(65_536));
+    buf[8..16].copy_from_slice(&patched.to_be_bytes());
+    frame.payload = bytes::Bytes::from(buf);
+}
 
 /// Transmission context: what to do once the frame's hardware egress
 /// timestamp is known.
@@ -234,6 +257,16 @@ pub struct RunCounters {
     /// promotion on the killed domain (ns; 0 when no kill happened or
     /// the domain never recovered).
     pub reconvergence_ns: u64,
+    /// Protected frames forwarded end to end by the multi-hop switch
+    /// fabric (0 when the fabric is disabled).
+    pub fabric_frames_forwarded: u64,
+    /// Protected frames dropped at a saturated fabric hop.
+    pub fabric_frames_dropped: u64,
+    /// Largest accumulated fabric residence observed on one crossing
+    /// (ns).
+    pub max_residence_ns: u64,
+    /// Largest static directional path asymmetry of the fabric (ns).
+    pub path_asymmetry_ns: u64,
 }
 
 /// The result of one experiment run.
@@ -299,6 +332,10 @@ pub struct World {
     /// The scheduled GM kill once it fired: `(kill time, killed node)` —
     /// the re-election stopwatch for `reconvergence_ns`.
     gm_kill: Option<(SimTime, u8)>,
+    /// Multi-hop switch fabric between the integrated switches; `None`
+    /// keeps the paper's direct mesh (and is byte-identical to a build
+    /// without the fabric subsystem).
+    fabric: Option<Fabric>,
     probes: HashMap<u64, Vec<ClockTime>>,
     probe_sent_at: HashMap<u64, SimTime>,
     /// Ground-truth time error of node 0's CLOCK_SYNCTIME (ns), sampled
@@ -604,6 +641,13 @@ impl World {
 
         let transient = TransientFaults::new(cfg.transient, seeds.rng("transient"));
         let frame_rng = seeds.rng("frames");
+        // Fabric streams are drawn only when the fabric is enabled, and
+        // strictly after every pre-existing stream, so `fabric = None`
+        // runs stay byte-identical to the pre-fabric build.
+        let fabric = cfg.fabric.map(|fc| {
+            let mut fabric_link_rng = seeds.rng("fabric/links");
+            Fabric::new(fc, n, &mut fabric_link_rng, seeds.rng("fabric/xtraffic"))
+        });
         let end = SimTime::ZERO + cfg.warmup + cfg.duration;
 
         let trace = (cfg.trace_capacity > 0).then(|| FrameTrace::new(cfg.trace_capacity));
@@ -625,6 +669,7 @@ impl World {
             mesh_port,
             domain_roots: (0..n).collect(),
             gm_kill: None,
+            fabric,
             probes: HashMap::new(),
             probe_sent_at: HashMap::new(),
             ground_truth_ns: Vec::new(),
@@ -836,6 +881,12 @@ impl World {
         let (holdover_ns, freerun_ns) = self.events.degradation_dwell(self.end);
         self.counters.holdover_ns = holdover_ns;
         self.counters.freerun_ns = freerun_ns;
+        if let Some(fab) = &self.fabric {
+            self.counters.fabric_frames_forwarded = fab.frames_forwarded();
+            self.counters.fabric_frames_dropped = fab.frames_dropped();
+            self.counters.max_residence_ns = fab.max_residence_ns();
+            self.counters.path_asymmetry_ns = fab.path_asymmetry_ns();
+        }
         let bounds = self.derive_bounds();
         let violations = match self.oracle.take() {
             Some(mut oracle) => {
@@ -844,6 +895,13 @@ impl World {
                     at: self.end,
                     residual_frames: residual,
                 });
+                if self.fabric.is_some() {
+                    oracle.observe(&Observation::FabricTotals {
+                        at: self.end,
+                        forwarded: self.counters.fabric_frames_forwarded,
+                        dropped: self.counters.fabric_frames_dropped,
+                    });
+                }
                 oracle.observe(&Observation::Bounds {
                     at: self.end,
                     n: self.cfg.nodes,
@@ -885,7 +943,7 @@ impl World {
             for &b in &stations {
                 if a != b {
                     if let Some(p) = self.topo.path_delay_bounds(a, b, res_min, res_max) {
-                        all.push(p);
+                        all.push(self.widen_for_fabric(a, b, p));
                     }
                 }
             }
@@ -908,6 +966,29 @@ impl World {
             &all,
             &meas,
         )
+    }
+
+    /// Widens a station-pair path-delay bound by the fabric's extra
+    /// inter-switch contribution when the stations sit on different
+    /// nodes. Measurement-probe paths are *not* widened: probes bypass
+    /// the fabric (statically pinned, calibrated paths).
+    fn widen_for_fabric(&self, a: DeviceId, b: DeviceId, p: (Nanos, Nanos)) -> (Nanos, Nanos) {
+        let Some(fab) = &self.fabric else {
+            return p;
+        };
+        let (Some(&(na, _)), Some(&(nb, _))) = (self.station_map.get(&a), self.station_map.get(&b))
+        else {
+            return p;
+        };
+        if na == nb {
+            return p;
+        }
+        // Conservative protected-frame serialization (a Follow_Up with
+        // its header comfortably fits 128 bytes on the wire) and one
+        // concurrent protected frame per domain.
+        let ser_ns = fab.config().serialization_ns(128);
+        let (lo, hi) = fab.path_bounds(na, nb, ser_ns, self.cfg.nodes as i64);
+        (p.0 + lo, p.1 + hi)
     }
 
     // ----- event dispatch --------------------------------------------
@@ -1228,7 +1309,113 @@ impl World {
             }
             delay += self.link_faults.extra_delay(link_id, toward_b);
         }
+        // Multi-hop fabric: a PTP frame crossing the inter-switch mesh
+        // traverses the expanded hop chain analytically (computed here,
+        // no extra events). Measurement probes bypass it — the paper
+        // pins probe paths with static FDB entries and calibrates their
+        // static delay — and background frames are subsumed by the
+        // fabric's own analytic cross-traffic model.
+        let mut frame = frame;
+        if frame.ethertype == ethertype::PTP && self.fabric.is_some() {
+            if let (Some(&sw_from), Some(&sw_to)) = (
+                self.switch_map.get(&from.device),
+                self.switch_map.get(&to.device),
+            ) {
+                if sw_from != sw_to {
+                    match self.fabric_cross(t, sw_from, sw_to, &mut frame) {
+                        Some(extra) => delay += extra,
+                        // Dropped at a saturated fabric hop.
+                        None => return,
+                    }
+                }
+            }
+        }
         self.queue.schedule_at(t + delay, Ev::Arrive { to, frame });
+    }
+
+    /// Carries one inter-switch PTP frame across the multi-hop fabric:
+    /// returns the extra one-way delay, or `None` when the frame was
+    /// dropped at a saturated hop. Maintains the transparent-clock
+    /// correction bookkeeping: a Sync's measured residence is recorded
+    /// at traversal and patched into the matching Follow_Up's
+    /// correction field when it crosses the same mesh segment.
+    fn fabric_cross(
+        &mut self,
+        t: SimTime,
+        sw_from: usize,
+        sw_to: usize,
+        frame: &mut EthernetFrame,
+    ) -> Option<Nanos> {
+        let kind = MessageType::peek(&frame.payload);
+        let class = match kind {
+            Some(MessageType::Sync) => FrameClass::Sync,
+            Some(MessageType::PdelayReq) | Some(MessageType::PdelayResp) => FrameClass::Pdelay,
+            _ => FrameClass::General,
+        };
+        let fab = self.fabric.as_mut().expect("fabric checked by caller");
+        let ser_ns = fab.config().serialization_ns(frame.wire_len());
+        let transparent = fab.config().transparent_clock;
+        let tr = fab.traverse(t, sw_from, sw_to, ser_ns, class);
+        if tr.dropped {
+            if let Some(tracer) = &mut self.tracer {
+                tracer
+                    .instant(
+                        t,
+                        "fabric_drop",
+                        TraceSub::Fabric,
+                        SIM_PID,
+                        TraceSub::Fabric.lane(),
+                    )
+                    .arg_u64("from_sw", sw_from as u64)
+                    .arg_u64("to_sw", sw_to as u64);
+            }
+            if self.oracle.is_some() {
+                self.observe(Observation::FabricCrossing {
+                    at: t,
+                    dropped: true,
+                });
+            }
+            return None;
+        }
+        if transparent {
+            let domain = frame.payload.get(4).copied().unwrap_or(0);
+            let seq = peek_sequence(&frame.payload);
+            let fab = self.fabric.as_mut().expect("fabric present");
+            match kind {
+                Some(MessageType::Sync) => {
+                    fab.record_pending(sw_from, sw_to, domain, seq, tr.residence_ns);
+                }
+                Some(MessageType::FollowUp) => {
+                    if let Some(res) = fab.take_pending(sw_from, sw_to, domain, seq) {
+                        add_correction(frame, res);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if class == FrameClass::Sync {
+            if let Some(tracer) = &mut self.tracer {
+                tracer
+                    .instant(
+                        t,
+                        "fabric_sync",
+                        TraceSub::Fabric,
+                        SIM_PID,
+                        TraceSub::Fabric.lane(),
+                    )
+                    .arg_u64("from_sw", sw_from as u64)
+                    .arg_u64("to_sw", sw_to as u64)
+                    .arg_i64("delay_ns", tr.delay.as_nanos())
+                    .arg_i64("residence_ns", tr.residence_ns);
+            }
+        }
+        if self.oracle.is_some() {
+            self.observe(Observation::FabricCrossing {
+                at: t,
+                dropped: false,
+            });
+        }
+        Some(tr.delay)
     }
 
     /// Hardware event timestamp at a device's clock (station NIC or
@@ -2854,6 +3041,11 @@ impl Snap for RunCounters {
         self.announce_tx.put(w);
         self.elected_gm_changes.put(w);
         self.reconvergence_ns.put(w);
+        // The fabric counters are deliberately *not* encoded here: they
+        // live in the fabric's own `SnapState` (appended to the world's
+        // state only when the fabric is enabled) and are copied into
+        // `RunCounters` at `finish()`. Encoding them here would change
+        // the state bytes of every `fabric = None` run.
     }
     fn get(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         Ok(RunCounters {
@@ -2875,6 +3067,10 @@ impl Snap for RunCounters {
             announce_tx: Snap::get(r)?,
             elected_gm_changes: Snap::get(r)?,
             reconvergence_ns: Snap::get(r)?,
+            fabric_frames_forwarded: 0,
+            fabric_frames_dropped: 0,
+            max_residence_ns: 0,
+            path_asymmetry_ns: 0,
         })
     }
 }
@@ -3063,6 +3259,12 @@ impl SnapState for World {
             at.put(w);
             node.put(w);
         }
+        // Fabric state rides at the very end, only when enabled — a
+        // `fabric = None` world's state bytes are identical to a build
+        // without the fabric subsystem.
+        if let Some(fab) = &self.fabric {
+            fab.save_state(w);
+        }
     }
 
     fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
@@ -3116,6 +3318,9 @@ impl SnapState for World {
         } else {
             None
         };
+        if let Some(fab) = &mut self.fabric {
+            fab.load_state(r)?;
+        }
         Ok(())
     }
 }

@@ -221,4 +221,105 @@ mod tests {
         let out = sw.forward(PortNo(0), &frame(MacAddr::BROADCAST, None), &mut rng);
         assert_eq!(out[0].1, Nanos::from_micros(1));
     }
+
+    /// A VLAN configured with no members admits nothing: even the
+    /// flood fallback yields an empty egress set.
+    #[test]
+    fn zero_member_vlan_floods_nowhere() {
+        let sw = switch_with_vlan(100, &[]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = sw.forward(
+            PortNo(0),
+            &frame(MacAddr::PTP_MULTICAST, Some(VlanTag::new(6, 100))),
+            &mut rng,
+        );
+        assert!(out.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// An arbitrary switch: a handful of VLANs with random member
+        /// sets and an optional static entry for the probe group.
+        fn arb_switch() -> impl Strategy<Value = Switch> {
+            (
+                proptest::collection::vec((1u16..8, proptest::collection::vec(0u8..8, 0..6)), 0..4),
+                proptest::option::of((1u16..8, proptest::collection::vec(0u8..8, 0..4))),
+                1u16..8,
+            )
+                .prop_map(|(vlans, static_entry, default_vid)| {
+                    let mut sw = Switch::new("prop", DelayModel::constant(Nanos::from_micros(1)));
+                    sw.default_vid = default_vid;
+                    for (vid, ports) in vlans {
+                        for p in ports {
+                            sw.fdb.add_vlan_member(vid, PortNo(p));
+                        }
+                    }
+                    if let Some((vid, ports)) = static_entry {
+                        let ports: Vec<PortNo> = ports.into_iter().map(PortNo).collect();
+                        sw.fdb.add_static_entry(vid, MacAddr::PTP_MULTICAST, &ports);
+                    }
+                    sw
+                })
+        }
+
+        fn arb_frame() -> impl Strategy<Value = EthernetFrame> {
+            (
+                prop_oneof![
+                    Just(MacAddr::PTP_MULTICAST),
+                    Just(MacAddr::BROADCAST),
+                    Just(MacAddr::GPTP_MULTICAST),
+                    (0u32..16).prop_map(MacAddr::for_nic),
+                ],
+                proptest::option::of((0u8..8, 1u16..10)),
+            )
+                .prop_map(|(dst, vlan)| frame(dst, vlan.map(|(pcp, vid)| VlanTag::new(pcp, vid))))
+        }
+
+        proptest! {
+            /// The relay function never hairpins: no egress pair ever
+            /// names the ingress port, whatever the FDB looks like.
+            #[test]
+            fn forward_never_returns_the_ingress_port(
+                sw in arb_switch(),
+                f in arb_frame(),
+                ingress in 0u8..8,
+                seed in 0u64..1000,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let out = sw.forward(PortNo(ingress), &f, &mut rng);
+                prop_assert!(
+                    out.iter().all(|(p, _)| *p != PortNo(ingress)),
+                    "hairpinned back to ingress: {out:?}"
+                );
+            }
+
+            /// VLAN isolation: every egress port is a member of the
+            /// frame's (effective) VLAN, and a non-member ingress is
+            /// always filtered — static entries cannot punch through
+            /// membership.
+            #[test]
+            fn forward_never_leaves_the_vlan(
+                sw in arb_switch(),
+                f in arb_frame(),
+                ingress in 0u8..8,
+                seed in 0u64..1000,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let out = sw.forward(PortNo(ingress), &f, &mut rng);
+                let vid = f.vlan.map_or(sw.default_vid, |t| t.vid);
+                let members: Vec<PortNo> = sw.fdb.vlan_members(vid).collect();
+                if !members.contains(&PortNo(ingress)) {
+                    prop_assert!(out.is_empty(), "non-member ingress must filter");
+                }
+                for (p, _) in &out {
+                    prop_assert!(
+                        members.contains(p),
+                        "egress {p:?} is not a member of VLAN {vid}"
+                    );
+                }
+            }
+        }
+    }
 }

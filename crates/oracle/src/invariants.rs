@@ -224,6 +224,90 @@ impl Invariant for FrameConservation {
     }
 }
 
+/// Frame conservation across the multi-hop switch fabric: every
+/// protected frame that enters the fabric is either forwarded end to
+/// end or explicitly dropped at a saturated hop, and the per-crossing
+/// tallies must match the end-of-run fabric counters. The fabric holds
+/// no frames between events (traversal is computed analytically at
+/// departure), so there is no fabric residual term.
+#[derive(Debug, Default)]
+pub struct FabricConservation {
+    forwarded: u64,
+    dropped: u64,
+    totals: Option<(SimTime, u64, u64)>,
+}
+
+impl FabricConservation {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Invariant for FabricConservation {
+    fn name(&self) -> &'static str {
+        "fabric-conservation"
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>, log: &mut ViolationLog) {
+        let _ = log;
+        match obs {
+            Observation::FabricCrossing { dropped, .. } => {
+                if *dropped {
+                    self.dropped += 1;
+                } else {
+                    self.forwarded += 1;
+                }
+            }
+            Observation::FabricTotals {
+                at,
+                forwarded,
+                dropped,
+            } => self.totals = Some((*at, *forwarded, *dropped)),
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, log: &mut ViolationLog) {
+        let Some((at, forwarded, dropped)) = self.totals else {
+            if self.forwarded + self.dropped > 0 {
+                log.record(
+                    SimTime::ZERO,
+                    self.name(),
+                    "world.fabric",
+                    format!(
+                        "{} fabric crossings observed but no end-of-run totals were reported",
+                        self.forwarded + self.dropped
+                    ),
+                );
+            }
+            return;
+        };
+        if self.forwarded != forwarded {
+            log.record(
+                at,
+                self.name(),
+                "world.fabric",
+                format!(
+                    "observed forwarded={} != counter forwarded={}",
+                    self.forwarded, forwarded
+                ),
+            );
+        }
+        if self.dropped != dropped {
+            log.record(
+                at,
+                self.name(),
+                "world.fabric",
+                format!(
+                    "observed dropped={} != counter dropped={}",
+                    self.dropped, dropped
+                ),
+            );
+        }
+    }
+}
+
 /// FTA containment (paper §II, Kopetz–Ochsenreiter): whenever at most
 /// `f` of the inputs come from Byzantine-marked domains, the
 /// fault-tolerant aggregate must lie within the range of the honest

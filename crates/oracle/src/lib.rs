@@ -41,8 +41,9 @@
 mod invariants;
 
 pub use invariants::{
-    AtMostOneActingMaster, BoundAlgebra, ElectionConvergence, EventCausality, FrameConservation,
-    FtaContainment, HoldoverDrift, ServoClamp, SyncStateLegality, SynctimeContinuity,
+    AtMostOneActingMaster, BoundAlgebra, ElectionConvergence, EventCausality, FabricConservation,
+    FrameConservation, FtaContainment, HoldoverDrift, ServoClamp, SyncStateLegality,
+    SynctimeContinuity,
 };
 pub use tsn_metrics::{ViolationLog, ViolationRecord};
 
@@ -153,6 +154,25 @@ pub enum Observation<'a> {
         /// `true` when the frame had waited in an egress queue.
         from_queue: bool,
     },
+    /// A protected frame crossed the multi-hop switch fabric (or was
+    /// dropped at a saturated fabric hop).
+    FabricCrossing {
+        /// Crossing (departure) time.
+        at: SimTime,
+        /// `true` when the fabric dropped the frame instead of
+        /// forwarding it.
+        dropped: bool,
+    },
+    /// End-of-run fabric forwarding totals, for conservation across the
+    /// switch queues.
+    FabricTotals {
+        /// End-of-run time.
+        at: SimTime,
+        /// Frames the fabric forwarded end to end.
+        forwarded: u64,
+        /// Frames the fabric dropped at a saturated hop.
+        dropped: u64,
+    },
     /// The derived bounds report of the finished run (§III-A3 algebra).
     Bounds {
         /// Report time (end of run).
@@ -252,7 +272,7 @@ impl std::fmt::Debug for OracleRegistry {
 }
 
 impl OracleRegistry {
-    /// The standard registry: all ten conformance invariants.
+    /// The standard registry: all eleven conformance invariants.
     pub fn standard(cfg: OracleConfig) -> Self {
         OracleRegistry::with_invariants(vec![
             Box::new(EventCausality::new()),
@@ -262,6 +282,7 @@ impl OracleRegistry {
                 cfg.max_frequency_ppb,
             )),
             Box::new(FrameConservation::new()),
+            Box::new(FabricConservation::new()),
             Box::new(FtaContainment::new(cfg.f)),
             Box::new(ServoClamp::new(cfg.max_frequency_ppb)),
             Box::new(BoundAlgebra::new()),

@@ -76,11 +76,14 @@ pub enum Subsystem {
     /// BMCA grandmaster election: Announce tx/rx, role transitions,
     /// election rounds, GM handoff.
     Election,
+    /// Multi-hop switch fabric: Qbv gate waits, transparent-clock
+    /// corrections, cross-traffic blocking, fabric drops.
+    Fabric,
 }
 
 impl Subsystem {
     /// Every subsystem, in canonical (report) order.
-    pub const ALL: [Subsystem; 9] = [
+    pub const ALL: [Subsystem; 10] = [
         Subsystem::Netsim,
         Subsystem::Gptp,
         Subsystem::Fta,
@@ -90,6 +93,7 @@ impl Subsystem {
         Subsystem::Faults,
         Subsystem::Measure,
         Subsystem::Election,
+        Subsystem::Fabric,
     ];
 
     /// The stable textual name (trace category, profile key).
@@ -104,6 +108,7 @@ impl Subsystem {
             Subsystem::Faults => "faults",
             Subsystem::Measure => "measure",
             Subsystem::Election => "election",
+            Subsystem::Fabric => "fabric",
         }
     }
 
