@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use tsn_fta::{fault_tolerant_average, AggregationMethod};
 use tsn_gptp::msg::{FollowUpTlv, Header, Message, MessageType};
 use tsn_gptp::{ClockIdentity, PortIdentity, PtpTimestamp};
-use tsn_netsim::EventQueue;
+use tsn_netsim::{EventQueue, ReferenceQueue, WheelQueue};
 use tsn_time::{ClockTime, Nanos, PiServo, ServoConfig, SimTime};
 
 fn bench_fta(c: &mut Criterion) {
@@ -95,6 +95,51 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// Head-to-head timing wheel vs reference `BinaryHeap`, on the two
+/// patterns that matter: a bulk push-then-drain (classic heap turf) and
+/// the simulator's steady-state churn — pop one event, schedule the
+/// next a few µs–ms ahead, standing population a few dozen.
+fn bench_queue_impls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_impls");
+    macro_rules! impl_benches {
+        ($name:literal, $Q:ty) => {
+            group.bench_function(concat!($name, "/push_drain_1k"), |b| {
+                b.iter(|| {
+                    let mut q: $Q = <$Q>::new();
+                    for i in 0..1000u64 {
+                        q.schedule_at(SimTime::from_nanos((i * 7919) % 100_000), i);
+                    }
+                    let mut acc = 0u64;
+                    while let Some((_, e)) = q.pop() {
+                        acc = acc.wrapping_add(e);
+                    }
+                    acc
+                })
+            });
+            group.bench_function(concat!($name, "/steady_churn_10k"), |b| {
+                b.iter(|| {
+                    let mut q: $Q = <$Q>::new();
+                    for i in 0..64u64 {
+                        q.schedule_at(SimTime::from_nanos(i * 131_071), i);
+                    }
+                    let mut acc = 0u64;
+                    for i in 0..10_000u64 {
+                        let (now, e) = q.pop().expect("standing population");
+                        acc = acc.wrapping_add(e);
+                        // The sim's gap profile: µs to low ms ahead.
+                        let gap = 1_000 + (i * 48_271) % 3_000_000;
+                        q.schedule_at(now + Nanos::from_nanos(gap as i64), i);
+                    }
+                    acc
+                })
+            });
+        };
+    }
+    impl_benches!("wheel", WheelQueue<u64>);
+    impl_benches!("reference", ReferenceQueue<u64>);
+    group.finish();
+}
+
 fn bench_snapshot(c: &mut Criterion) {
     let mut group = c.benchmark_group("snapshot");
     let cfg = TestbedConfig {
@@ -123,6 +168,7 @@ criterion_group!(
     bench_codec,
     bench_servo,
     bench_event_queue,
+    bench_queue_impls,
     bench_snapshot
 );
 criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Dense, hash-free lookup tables for the event hot path.
+//!
+//! Every frame event resolves its device and egress port several times;
+//! with `HashMap` those lookups (SipHash + probing) dominate the event
+//! loop. Device ids and port numbers are small and consecutive by
+//! construction ([`Topology`](tsn_netsim::Topology) allocates them
+//! densely), so plain vectors indexed by id replace the maps.
+//!
+//! [`PortTable`] preserves the *lazy materialization* semantics of the
+//! `HashMap<PortAddr, EgressPort>` it replaces: a port slot exists from
+//! construction but only becomes **live** when the world first touches
+//! it through [`PortTable::materialize`]. Snapshots encode exactly the
+//! live set, in ascending [`PortAddr`] order — byte-identical to the
+//! old map's sorted-key encoding, because the flat index
+//! `device * stride + port` is monotone in the derived `(device, port)`
+//! lexicographic `Ord`.
+
+use tsn_netsim::{DeviceId, EgressPort, PortAddr};
+
+/// A map from [`DeviceId`] to a small copyable value, backed by a
+/// vector indexed by the raw id.
+#[derive(Debug, Clone)]
+pub(crate) struct DevMap<V> {
+    slots: Vec<Option<V>>,
+}
+
+impl<V: Copy> DevMap<V> {
+    pub fn new() -> Self {
+        DevMap { slots: Vec::new() }
+    }
+
+    pub fn insert(&mut self, dev: DeviceId, value: V) {
+        if dev.0 >= self.slots.len() {
+            self.slots.resize_with(dev.0 + 1, || None);
+        }
+        self.slots[dev.0] = Some(value);
+    }
+
+    #[inline]
+    pub fn get(&self, dev: DeviceId) -> Option<V> {
+        self.slots.get(dev.0).copied().flatten()
+    }
+
+    #[inline]
+    pub fn contains_key(&self, dev: DeviceId) -> bool {
+        self.get(dev).is_some()
+    }
+
+    /// Entries in ascending device order.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, V)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (DeviceId(i), v)))
+    }
+}
+
+/// Flat egress-port table indexed by `device * stride + port`.
+///
+/// `stride` is one past the highest wired port number in the topology,
+/// so the flat index is collision-free and ordered like `PortAddr`.
+#[derive(Debug)]
+pub(crate) struct PortTable<T> {
+    stride: usize,
+    live: Vec<bool>,
+    slots: Vec<EgressPort<T>>,
+}
+
+impl<T> PortTable<T> {
+    /// A table covering `devices × stride` port slots, all idle and
+    /// not live.
+    pub fn new(devices: usize, stride: usize) -> Self {
+        let stride = stride.max(1);
+        let n = devices * stride;
+        PortTable {
+            stride,
+            live: vec![false; n],
+            slots: (0..n).map(|_| EgressPort::default()).collect(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, p: PortAddr) -> usize {
+        p.device.0 * self.stride + p.port.0 as usize
+    }
+
+    /// `true` if `p` maps to a slot (used to validate snapshot input;
+    /// ports generated at runtime are in range by construction).
+    pub fn in_range(&self, p: PortAddr) -> bool {
+        (p.port.0 as usize) < self.stride && self.idx(p) < self.slots.len()
+    }
+
+    #[inline]
+    pub fn get(&self, p: PortAddr) -> Option<&EgressPort<T>> {
+        let i = self.idx(p);
+        match self.live.get(i) {
+            Some(true) => Some(&self.slots[i]),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, p: PortAddr) -> Option<&mut EgressPort<T>> {
+        let i = self.idx(p);
+        match self.live.get(i) {
+            Some(true) => Some(&mut self.slots[i]),
+            _ => None,
+        }
+    }
+
+    /// Marks `p` live and returns its port — the `entry().or_default()`
+    /// of the map this table replaces.
+    #[inline]
+    pub fn materialize(&mut self, p: PortAddr) -> &mut EgressPort<T> {
+        let i = self.idx(p);
+        self.live[i] = true;
+        &mut self.slots[i]
+    }
+
+    /// `true` if `p` has been materialized.
+    pub fn is_live(&self, p: PortAddr) -> bool {
+        matches!(self.live.get(self.idx(p)), Some(true))
+    }
+
+    /// Live ports only (materialization order is irrelevant to callers;
+    /// they fold commutatively).
+    pub fn values(&self) -> impl Iterator<Item = &EgressPort<T>> {
+        self.live
+            .iter()
+            .zip(&self.slots)
+            .filter_map(|(&l, s)| l.then_some(s))
+    }
+
+    /// Live `(addr, port)` pairs in ascending [`PortAddr`] order.
+    pub fn live_ports(&self) -> impl Iterator<Item = (PortAddr, &EgressPort<T>)> {
+        let stride = self.stride;
+        self.live
+            .iter()
+            .zip(&self.slots)
+            .enumerate()
+            .filter(|&(_, (&l, _))| l)
+            .map(move |(i, (_, s))| (PortAddr::new(DeviceId(i / stride), (i % stride) as u8), s))
+    }
+
+    /// Returns the table to its post-construction state (all slots
+    /// idle, nothing live) — snapshot restore rebuilds the live set.
+    pub fn reset(&mut self) {
+        self.live.iter_mut().for_each(|l| *l = false);
+        self.slots
+            .iter_mut()
+            .for_each(|s| *s = EgressPort::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devmap_get_insert_iter() {
+        let mut m: DevMap<(usize, usize)> = DevMap::new();
+        m.insert(DeviceId(4), (1, 0));
+        m.insert(DeviceId(1), (0, 1));
+        assert_eq!(m.get(DeviceId(1)), Some((0, 1)));
+        assert_eq!(m.get(DeviceId(4)), Some((1, 0)));
+        assert_eq!(m.get(DeviceId(2)), None);
+        assert_eq!(m.get(DeviceId(99)), None);
+        assert!(m.contains_key(DeviceId(4)));
+        let all: Vec<_> = m.iter().collect();
+        assert_eq!(all, vec![(DeviceId(1), (0, 1)), (DeviceId(4), (1, 0))]);
+    }
+
+    #[test]
+    fn port_table_live_set_and_order() {
+        let mut t: PortTable<u32> = PortTable::new(3, 4);
+        assert!(t.get(PortAddr::new(DeviceId(2), 3)).is_none());
+        t.materialize(PortAddr::new(DeviceId(2), 3)).enqueue(0, 7);
+        t.materialize(PortAddr::new(DeviceId(0), 1));
+        assert!(t.is_live(PortAddr::new(DeviceId(0), 1)));
+        assert!(!t.is_live(PortAddr::new(DeviceId(0), 0)));
+        assert_eq!(
+            t.get(PortAddr::new(DeviceId(2), 3)).map(|p| p.len()),
+            Some(1)
+        );
+        // Ascending PortAddr order, exactly the live set.
+        let addrs: Vec<PortAddr> = t.live_ports().map(|(a, _)| a).collect();
+        assert_eq!(
+            addrs,
+            vec![PortAddr::new(DeviceId(0), 1), PortAddr::new(DeviceId(2), 3)]
+        );
+        assert_eq!(t.values().count(), 2);
+        t.reset();
+        assert_eq!(t.values().count(), 0);
+        assert!(t.get(PortAddr::new(DeviceId(2), 3)).is_none());
+    }
+
+    #[test]
+    fn port_table_range_check() {
+        let t: PortTable<u32> = PortTable::new(2, 4);
+        assert!(t.in_range(PortAddr::new(DeviceId(1), 3)));
+        assert!(!t.in_range(PortAddr::new(DeviceId(1), 4)));
+        assert!(!t.in_range(PortAddr::new(DeviceId(2), 0)));
+    }
+}

@@ -14,6 +14,7 @@
 //! the 2-level tree `GM → sw_x → {sw_y} → VMs`.
 
 use crate::config::{HypMonitorMode, TestbedConfig};
+use crate::densemap::{DevMap, PortTable};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
@@ -25,8 +26,8 @@ use tsn_faults::{
 };
 use tsn_fta::{AggregationMethod, AggregationMode, MultiDomainAggregator, SubmitOutcome};
 use tsn_gptp::{
-    msg::Message, msg::MessageType, BridgeRelay, ClockIdentity, LinkDelayService, PortIdentity,
-    SyncMaster, SyncSlave,
+    msg::Message, msg::MessageType, msg::GPTP_MAJOR_SDO_ID, msg::PTP_VERSION, BridgeRelay,
+    ClockIdentity, LinkDelayService, PortIdentity, SyncMaster, SyncSlave,
 };
 use tsn_hyp::{
     DependentClockDevice, Phc2Sys, SyncClockDiscipline, SyncTimeServo, VmId, VotingMonitor,
@@ -36,9 +37,8 @@ use tsn_metrics::{
     TransientKind,
 };
 use tsn_netsim::{
-    ethertype, DelayModel, DeviceId, EgressPort, EthernetFrame, EventQueue, FrameTrace,
-    LaunchOutcome, MacAddr, Nic, PortAddr, PortNo, SeedSplitter, Switch, Topology, TraceDir,
-    VlanTag,
+    ethertype, DelayModel, DeviceId, EthernetFrame, EventQueue, FrameTrace, LaunchOutcome, MacAddr,
+    Nic, PortAddr, PortNo, SeedSplitter, Switch, Topology, TraceDir, VlanTag,
 };
 use tsn_netsim::{LinkFaultPlan, LinkFaults, LinkId};
 use tsn_oracle::{Observation, OracleConfig, OracleRegistry};
@@ -306,10 +306,21 @@ pub struct World {
     nodes: Vec<NodeState>,
     switches: Vec<SwitchState>,
     /// Station device → (node, vm slot).
-    station_map: HashMap<DeviceId, (usize, usize)>,
+    station_map: DevMap<(usize, usize)>,
     /// Switch device → switch index.
-    switch_map: HashMap<DeviceId, usize>,
-    egress: HashMap<PortAddr, EgressPort<(EthernetFrame, TxCtx)>>,
+    switch_map: DevMap<usize>,
+    egress: PortTable<(EthernetFrame, TxCtx)>,
+    /// Per-port link lookup, resolved once at construction: the link id,
+    /// the receiving port, whether transmission runs a→b, and the
+    /// one-way delay model. Indexed like [`PortTable`]; `None` for
+    /// unwired ports. (The topology is immutable after `World::new`.)
+    port_links: Vec<Option<(LinkId, PortAddr, bool, DelayModel)>>,
+    /// Flat-index stride for `egress`/`port_links` (max wired port + 1).
+    port_stride: usize,
+    /// Wired port numbers per device, ascending — the cached result of
+    /// [`Topology::wired_ports`], which Announce flooding needs on
+    /// every switch hop.
+    device_ports: Vec<Vec<u8>>,
     trace: Option<FrameTrace>,
     schedule: Vec<FaultEvent>,
     transient: TransientFaults<StdRng>,
@@ -434,7 +445,7 @@ impl World {
         }
 
         // Nodes: host clock + 2 clock-sync VMs each.
-        let mut station_map = HashMap::new();
+        let mut station_map = DevMap::new();
         let mut nodes = Vec::with_capacity(n);
         for node in 0..n {
             let mut osc_rng = seeds.rng(&format!("osc/host{node}"));
@@ -514,7 +525,7 @@ impl World {
         }
 
         // Switches: fabric + per-domain relays + per-port pdelay.
-        let mut switch_map = HashMap::new();
+        let mut switch_map = DevMap::new();
         let mut switches = Vec::with_capacity(n);
         let mut res_rng = seeds.rng("residence");
         for x in 0..n {
@@ -629,8 +640,8 @@ impl World {
         if let Some(p) = cfg.partition {
             let sw_dev = switch_ids[p.node];
             for (i, link) in topo.links().iter().enumerate() {
-                let inter_switch = switch_map.contains_key(&link.a.device)
-                    && switch_map.contains_key(&link.b.device);
+                let inter_switch = switch_map.contains_key(link.a.device)
+                    && switch_map.contains_key(link.b.device);
                 if inter_switch && (link.a.device == sw_dev || link.b.device == sw_dev) {
                     down_windows.push((LinkId(i), p.from, p.until));
                 }
@@ -651,9 +662,32 @@ impl World {
         let end = SimTime::ZERO + cfg.warmup + cfg.duration;
 
         let trace = (cfg.trace_capacity > 0).then(|| FrameTrace::new(cfg.trace_capacity));
+        // Flat port-indexed tables for the frame hot path: one slot per
+        // possible (device, port), resolved links precomputed.
+        let n_devices = topo.devices().map(|d| d.0 + 1).max().unwrap_or(0);
+        let port_stride = topo
+            .devices()
+            .flat_map(|d| topo.wired_ports(d))
+            .map(|p| p.port.0 as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let mut port_links = Vec::new();
+        port_links.resize_with(n_devices * port_stride, || None);
+        let mut device_ports = vec![Vec::new(); n_devices];
+        for dev in topo.devices() {
+            for p in topo.wired_ports(dev) {
+                let (id, link) = topo.link_of(p).expect("wired port has a link");
+                port_links[p.device.0 * port_stride + p.port.0 as usize] =
+                    Some((id, link.peer_of(p), p == link.a, *link.delay_from(p)));
+                device_ports[dev.0].push(p.port.0);
+            }
+        }
         let mut world = World {
             queue: EventQueue::new(),
-            egress: HashMap::new(),
+            egress: PortTable::new(n_devices, port_stride),
+            port_links,
+            port_stride,
+            device_ports,
             trace,
             topo,
             nodes,
@@ -841,20 +875,25 @@ impl World {
     }
 
     /// Runs the experiment to completion and returns the result.
+    ///
+    /// Events are consumed in same-timestamp batches
+    /// ([`EventQueue::pop_batch`]): handling order is still exact
+    /// `(time, seq)` order, because anything a handler schedules at the
+    /// current timestamp draws a later sequence number and therefore
+    /// lands in the *next* batch at that same time.
     pub fn run(mut self) -> RunResult {
-        while let Some(next) = self.queue.peek_time() {
-            if next > self.end {
-                break;
+        let mut batch = Vec::new();
+        while self.queue.pop_batch(self.end, &mut batch) > 0 {
+            for (t, ev) in batch.drain(..) {
+                if self.oracle.is_some() {
+                    self.observe(Observation::Event { at: t });
+                }
+                if let Some(tracer) = self.tracer.as_mut() {
+                    let (kind, sub) = ev.kind();
+                    tracer.pop(t, kind, sub);
+                }
+                self.handle(t, ev);
             }
-            let (t, ev) = self.queue.pop().expect("peeked");
-            if self.oracle.is_some() {
-                self.observe(Observation::Event { at: t });
-            }
-            if let Some(tracer) = self.tracer.as_mut() {
-                let (kind, sub) = ev.kind();
-                tracer.pop(t, kind, sub);
-            }
-            self.handle(t, ev);
         }
         self.finish()
     }
@@ -951,7 +990,7 @@ impl World {
         let m = self.cfg.measurement_node;
         let sender = self.nodes[m].vms[1].nic_device;
         let mut meas = Vec::new();
-        for (&dev, &(node, _)) in &self.station_map {
+        for (dev, (node, _)) in self.station_map.iter() {
             if node != m {
                 if let Some(p) = self.topo.path_delay_bounds(sender, dev, res_min, res_max) {
                     meas.push(p);
@@ -976,7 +1015,7 @@ impl World {
         let Some(fab) = &self.fabric else {
             return p;
         };
-        let (Some(&(na, _)), Some(&(nb, _))) = (self.station_map.get(&a), self.station_map.get(&b))
+        let (Some((na, _)), Some((nb, _))) = (self.station_map.get(a), self.station_map.get(b))
         else {
             return p;
         };
@@ -1055,15 +1094,13 @@ impl World {
     fn on_port_free(&mut self, t: SimTime, from: PortAddr) {
         // A same-instant transmission may have grabbed the wire already;
         // its own PortFree will drain the queue.
-        let busy = self
-            .egress
-            .get(&from)
-            .map(|p| p.is_busy(t))
-            .unwrap_or(false);
-        if busy {
+        let Some(port) = self.egress.get_mut(from) else {
+            return;
+        };
+        if port.is_busy(t) {
             return;
         }
-        if let Some((_, (frame, ctx))) = self.egress.get_mut(&from).and_then(|p| p.pop_ready()) {
+        if let Some((_, (frame, ctx))) = port.pop_ready() {
             if self.oracle.is_some() {
                 self.observe(Observation::FramePopped { at: t });
             }
@@ -1121,14 +1158,11 @@ impl World {
         let prio = self.priority_of(&frame);
         let (busy, backlog) = self
             .egress
-            .get(&from)
+            .get(from)
             .map(|p| (p.is_busy(t), !p.is_empty()))
             .unwrap_or((false, false));
         if busy || backlog {
-            self.egress
-                .entry(from)
-                .or_default()
-                .enqueue(prio, (frame, ctx));
+            self.egress.materialize(from).enqueue(prio, (frame, ctx));
             if self.oracle.is_some() {
                 self.observe(Observation::FrameEnqueued { at: t });
             }
@@ -1152,7 +1186,7 @@ impl World {
     ) {
         // A VM that died between queuing and departure transmits nothing;
         // drain whatever else is queued on the port.
-        if let Some(&(node, slot)) = self.station_map.get(&from.device) {
+        if let Some((node, slot)) = self.station_map.get(from.device) {
             if !self.nodes[node].vms[slot].running {
                 if self.oracle.is_some() {
                     self.observe(Observation::FrameDropped {
@@ -1175,8 +1209,7 @@ impl World {
         // Occupy the wire for the frame's serialization time.
         let duration = frame.serialization_ns(1_000_000_000);
         self.egress
-            .entry(from)
-            .or_default()
+            .materialize(from)
             .begin_transmission(t, duration);
         self.queue.schedule_at(t + duration, Ev::PortFree { from });
 
@@ -1246,9 +1279,9 @@ impl World {
             TxCtx::PdelayReq { dev, seq } => {
                 let t1 = self.event_timestamp(t, dev);
                 if let Some(t1) = t1 {
-                    if let Some(&(node, slot)) = self.station_map.get(&dev) {
+                    if let Some((node, slot)) = self.station_map.get(dev) {
                         self.nodes[node].vms[slot].pd.request_sent(seq, t1);
-                    } else if let Some(&sw) = self.switch_map.get(&dev) {
+                    } else if let Some(sw) = self.switch_map.get(dev) {
                         if let Some(svc) = self.switches[sw].pd.get_mut(&from.port.0) {
                             svc.request_sent(seq, t1);
                         }
@@ -1262,13 +1295,13 @@ impl World {
             } => {
                 let t3 = self.event_timestamp(t, dev);
                 if let Some(t3) = t3 {
-                    let fu = if let Some(&(node, slot)) = self.station_map.get(&dev) {
+                    let fu = if let Some((node, slot)) = self.station_map.get(dev) {
                         Some(
                             self.nodes[node].vms[slot]
                                 .pd
                                 .make_resp_follow_up(seq, requesting, t3),
                         )
-                    } else if let Some(&sw) = self.switch_map.get(&dev) {
+                    } else if let Some(sw) = self.switch_map.get(dev) {
                         self.switches[sw]
                             .pd
                             .get(&from.port.0)
@@ -1284,8 +1317,10 @@ impl World {
                 }
             }
         }
-        // Cross the link.
-        let Some((link_id, link)) = self.topo.link_of(from) else {
+        // Cross the link (resolved at construction; see `port_links`).
+        let Some((link_id, to, toward_b, delay_model)) =
+            self.port_links[from.device.0 * self.port_stride + from.port.0 as usize]
+        else {
             return;
         };
         // Link-fault surface (loss, down windows, asymmetry) acts
@@ -1300,9 +1335,7 @@ impl World {
         // both ends (IEEE 1588 clause 7.3.4), so serialization time does
         // not enter the timestamped path delay; it is absorbed into the
         // link's base latency model.
-        let mut delay = link.delay_from(from).sample(&mut self.frame_rng);
-        let toward_b = from == link.a;
-        let to = link.peer_of(from);
+        let mut delay = delay_model.sample(&mut self.frame_rng);
         if faults_active {
             if self.link_faults.drops(link_id, &mut self.linkfault_rng) {
                 return;
@@ -1317,9 +1350,9 @@ impl World {
         // fabric's own analytic cross-traffic model.
         let mut frame = frame;
         if frame.ethertype == ethertype::PTP && self.fabric.is_some() {
-            if let (Some(&sw_from), Some(&sw_to)) = (
-                self.switch_map.get(&from.device),
-                self.switch_map.get(&to.device),
+            if let (Some(sw_from), Some(sw_to)) = (
+                self.switch_map.get(from.device),
+                self.switch_map.get(to.device),
             ) {
                 if sw_from != sw_to {
                     match self.fabric_cross(t, sw_from, sw_to, &mut frame) {
@@ -1422,14 +1455,14 @@ impl World {
     /// switch PHC); `None` if the owning VM is down.
     fn event_timestamp(&mut self, t: SimTime, dev: DeviceId) -> Option<ClockTime> {
         let mut rng = self.frame_rng.clone();
-        let ts = if let Some(&(node, slot)) = self.station_map.get(&dev) {
+        let ts = if let Some((node, slot)) = self.station_map.get(dev) {
             let vm = &mut self.nodes[node].vms[slot];
             if !vm.running {
                 self.frame_rng = rng;
                 return None;
             }
             Some(vm.nic.rx_timestamp(t, &mut rng))
-        } else if let Some(&sw) = self.switch_map.get(&dev) {
+        } else if let Some(sw) = self.switch_map.get(dev) {
             let s = &mut self.switches[sw];
             Some(s.phc.now(t) + tsn_time::sample_timestamp_error(&self.cfg.ts_jitter, &mut rng))
         } else {
@@ -1444,9 +1477,9 @@ impl World {
     fn on_arrive(&mut self, t: SimTime, to: PortAddr, frame: EthernetFrame) {
         self.trace_frame(t, to, TraceDir::Rx, &frame);
         self.trace_frame_event(t, to.device, false, &frame);
-        if let Some(&(node, slot)) = self.station_map.get(&to.device) {
+        if let Some((node, slot)) = self.station_map.get(to.device) {
             self.arrive_at_station(t, node, slot, frame);
-        } else if let Some(&sw) = self.switch_map.get(&to.device) {
+        } else if let Some(sw) = self.switch_map.get(to.device) {
             self.arrive_at_switch(t, sw, to.port.0, frame);
         }
     }
@@ -1593,6 +1626,9 @@ impl World {
             // Background traffic only loads the egress ports it crossed.
             ethertype::BACKGROUND => {}
             ethertype::PTP => {
+                if self.switch_announce_fast(t, sw, port, &frame) {
+                    return;
+                }
                 let Ok(msg) = Message::decode(&frame.payload) else {
                     return;
                 };
@@ -1618,6 +1654,85 @@ impl World {
                 }
             }
         }
+    }
+
+    /// Switch-side Announce flood without decode + re-encode.
+    ///
+    /// Every Announce on the simulated wire originates from
+    /// [`Message::encode`], so the forwarded frame is the input bytes
+    /// with three fields patched (messageLength, stepsRemoved, the
+    /// PATH_TRACE TLV length) and this switch's identity appended.
+    /// Strict byte guards pin that canonical form — exact length, the
+    /// zero reserved fields the encoder writes, PATH_TRACE as the sole
+    /// trailing TLV; any mismatch returns `false` and the caller takes
+    /// the decode path, which defines the behavior. RNG draw order is
+    /// identical to the slow path (one residence sample per out port).
+    ///
+    /// Returns `true` if the frame was fully handled (forwarded, or
+    /// dropped by PATH_TRACE loop prevention).
+    fn switch_announce_fast(
+        &mut self,
+        t: SimTime,
+        sw: usize,
+        port: u8,
+        frame: &EthernetFrame,
+    ) -> bool {
+        if self.cfg.election.is_none() {
+            return false;
+        }
+        let b: &[u8] = &frame.payload;
+        // Offsets per `tsn_gptp::msg`: 34-byte header, 30-byte Announce
+        // body, then the PATH_TRACE TLV (type 0x0008, 8 bytes per id).
+        if b.len() < 68 || b.len() > 0xFF00 || !(b.len() - 68).is_multiple_of(8) {
+            return false;
+        }
+        let ids = b.len() - 68;
+        let canonical = b[0] == (GPTP_MAJOR_SDO_ID << 4) | (MessageType::Announce as u8)
+            && b[1] == PTP_VERSION
+            && b[2..4] == (b.len() as u16).to_be_bytes()
+            && b[5] == 0 // minorSdoId
+            && b[16..20] == [0; 4] // messageTypeSpecific
+            && b[32] == 5 // Announce control field
+            && b[34..44] == [0; 10] // originTimestamp (always zero)
+            && b[46] == 0 // body reserved byte
+            && b[64..66] == [0x00, 0x08] // PATH_TRACE type
+            && b[66..68] == (ids as u16).to_be_bytes();
+        if !canonical {
+            return false;
+        }
+        let dev = self.switches[sw].device;
+        let own = ClockIdentity::for_index(dev.0 as u32);
+        if b[68..].chunks_exact(8).any(|id| id == own.0) {
+            // Loop prevention: already carried this Announce.
+            return true;
+        }
+        let mut out = Vec::with_capacity(b.len() + 8);
+        out.extend_from_slice(b);
+        out[2..4].copy_from_slice(&((b.len() + 8) as u16).to_be_bytes());
+        let steps = u16::from_be_bytes([b[61], b[62]]).saturating_add(1);
+        out[61..63].copy_from_slice(&steps.to_be_bytes());
+        out[66..68].copy_from_slice(&((ids + 8) as u16).to_be_bytes());
+        out.extend_from_slice(&own.0);
+        let bytes = bytes::Bytes::from(out);
+        let residence = self.switches[sw].fabric.residence;
+        let src = MacAddr::for_nic(dev.0 as u32);
+        for i in 0..self.device_ports[dev.0].len() {
+            let out_port = self.device_ports[dev.0][i];
+            if out_port == port {
+                continue;
+            }
+            let delay = residence.sample(&mut self.frame_rng);
+            let ann_frame = Self::ptp_frame(src, bytes.clone());
+            self.queue.schedule_at(
+                t + delay,
+                Ev::Transmit {
+                    from: PortAddr::new(dev, out_port),
+                    frame: ann_frame,
+                    ctx: TxCtx::None,
+                },
+            );
+        }
+        true
     }
 
     fn switch_ptp(&mut self, t: SimTime, sw: usize, port: u8, msg: Message, frame: &EthernetFrame) {
@@ -1749,14 +1864,11 @@ impl World {
                 let bytes = fwd.encode();
                 let residence = self.switches[sw].fabric.residence;
                 let src = MacAddr::for_nic(dev.0 as u32);
-                let out_ports: Vec<u8> = self
-                    .topo
-                    .wired_ports(dev)
-                    .into_iter()
-                    .map(|p| p.port.0)
-                    .filter(|&p| p != port)
-                    .collect();
-                for out_port in out_ports {
+                for i in 0..self.device_ports[dev.0].len() {
+                    let out_port = self.device_ports[dev.0][i];
+                    if out_port == port {
+                        continue;
+                    }
                     let delay = residence.sample(&mut self.frame_rng);
                     let ann_frame = Self::ptp_frame(src, bytes.clone());
                     self.queue.schedule_at(
@@ -2243,14 +2355,14 @@ impl World {
         self.queue
             .schedule_at(t + self.cfg.pdelay_interval, Ev::PdelayTick { port });
         let dev = port.device;
-        let (req, mac) = if let Some(&(node, slot)) = self.station_map.get(&dev) {
+        let (req, mac) = if let Some((node, slot)) = self.station_map.get(dev) {
             let vm = &mut self.nodes[node].vms[slot];
             if !vm.running {
                 return;
             }
             let (bytes, seq) = vm.pd.make_request();
             (Some((bytes, seq)), vm.nic.mac)
-        } else if let Some(&sw) = self.switch_map.get(&dev) {
+        } else if let Some(sw) = self.switch_map.get(dev) {
             let mac = MacAddr::for_nic(dev.0 as u32);
             match self.switches[sw].pd.get_mut(&port.port.0) {
                 Some(svc) => {
@@ -2614,8 +2726,8 @@ impl World {
         if self.tracer.is_none() {
             return;
         }
-        let (pid, tid) = match self.station_map.get(&dev) {
-            Some(&(node, slot)) => (node_pid(node), slot as u32),
+        let (pid, tid) = match self.station_map.get(dev) {
+            Some((node, slot)) => (node_pid(node), slot as u32),
             None => (SIM_PID, TraceSub::Gptp.lane()),
         };
         match frame.ethertype {
@@ -2799,20 +2911,21 @@ impl World {
     }
 
     /// Runs the world until `t` (inclusive), for step-wise tests.
+    ///
+    /// Same batch consumption as [`World::run`].
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(next) = self.queue.peek_time() {
-            if next > t {
-                break;
+        let mut batch = Vec::new();
+        while self.queue.pop_batch(t, &mut batch) > 0 {
+            for (now, ev) in batch.drain(..) {
+                if self.oracle.is_some() {
+                    self.observe(Observation::Event { at: now });
+                }
+                if let Some(tracer) = self.tracer.as_mut() {
+                    let (kind, sub) = ev.kind();
+                    tracer.pop(now, kind, sub);
+                }
+                self.handle(now, ev);
             }
-            let (now, ev) = self.queue.pop().expect("peeked");
-            if self.oracle.is_some() {
-                self.observe(Observation::Event { at: now });
-            }
-            if let Some(tracer) = self.tracer.as_mut() {
-                let (kind, sub) = ev.kind();
-                tracer.pop(now, kind, sub);
-            }
-            self.handle(now, ev);
         }
     }
 
@@ -3232,12 +3345,12 @@ impl SnapState for World {
             sw.save_state(w);
         }
         // Egress ports materialize lazily; encode the populated set.
-        let mut ports: Vec<&PortAddr> = self.egress.keys().collect();
-        ports.sort_unstable();
-        ports.len().put(w);
-        for p in ports {
+        // `live_ports` yields ascending `PortAddr` order — the same
+        // bytes as the sorted-key encoding of the old port map.
+        self.egress.live_ports().count().put(w);
+        for (p, port) in self.egress.live_ports() {
             p.put(w);
-            self.egress[p].save_state(w);
+            port.save_state(w);
         }
         self.trace.is_some().put(w);
         if let Some(tr) = &self.trace {
@@ -3286,16 +3399,17 @@ impl SnapState for World {
             sw.load_state(r)?;
         }
         let n = usize::get(r)?;
-        let mut egress = HashMap::with_capacity(n);
+        self.egress.reset();
         for _ in 0..n {
             let p = PortAddr::get(r)?;
-            let mut port = EgressPort::default();
-            port.load_state(r)?;
-            if egress.insert(p, port).is_some() {
+            if !self.egress.in_range(p) {
+                return Err(SnapError::Malformed("egress port outside topology"));
+            }
+            if self.egress.is_live(p) {
                 return Err(SnapError::Malformed("duplicate egress port"));
             }
+            self.egress.materialize(p).load_state(r)?;
         }
-        self.egress = egress;
         if bool::get(r)? != self.trace.is_some() {
             return Err(SnapError::Malformed("frame trace presence"));
         }

@@ -9,7 +9,9 @@
 //! with models (see `DESIGN.md` §2):
 //!
 //! * [`EventQueue`] — a deterministic event queue (ties broken by
-//!   insertion order);
+//!   insertion order): a hierarchical timing wheel ([`WheelQueue`]) in
+//!   production, with the original heap ([`ReferenceQueue`]) kept as a
+//!   differential-testing oracle behind the `reference-queue` feature;
 //! * [`SeedSplitter`] — reproducible per-component RNG streams;
 //! * [`EthernetFrame`]/[`MacAddr`]/[`VlanTag`] — real wire-format frames;
 //! * [`Topology`], [`Link`], [`DelayModel`] — the network graph with
@@ -66,7 +68,7 @@ pub use frame::{ethertype, DecodeFrameError, EthernetFrame, MacAddr, VlanTag};
 pub use linkfault::{AsymmetricDelay, BurstLoss, LinkDownWindow, LinkFaultPlan, LinkFaults};
 pub use nic::{LaunchOutcome, Nic};
 pub use qdisc::EgressPort;
-pub use queue::{EventQueue, CTL_SEQ_BASE};
+pub use queue::{EventQueue, ReferenceQueue, WheelQueue, CTL_SEQ_BASE};
 pub use rng::SeedSplitter;
 pub use switch::{Fdb, Switch, Vid};
 pub use topology::{DelayModel, DeviceId, DeviceKind, Link, LinkId, PortAddr, PortNo, Topology};

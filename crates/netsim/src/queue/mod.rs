@@ -1,0 +1,47 @@
+//! Deterministic discrete-event queues.
+//!
+//! Events are ordered by `(time, sequence number)`: ties in time are broken
+//! by insertion order, which makes runs bit-for-bit reproducible for a
+//! given seed regardless of hash-map iteration or allocator behavior.
+//!
+//! Two implementations share one API and one canonical snapshot encoding:
+//!
+//! * [`WheelQueue`] — a hierarchical timing wheel with slab-allocated
+//!   entries and O(1) insertion, the production event core;
+//! * [`ReferenceQueue`] — the original `BinaryHeap` implementation, kept
+//!   as the differential-testing oracle.
+//!
+//! [`EventQueue`] aliases the production implementation; building with
+//! the `reference-queue` feature swaps the alias back to the heap so an
+//! entire campaign binary can be pitted against the wheel build —
+//! artifacts must be byte-identical (CI diffs them).
+//!
+//! Both queues implement `SnapState` with the *same* byte layout (the
+//! `(time, seq)`-sorted canonical entry list), so snapshots taken on one
+//! implementation restore onto the other and `state_hash()` values are
+//! directly comparable across builds.
+
+mod reference;
+mod wheel;
+
+pub use reference::ReferenceQueue;
+pub use wheel::WheelQueue;
+
+/// The event queue used by the simulation (see module docs).
+#[cfg(feature = "reference-queue")]
+pub use reference::ReferenceQueue as EventQueue;
+
+/// The event queue used by the simulation (see module docs).
+#[cfg(not(feature = "reference-queue"))]
+pub use wheel::WheelQueue as EventQueue;
+
+/// First sequence number of the *control* event space.
+///
+/// Control events (fault injections, attacker strikes) draw their tie-break
+/// sequence numbers from a separate counter starting here, so that adding
+/// or removing scheduled interventions never perturbs the tie-break order
+/// of ordinary data events. This is what makes two configurations that
+/// differ only in post-warmup interventions evolve byte-identically until
+/// the first intervention fires — the invariant fork-based campaign
+/// execution rests on.
+pub const CTL_SEQ_BASE: u64 = 1 << 63;

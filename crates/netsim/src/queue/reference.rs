@@ -1,24 +1,18 @@
-//! Deterministic discrete-event queue.
+//! The reference event queue: a `BinaryHeap` ordered by `(time, seq)`.
 //!
-//! Events are ordered by `(time, sequence number)`: ties in time are broken
-//! by insertion order, which makes runs bit-for-bit reproducible for a
-//! given seed regardless of hash-map iteration or allocator behavior.
+//! This is the original, obviously-correct implementation. It is kept —
+//! and always compiled — as the differential-testing oracle for the
+//! production [`WheelQueue`](super::WheelQueue): the two must emit
+//! identical `(time, seq, event)` pop sequences for identical schedules,
+//! and their snapshot encodings are byte-compatible. Building with the
+//! `reference-queue` feature swaps this implementation back in as
+//! [`EventQueue`](super::EventQueue) for whole-campaign differential runs.
 
+use super::CTL_SEQ_BASE;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tsn_snapshot::{Reader, Snap, SnapError, SnapState, Writer};
 use tsn_time::{Nanos, SimTime};
-
-/// First sequence number of the *control* event space.
-///
-/// Control events (fault injections, attacker strikes) draw their tie-break
-/// sequence numbers from a separate counter starting here, so that adding
-/// or removing scheduled interventions never perturbs the tie-break order
-/// of ordinary data events. This is what makes two configurations that
-/// differ only in post-warmup interventions evolve byte-identically until
-/// the first intervention fires — the invariant fork-based campaign
-/// execution rests on.
-pub const CTL_SEQ_BASE: u64 = 1 << 63;
 
 #[derive(Debug)]
 struct Scheduled<E> {
@@ -49,10 +43,10 @@ impl<E> Ord for Scheduled<E> {
 /// # Examples
 ///
 /// ```
-/// use tsn_netsim::EventQueue;
+/// use tsn_netsim::ReferenceQueue;
 /// use tsn_time::{Nanos, SimTime};
 ///
-/// let mut q = EventQueue::new();
+/// let mut q = ReferenceQueue::new();
 /// q.schedule_at(SimTime::from_millis(10), "b");
 /// q.schedule_at(SimTime::from_millis(5), "a");
 /// q.schedule_in(Nanos::from_millis(10), "c"); // relative to now (= 0)
@@ -62,7 +56,7 @@ impl<E> Ord for Scheduled<E> {
 /// assert!(q.pop().is_none());
 /// ```
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct ReferenceQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     now: SimTime,
     next_seq: u64,
@@ -70,16 +64,16 @@ pub struct EventQueue<E> {
     popped: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for ReferenceQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> ReferenceQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue {
+        ReferenceQueue {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
@@ -153,7 +147,7 @@ impl<E> EventQueue<E> {
     ///
     /// Restore uses this to reconcile a rebuilt world's control schedule
     /// with a checkpoint that predates any control event (see
-    /// [`EventQueue::insert_raw`]).
+    /// [`ReferenceQueue::insert_raw`]).
     pub fn drain_ctl(&mut self) -> Vec<(SimTime, u64, E)> {
         let mut ctl = Vec::new();
         let mut keep = BinaryHeap::with_capacity(self.heap.len());
@@ -216,11 +210,43 @@ impl<E> EventQueue<E> {
 
     /// Pops the next event, advancing the current time to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_seq().map(|(at, _, event)| (at, event))
+    }
+
+    /// Pops the next event together with its tie-break sequence number.
+    ///
+    /// Diagnostic surface for the differential test harness, which
+    /// asserts identical `(time, seq, event)` sequences across queue
+    /// implementations.
+    pub fn pop_seq(&mut self) -> Option<(SimTime, u64, E)> {
         let Reverse(s) = self.heap.pop()?;
         debug_assert!(s.at >= self.now);
         self.now = s.at;
         self.popped += 1;
-        Some((s.at, s.event))
+        Some((s.at, s.seq, s.event))
+    }
+
+    /// Pops the entire batch of events sharing the earliest pending
+    /// timestamp, provided that timestamp is `<= until`; appends them to
+    /// `out` in `(time, seq)` order and returns how many were popped.
+    ///
+    /// Returns 0 — and leaves the queue untouched — when the queue is
+    /// empty or the next event lies beyond `until`. The world's event
+    /// loop consumes the queue in these same-timestamp batches.
+    pub fn pop_batch(&mut self, until: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let Some(t) = self.peek_time() else {
+            return 0;
+        };
+        if t > until {
+            return 0;
+        }
+        let mut n = 0;
+        while self.peek_time() == Some(t) {
+            let (at, e) = self.pop().expect("peeked");
+            out.push((at, e));
+            n += 1;
+        }
+        n
     }
 
     /// Time of the next pending event, if any.
@@ -235,7 +261,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule_at(SimTime::from_nanos(30), 3);
         q.schedule_at(SimTime::from_nanos(10), 1);
         q.schedule_at(SimTime::from_nanos(20), 2);
@@ -245,7 +271,7 @@ mod tests {
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         let t = SimTime::from_nanos(5);
         for i in 0..100 {
             q.schedule_at(t, i);
@@ -256,7 +282,7 @@ mod tests {
 
     #[test]
     fn now_advances_with_pops() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule_at(SimTime::from_millis(7), ());
         assert_eq!(q.now(), SimTime::ZERO);
         q.pop();
@@ -267,7 +293,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "before current time")]
     fn scheduling_in_past_panics() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule_at(SimTime::from_millis(5), ());
         q.pop();
         q.schedule_at(SimTime::from_millis(4), ());
@@ -275,16 +301,35 @@ mod tests {
 
     #[test]
     fn peek_does_not_advance() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule_at(SimTime::from_nanos(9), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
     }
+
+    #[test]
+    fn pop_batch_drains_exactly_one_timestamp() {
+        let mut q = ReferenceQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.schedule_at(t, 1);
+        q.schedule_at(SimTime::from_nanos(9), 3);
+        q.schedule_at(t, 2);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(SimTime::from_nanos(100), &mut out), 2);
+        assert_eq!(out, vec![(t, 1), (t, 2)]);
+        // Beyond `until` nothing moves.
+        out.clear();
+        assert_eq!(q.pop_batch(SimTime::from_nanos(8), &mut out), 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_batch(SimTime::from_nanos(9), &mut out), 1);
+        assert_eq!(out, vec![(SimTime::from_nanos(9), 3)]);
+        assert!(q.is_empty());
+    }
 }
 
-impl<E: Snap> SnapState for EventQueue<E> {
+impl<E: Snap> SnapState for ReferenceQueue<E> {
     fn save_state(&self, w: &mut Writer) {
         self.now.put(w);
         self.next_seq.put(w);
@@ -327,7 +372,7 @@ impl<E: Snap> SnapState for EventQueue<E> {
 mod snap_tests {
     use super::*;
 
-    fn encoded<E: Snap>(q: &EventQueue<E>) -> Vec<u8> {
+    fn encoded<E: Snap>(q: &ReferenceQueue<E>) -> Vec<u8> {
         let mut w = Writer::new();
         q.save_state(&mut w);
         w.into_bytes()
@@ -335,8 +380,8 @@ mod snap_tests {
 
     #[test]
     fn ctl_events_use_their_own_sequence_space() {
-        let mut with_ctl = EventQueue::new();
-        let mut without = EventQueue::new();
+        let mut with_ctl = ReferenceQueue::new();
+        let mut without = ReferenceQueue::new();
         for q in [&mut with_ctl, &mut without] {
             q.schedule_at(SimTime::from_millis(1), 1u64);
             q.schedule_at(SimTime::from_millis(2), 2u64);
@@ -356,7 +401,7 @@ mod snap_tests {
 
     #[test]
     fn ctl_sorts_after_data_on_time_tie() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         let t = SimTime::from_millis(5);
         q.schedule_ctl_at(t, "ctl");
         q.schedule_at(t, "data");
@@ -367,7 +412,7 @@ mod snap_tests {
 
     #[test]
     fn drain_and_reinsert_roundtrips() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.schedule_at(SimTime::from_millis(1), 10u64);
         q.schedule_ctl_at(SimTime::from_millis(4), 40u64);
         q.schedule_ctl_at(SimTime::from_millis(2), 20u64);
@@ -385,7 +430,7 @@ mod snap_tests {
 
     #[test]
     fn save_load_is_byte_exact() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         for i in 0..20u64 {
             q.schedule_at(SimTime::from_nanos(i % 7), i);
         }
@@ -393,7 +438,7 @@ mod snap_tests {
         q.pop();
         q.pop();
         let bytes = encoded(&q);
-        let mut fresh: EventQueue<u64> = EventQueue::new();
+        let mut fresh: ReferenceQueue<u64> = ReferenceQueue::new();
         fresh.load_state(&mut Reader::new(&bytes)).unwrap();
         assert_eq!(encoded(&fresh), bytes);
         // Both queues pop identically from here on.
