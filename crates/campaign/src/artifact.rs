@@ -37,7 +37,10 @@ use tsn_time::SyncState;
 /// asymmetry_ns, tc_mode) and counters gained the fabric fields
 /// (`fabric_frames_forwarded`, `fabric_frames_dropped`,
 /// `max_residence_ns`, `path_asymmetry_ns`).
-pub const ARTIFACT_SCHEMA: u64 = 5;
+///
+/// 6: coordinates gained the fabric topology axis (`topology`) and the
+/// frontier axes (`adv_offset_ns`, `fta_f`).
+pub const ARTIFACT_SCHEMA: u64 = 6;
 
 /// One sync-state transition of one aggregator, as recorded in the run's
 /// event log (times are absolute simulation nanoseconds).
@@ -236,6 +239,14 @@ impl RunRecord {
             ),
             ("asymmetry_ns", opt_uint(self.coord.asymmetry_ns)),
             ("tc_mode", self.coord.tc_mode.map_or(Json::Null, Json::Bool)),
+            (
+                "topology",
+                self.coord
+                    .topology
+                    .map_or(Json::Null, |t| Json::Str(t.to_string())),
+            ),
+            ("adv_offset_ns", opt_uint(self.coord.adv_offset_ns)),
+            ("fta_f", opt_uint(self.coord.fta_f.map(|f| f as u64))),
         ]);
         let c = &self.counters;
         let counters = Json::object(vec![
@@ -366,6 +377,11 @@ impl RunRecord {
             })?,
             asymmetry_ns: opt_field(coord_v, "asymmetry_ns", Json::as_u64)?,
             tc_mode: opt_field(coord_v, "tc_mode", Json::as_bool)?,
+            topology: opt_field(coord_v, "topology", |x| {
+                x.as_str().and_then(crate::spec::topology_static)
+            })?,
+            adv_offset_ns: opt_field(coord_v, "adv_offset_ns", Json::as_u64)?,
+            fta_f: opt_field(coord_v, "fta_f", |x| x.as_u64().map(|f| f as usize))?,
         };
         let c = v.get("counters")?;
         let counters = RunCounters {
@@ -511,6 +527,9 @@ mod tests {
                 cross_traffic_pct: Some(30),
                 asymmetry_ns: None,
                 tc_mode: Some(true),
+                topology: Some("ring"),
+                adv_offset_ns: Some(20_000),
+                fta_f: Some(2),
             },
             seed: u64::MAX - 3,
             counters: RunCounters::default(),
@@ -571,7 +590,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_other_schemas_and_garbage() {
-        let line = record().encode().replace("\"schema\":5", "\"schema\":4");
+        let line = record().encode().replace("\"schema\":6", "\"schema\":5");
         assert!(RunRecord::decode(&line).is_none());
         assert!(RunRecord::decode("not json").is_none());
         assert!(RunRecord::decode("{}").is_none());

@@ -4,12 +4,13 @@
 //! ```text
 //! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
 //! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
+//! campaign frontier  (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--check] [--no-fork]
 //! campaign summarize --dir DIR [--json]
 //! campaign profile   --trace DIR [--json]
 //! campaign diff      --baseline DIR --candidate DIR [--tol-violation F]
 //!                    [--tol-p95-rel F] [--tol-p95-ns F] [--tol-dwell-ms F]
 //!                    [--tol-transitions F] [--tol-uncovered F]
-//!                    [--tol-reconvergence-ns F]
+//!                    [--tol-reconvergence-ns F] [--tol-frontier-ns N]
 //! campaign spec      --builtin NAME
 //! campaign list
 //! ```
@@ -19,6 +20,17 @@
 //! `diff` read the spec back from each campaign directory's
 //! `manifest.json`, so they need no spec argument. `diff` exits 0 on
 //! parity, 1 on regression, 2 on error/incomparable campaigns.
+//!
+//! `frontier` explores a resilience-frontier spec
+//! (`tsn_campaign::frontier`): per discrete adversary cell it bisects
+//! the continuous axis until the containment-failure boundary is
+//! bracketed, writes `frontier.json`, and prints the
+//! empirical-vs-analytical report. Forking is on by default there (the
+//! rounds exist to share warm prefixes); `--no-fork` runs cold.
+//! `summarize` and `diff` recognize frontier directories by their
+//! `frontier.json` and compare brackets instead of group summaries.
+//! Exit is nonzero when any cell is inconsistent with the analytical
+//! bound, a run failed, or (`--check`) the oracle reported violations.
 //!
 //! `--check` arms the runtime invariant oracle (`tsn-oracle`) on every
 //! executed run: violations are printed to stderr and the command exits
@@ -35,21 +47,27 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tsn_campaign::json::Json;
-use tsn_campaign::{profile, runner, summary, CampaignSpec, DiffTolerance, RunnerOptions};
+use tsn_campaign::{
+    frontier, profile, runner, summary, CampaignSpec, DiffTolerance, FrontierSpec, RunnerOptions,
+};
 
 const USAGE: &str = "usage:
   campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
   campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
+  campaign frontier  (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--check] [--no-fork]
   campaign summarize --dir DIR [--json]
   campaign profile   --trace DIR [--json]
   campaign diff      --baseline DIR --candidate DIR [--tol-violation F] [--tol-p95-rel F] [--tol-p95-ns F]
                      [--tol-dwell-ms F] [--tol-transitions F] [--tol-uncovered F] [--tol-reconvergence-ns F]
+                     [--tol-frontier-ns N]
   campaign spec      --builtin NAME
   campaign list
 
 built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval, adversary-sweep, election-sweep, fabric-sweep
+built-in frontier specs: frontier-sweep
 exit codes (diff): 0 parity, 1 regression, 2 error
-exit codes (run --check): 0 clean, 1 invariant violation(s), 2 error";
+exit codes (run --check): 0 clean, 1 invariant violation(s) or failed run(s), 2 error
+exit codes (frontier): 0 consistent, 1 inconsistent cell / violation / failed run, 2 error";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +88,7 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
     let rest = &args[1..];
     match command.as_str() {
         "run" | "resume" => cmd_run(rest),
+        "frontier" => cmd_frontier(rest),
         "summarize" => cmd_summarize(rest),
         "profile" => cmd_profile(rest),
         "diff" => cmd_diff(rest),
@@ -78,6 +97,14 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
             for name in CampaignSpec::BUILTINS {
                 let spec = CampaignSpec::builtin(name).expect("builtin exists");
                 println!("{name}  ({} runs)", spec.total_runs());
+            }
+            for name in FrontierSpec::BUILTINS {
+                let spec = FrontierSpec::builtin(name).expect("builtin exists");
+                println!(
+                    "{name}  (frontier: {} cell(s), ≤{} runs)",
+                    spec.cells.len(),
+                    spec.cells.len() * spec.budget_per_cell * spec.seeds.len()
+                );
             }
             Ok(ExitCode::SUCCESS)
         }
@@ -172,6 +199,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         fork: flags.has("--fork"),
         check: flags.has("--check"),
         trace: flags.get("--trace").map(PathBuf::from),
+        panic_label: None,
     };
     let report = runner::execute(&spec, &opts).map_err(|e| e.to_string())?;
     println!(
@@ -183,6 +211,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         report.threads,
         dir.display()
     );
+    if report.quarantined > 0 {
+        println!(
+            "resume: {} corrupt artifact(s) quarantined to {} and re-run",
+            report.quarantined,
+            dir.join("runs").join("corrupt").display()
+        );
+    }
     if report.forked_groups > 0 {
         println!(
             "fork: {} group(s) shared {} warm prefix run(s), {} event(s) skipped",
@@ -199,6 +234,17 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             trace_dir.display()
         );
     }
+    let mut failing = false;
+    if !report.failed.is_empty() {
+        eprintln!(
+            "failed: {} run(s) panicked (campaign finished; resume retries them):",
+            report.failed.len()
+        );
+        for f in &report.failed {
+            eprintln!("  {f}");
+        }
+        failing = true;
+    }
     if opts.check {
         if report.violations.is_empty() {
             println!("check: no invariant violations");
@@ -207,10 +253,87 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             for v in &report.violations {
                 eprintln!("  {v}");
             }
-            return Ok(ExitCode::from(1));
+            failing = true;
         }
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_frontier(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(
+        args,
+        &["--builtin", "--spec", "--dir", "--threads"],
+        &["--quiet", "--check", "--no-fork"],
+    )?;
+    let spec = match (flags.get("--builtin"), flags.get("--spec")) {
+        (Some(name), None) => FrontierSpec::builtin(name)
+            .ok_or_else(|| format!("unknown frontier builtin {name:?} (see `campaign list`)"))?,
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            FrontierSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        _ => return Err("exactly one of --builtin or --spec is required".to_string()),
+    };
+    let dir = flags
+        .get("--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/campaigns").join(&spec.name));
+    let opts = RunnerOptions {
+        dir: dir.clone(),
+        threads: flags.get_parsed::<usize>("--threads")?.unwrap_or(0),
+        quiet: flags.has("--quiet"),
+        fork: !flags.has("--no-fork"),
+        check: flags.has("--check"),
+        trace: None,
+        panic_label: None,
+    };
+    let report = frontier::execute(&spec, &opts).map_err(|e| e.to_string())?;
+    print!("{}", report.doc.render_text());
+    println!(
+        "frontier: {} executed, {} resumed; artifacts in {}",
+        report.executed,
+        report.skipped,
+        dir.display()
+    );
+    if report.forked_groups > 0 {
+        println!(
+            "fork: {} group(s) shared {} warm prefix run(s) across rounds, {} event(s) skipped",
+            report.forked_groups, report.prefix_runs, report.prefix_events_skipped
+        );
+    }
+    let mut failing = false;
+    if !report.failed.is_empty() {
+        eprintln!("failed: {} run(s) panicked:", report.failed.len());
+        for f in &report.failed {
+            eprintln!("  {f}");
+        }
+        failing = true;
+    }
+    if opts.check {
+        if report.violations.is_empty() {
+            println!("check: no invariant violations");
+        } else {
+            eprintln!("check: {} invariant violation(s):", report.violations.len());
+            for v in &report.violations {
+                eprintln!("  {v}");
+            }
+            failing = true;
+        }
+    }
+    if !report.doc.consistent() {
+        eprintln!("frontier: empirical boundary inconsistent with the analytical bound");
+        failing = true;
+    }
+    Ok(if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// Reads the spec back from a campaign directory's manifest.
@@ -242,9 +365,39 @@ fn load_summaries(dir: &Path) -> Result<Vec<summary::GroupSummary>, String> {
     Ok(summary::summarize(&records))
 }
 
+/// Reads a frontier directory's `frontier.json`, when present.
+fn frontier_doc_of_dir(dir: &Path) -> Option<Result<(String, frontier::FrontierDoc), String>> {
+    let path = dir.join("frontier.json");
+    if !path.exists() {
+        return None;
+    }
+    Some(
+        std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+            .and_then(|text| {
+                frontier::FrontierDoc::parse(&text)
+                    .map(|doc| (text, doc))
+                    .map_err(|e| format!("{}: {e}", path.display()))
+            }),
+    )
+}
+
 fn cmd_summarize(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args, &["--dir"], &["--json"])?;
     let dir = PathBuf::from(flags.get("--dir").ok_or("--dir is required")?);
+    // A frontier directory has no manifest — its summary is the
+    // frontier document itself.
+    if !dir.join("manifest.json").exists() {
+        if let Some(loaded) = frontier_doc_of_dir(&dir) {
+            let (text, doc) = loaded?;
+            if flags.has("--json") {
+                print!("{text}");
+            } else {
+                print!("{}", doc.render_text());
+            }
+            return Ok(ExitCode::SUCCESS);
+        }
+    }
     let groups = load_summaries(&dir)?;
     if flags.has("--json") {
         println!("{}", summary::render_json(&groups));
@@ -298,11 +451,29 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
             "--tol-transitions",
             "--tol-uncovered",
             "--tol-reconvergence-ns",
+            "--tol-frontier-ns",
         ],
         &[],
     )?;
     let baseline = PathBuf::from(flags.get("--baseline").ok_or("--baseline is required")?);
     let candidate = PathBuf::from(flags.get("--candidate").ok_or("--candidate is required")?);
+    // Two frontier directories diff by bracket, not by group summary.
+    if let (Some(base), Some(cand)) = (
+        frontier_doc_of_dir(&baseline),
+        frontier_doc_of_dir(&candidate),
+    ) {
+        let (_, base) = base?;
+        let (_, cand) = cand?;
+        let tol_ns = flags
+            .get_parsed::<u64>("--tol-frontier-ns")?
+            .unwrap_or(base.spec.axis.resolution);
+        let (verdict, lines) = frontier::diff(&base, &cand, tol_ns);
+        for line in &lines {
+            println!("{line}");
+        }
+        println!("verdict: {verdict:?}");
+        return Ok(ExitCode::from(verdict.exit_code() as u8));
+    }
     let mut tol = DiffTolerance::default();
     if let Some(v) = flags.get_parsed("--tol-violation")? {
         tol.violation_abs = v;
@@ -340,8 +511,12 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_spec(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args, &["--builtin"], &[])?;
     let name = flags.get("--builtin").ok_or("--builtin is required")?;
-    let spec = CampaignSpec::builtin(name)
-        .ok_or_else(|| format!("unknown builtin {name:?} (see `campaign list`)"))?;
-    println!("{}", spec.render());
+    if let Some(spec) = CampaignSpec::builtin(name) {
+        print!("{}", spec.render());
+    } else if let Some(spec) = FrontierSpec::builtin(name) {
+        print!("{}", spec.render());
+    } else {
+        return Err(format!("unknown builtin {name:?} (see `campaign list`)"));
+    }
     Ok(ExitCode::SUCCESS)
 }

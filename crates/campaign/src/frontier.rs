@@ -1,0 +1,1493 @@
+//! Adaptive resilience-frontier exploration.
+//!
+//! The paper's experiment (ii) demonstrates FTA containment at one
+//! fixed adversary point; arXiv:2006.15832 derives where containment
+//! *must* hold and where it *must* fail analytically
+//! ([`tsn_fta::containment_bound`]). This module closes the loop: for
+//! each discrete cell (strategy × compromised count × trim degree `f`)
+//! it bisects one continuous adversary axis — the attack-magnitude axis
+//! `adv_offset_ns` by default — until the empirical
+//! containment-failure boundary is bracketed to a requested resolution,
+//! then checks the bracket against the analytical bound.
+//!
+//! Three properties drive the design:
+//!
+//! * **Determinism** — probe selection is pure bisection (no RNG) and
+//!   per-run seeds derive from the grid coordinate exactly as in a
+//!   plain campaign, so the same [`FrontierSpec`] + seeds reproduce
+//!   `frontier.json` byte-for-byte (`tests/frontier.rs` proves it).
+//! * **Work sharing** — every refinement round executes through
+//!   [`runner::execute_with`] with one shared [`SnapshotCache`]: the
+//!   magnitude axis is intervention-only, so all probes of a cell fork
+//!   the same warm prefix that round 1 simulated, and only the frontier
+//!   region is simulated densely.
+//! * **Fewer runs than the grid** — a fixed sweep in the style of the
+//!   `adversary-sweep` builtin spends [`GRID_REFERENCE_RUNS`] runs for
+//!   a spacing of `span / (runs/seeds − 1)`; bisection reaches a
+//!   bracket of `resolution` width in `2 + ⌈log₂(span/resolution)⌉`
+//!   probes per cell. Both counts are reported so the trade is visible.
+
+use crate::json::Json;
+use crate::runner::{self, FailedRun, RunViolation, RunnerOptions, SnapshotCache};
+use crate::spec::{strategy_static, BaseSpec, CampaignSpec, Grid, Preset, SpecError};
+use clocksync::scenario::ScenarioKind;
+use std::io;
+use tsn_fta::{containment_bound, AggregationMethod, ResilienceParams};
+use tsn_time::Nanos;
+
+/// Schema version of `frontier.json` and frontier spec files.
+pub const FRONTIER_SCHEMA: u64 = 1;
+
+/// Run count of the fixed reference grid the frontier is compared
+/// against (the `adversary-sweep` builtin's 48 runs).
+pub const GRID_REFERENCE_RUNS: usize = 48;
+
+/// Continuous axes the frontier can bisect. Each name maps to the grid
+/// axis of the same name; the probe value replaces that axis for one
+/// run. Only `adv_offset_ns` has an analytical bound in magnitude
+/// space; the other axes get an empirical bracket only.
+pub const AXIS_NAMES: [&str; 4] = [
+    "adv_offset_ns",
+    "loss_permille",
+    "partition_s",
+    "sync_interval_ms",
+];
+
+/// One discrete frontier cell: the adversary shape whose continuous
+/// break point is searched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierCell {
+    /// Strategy preset name ([`tsn_faults::ByzantineStrategy::NAMES`]).
+    pub strategy: String,
+    /// Compromised GM domains `c`.
+    pub compromised: usize,
+    /// Trim degree `f` override (`None` keeps the preset's `f`).
+    pub f: Option<usize>,
+}
+
+impl FrontierCell {
+    /// Canonical display label, e.g. `colluding c=2 f=1`.
+    pub fn label(&self, default_f: usize) -> String {
+        format!(
+            "{} c={} f={}",
+            self.strategy,
+            self.compromised,
+            self.f.unwrap_or(default_f)
+        )
+    }
+}
+
+/// The continuous axis to bisect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierAxis {
+    /// Axis name ([`AXIS_NAMES`]).
+    pub name: String,
+    /// Inclusive lower end of the search interval.
+    pub min: u64,
+    /// Inclusive upper end of the search interval.
+    pub max: u64,
+    /// Stop refining once the bracket is at most this wide.
+    pub resolution: u64,
+}
+
+/// A declarative frontier-exploration specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierSpec {
+    /// Campaign name (also stamped into every run artifact).
+    pub name: String,
+    /// Base testbed configuration shared by every probe.
+    pub base: BaseSpec,
+    /// Replication seeds; a probe counts as broken when *any* seed
+    /// observes containment broken.
+    pub seeds: Vec<u64>,
+    /// Discrete cells to search.
+    pub cells: Vec<FrontierCell>,
+    /// The continuous axis and search interval.
+    pub axis: FrontierAxis,
+    /// Maximum probes per cell (each probe simulates one run per seed).
+    pub budget_per_cell: usize,
+}
+
+impl FrontierSpec {
+    /// Names of the built-in frontier specs.
+    pub const BUILTINS: [&'static str; 1] = ["frontier-sweep"];
+
+    /// A built-in frontier spec by name.
+    ///
+    /// * `frontier-sweep` — the ROADMAP item 5 search: magnitude axis
+    ///   1 µs..64 µs at 684 ns resolution (4× tighter than a 48-run
+    ///   grid's 2739 ns spacing) over colluding c ∈ {1, 2} and constant
+    ///   c = 2, 2 seeds (`specs/frontier_sweep.json` is its file form).
+    pub fn builtin(name: &str) -> Option<FrontierSpec> {
+        let spec = match name {
+            "frontier-sweep" => FrontierSpec {
+                name: "frontier-sweep".to_string(),
+                base: BaseSpec {
+                    preset: Preset::Quick,
+                    duration_s: Some(20),
+                    warmup_s: Some(5),
+                },
+                seeds: vec![21, 22],
+                cells: vec![
+                    FrontierCell {
+                        strategy: "colluding".to_string(),
+                        compromised: 2,
+                        f: None,
+                    },
+                    FrontierCell {
+                        strategy: "colluding".to_string(),
+                        compromised: 1,
+                        f: None,
+                    },
+                    FrontierCell {
+                        strategy: "constant".to_string(),
+                        compromised: 2,
+                        f: None,
+                    },
+                ],
+                axis: FrontierAxis {
+                    name: "adv_offset_ns".to_string(),
+                    min: 1_000,
+                    max: 64_000,
+                    resolution: 684,
+                },
+                budget_per_cell: 12,
+            },
+            _ => return None,
+        };
+        debug_assert!(spec.validate().is_ok());
+        Some(spec)
+    }
+
+    /// The synthetic one-probe campaign spec for a cell: the cell's
+    /// discrete coordinates plus the probe value on the continuous
+    /// axis. Probes are content-addressed exactly like ordinary
+    /// campaign runs, so repeated probes resume instead of re-running.
+    pub fn probe_spec(&self, cell: &FrontierCell, probe: u64) -> CampaignSpec {
+        let mut grid = Grid {
+            seeds: self.seeds.clone(),
+            strategies: vec![cell.strategy.clone()],
+            compromised: vec![cell.compromised],
+            fta_f: cell.f.map(|f| vec![f]).unwrap_or_default(),
+            ..Grid::default()
+        };
+        match self.axis.name.as_str() {
+            "adv_offset_ns" => grid.adv_offset_ns = vec![probe],
+            "loss_permille" => grid.loss_permille = vec![probe as u32],
+            "partition_s" => grid.partition_s = vec![probe],
+            "sync_interval_ms" => grid.sync_interval_ms = vec![probe],
+            other => unreachable!("validated axis name {other:?}"),
+        }
+        CampaignSpec {
+            name: self.name.clone(),
+            base: self.base.clone(),
+            scenarios: vec![ScenarioKind::Baseline],
+            grid,
+        }
+    }
+
+    /// Checks structural invariants. Every cell is validated by
+    /// materializing its probe spec at both interval ends, so all grid
+    /// range rules (magnitude bounds, trim degrees, partition windows)
+    /// apply unchanged.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if !AXIS_NAMES.contains(&self.axis.name.as_str()) {
+            return Err(SpecError::Value(
+                "axis.name".to_string(),
+                self.axis.name.clone(),
+            ));
+        }
+        if self.axis.min >= self.axis.max {
+            return Err(SpecError::Invalid(format!(
+                "axis.min {} must be below axis.max {}",
+                self.axis.min, self.axis.max
+            )));
+        }
+        if self.axis.resolution == 0 {
+            return Err(SpecError::Invalid("axis.resolution of 0".to_string()));
+        }
+        if self.budget_per_cell < 2 {
+            return Err(SpecError::Invalid(
+                "budget_per_cell below 2 (both interval ends must be probed)".to_string(),
+            ));
+        }
+        if self.cells.is_empty() {
+            return Err(SpecError::Invalid("no cells".to_string()));
+        }
+        for cell in &self.cells {
+            if self.axis.name == "adv_offset_ns" && cell.strategy == "trim-edge" {
+                return Err(SpecError::Invalid(
+                    "trim-edge cannot be bisected on adv_offset_ns: its magnitude is the \
+                     trim margin, so larger values are *weaker* attacks (the bisection \
+                     assumes broken(x) is monotone increasing)"
+                        .to_string(),
+                ));
+            }
+            self.probe_spec(cell, self.axis.min).validate()?;
+            self.probe_spec(cell, self.axis.max).validate()?;
+        }
+        Ok(())
+    }
+
+    /// The canonical JSON form (deterministic; also what spec files
+    /// use).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema", Json::UInt(FRONTIER_SCHEMA)),
+            ("name", Json::Str(self.name.clone())),
+            ("base", self.base.to_json()),
+            (
+                "seeds",
+                Json::Array(self.seeds.iter().map(|&s| Json::UInt(s)).collect()),
+            ),
+            (
+                "axis",
+                Json::object(vec![
+                    ("name", Json::Str(self.axis.name.clone())),
+                    ("min", Json::UInt(self.axis.min)),
+                    ("max", Json::UInt(self.axis.max)),
+                    ("resolution", Json::UInt(self.axis.resolution)),
+                ]),
+            ),
+            (
+                "cells",
+                Json::Array(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            let mut pairs = vec![
+                                ("strategy", Json::Str(c.strategy.clone())),
+                                ("compromised", Json::UInt(c.compromised as u64)),
+                            ];
+                            if let Some(f) = c.f {
+                                pairs.push(("f", Json::UInt(f as u64)));
+                            }
+                            Json::object(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+            ("budget_per_cell", Json::UInt(self.budget_per_cell as u64)),
+        ])
+    }
+
+    /// Renders the canonical spec file text (trailing newline).
+    pub fn render(&self) -> String {
+        format!("{}\n", self.to_json().render())
+    }
+
+    /// Parses and validates a frontier spec document.
+    pub fn parse(text: &str) -> Result<FrontierSpec, SpecError> {
+        let v = Json::parse(text)?;
+        let spec = FrontierSpec::from_json(&v)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn from_json(v: &Json) -> Result<FrontierSpec, SpecError> {
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SpecError::Field("schema".to_string()))?;
+        if schema != FRONTIER_SCHEMA {
+            return Err(SpecError::Invalid(format!(
+                "unsupported frontier schema {schema} (expected {FRONTIER_SCHEMA})"
+            )));
+        }
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SpecError::Field("name".to_string()))?
+            .to_string();
+        let base = BaseSpec::from_json(
+            v.get("base")
+                .ok_or_else(|| SpecError::Field("base".to_string()))?,
+        )?;
+        let seeds = v
+            .get("seeds")
+            .and_then(Json::as_array)
+            .ok_or_else(|| SpecError::Field("seeds".to_string()))?
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .ok_or_else(|| SpecError::Field("seeds[]".to_string()))
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        let axis_v = v
+            .get("axis")
+            .ok_or_else(|| SpecError::Field("axis".to_string()))?;
+        let axis = FrontierAxis {
+            name: axis_v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| SpecError::Field("axis.name".to_string()))?
+                .to_string(),
+            min: axis_v
+                .get("min")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SpecError::Field("axis.min".to_string()))?,
+            max: axis_v
+                .get("max")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SpecError::Field("axis.max".to_string()))?,
+            resolution: axis_v
+                .get("resolution")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SpecError::Field("axis.resolution".to_string()))?,
+        };
+        let cells = v
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or_else(|| SpecError::Field("cells".to_string()))?
+            .iter()
+            .map(|c| {
+                let strategy = c
+                    .get("strategy")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| SpecError::Field("cells[].strategy".to_string()))?;
+                strategy_static(strategy).ok_or_else(|| {
+                    SpecError::Value("cells[].strategy".to_string(), strategy.to_string())
+                })?;
+                let compromised = c
+                    .get("compromised")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| SpecError::Field("cells[].compromised".to_string()))?
+                    as usize;
+                let f = match c.get("f") {
+                    None => None,
+                    Some(f) => Some(
+                        f.as_u64()
+                            .ok_or_else(|| SpecError::Field("cells[].f".to_string()))?
+                            as usize,
+                    ),
+                };
+                Ok(FrontierCell {
+                    strategy: strategy.to_string(),
+                    compromised,
+                    f,
+                })
+            })
+            .collect::<Result<Vec<FrontierCell>, SpecError>>()?;
+        let budget_per_cell = v
+            .get("budget_per_cell")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SpecError::Field("budget_per_cell".to_string()))?
+            as usize;
+        Ok(FrontierSpec {
+            name,
+            base,
+            seeds,
+            cells,
+            axis,
+            budget_per_cell,
+        })
+    }
+
+    /// Spacing of the fixed reference grid this spec is compared
+    /// against: [`GRID_REFERENCE_RUNS`] runs spread over the axis at
+    /// this spec's seed count.
+    pub fn grid_spacing(&self) -> u64 {
+        let points = (GRID_REFERENCE_RUNS / self.seeds.len().max(1)).max(2);
+        (self.axis.max - self.axis.min) / (points as u64 - 1)
+    }
+}
+
+/// Deterministic bisection of a monotone break predicate over
+/// `[min, max]`.
+///
+/// Protocol: [`Bisection::next_probe`] yields the next axis value to
+/// evaluate (both interval ends first, then midpoints);
+/// [`Bisection::report`] feeds back whether containment broke there.
+/// Refinement stops when the bracket is at most `resolution` wide, the
+/// probe budget is exhausted, or an endpoint settles the cell
+/// ([`BisectOutcome::BrokenAtMin`] / [`BisectOutcome::ContainedThroughout`]).
+///
+/// Probe selection involves no randomness and no wall-clock state, so
+/// identical report sequences produce identical probe sequences —
+/// `tests/frontier_props.rs` holds it to that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bisection {
+    resolution: u64,
+    budget: usize,
+    probes: usize,
+    lo: u64,
+    hi: u64,
+    lo_broken: Option<bool>,
+    hi_broken: Option<bool>,
+}
+
+/// Where a cell's containment frontier was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BisectOutcome {
+    /// Containment was already broken at the interval minimum.
+    BrokenAtMin,
+    /// Containment held through the interval maximum.
+    ContainedThroughout,
+    /// The boundary lies in `(contained_at, broken_at]`.
+    Bracket {
+        /// Largest probed value where containment held.
+        contained_at: u64,
+        /// Smallest probed value where containment broke.
+        broken_at: u64,
+    },
+}
+
+impl Bisection {
+    /// A fresh search over `[min, max]` (`min < max`, `resolution ≥ 1`,
+    /// `budget ≥ 2` — enforced by [`FrontierSpec::validate`]).
+    pub fn new(min: u64, max: u64, resolution: u64, budget: usize) -> Bisection {
+        assert!(min < max, "empty interval");
+        assert!(resolution >= 1, "zero resolution");
+        assert!(budget >= 2, "budget below 2 cannot settle an interval");
+        Bisection {
+            resolution,
+            budget,
+            probes: 0,
+            lo: min,
+            hi: max,
+            lo_broken: None,
+            hi_broken: None,
+        }
+    }
+
+    /// Probes evaluated so far.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// Current bracket `[lo, hi]`.
+    pub fn bracket(&self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+
+    /// The next axis value to evaluate, or `None` when the search is
+    /// settled (see [`Bisection::outcome`]). Idempotent: the same value
+    /// is returned until it is [`Bisection::report`]ed.
+    pub fn next_probe(&self) -> Option<u64> {
+        if self.probes >= self.budget {
+            return None;
+        }
+        match (self.lo_broken, self.hi_broken) {
+            (None, _) => Some(self.lo),
+            (Some(true), _) => None,
+            (Some(false), None) => Some(self.hi),
+            (Some(false), Some(false)) => None,
+            (Some(false), Some(true)) => {
+                if self.hi - self.lo <= self.resolution {
+                    None
+                } else {
+                    Some(self.lo + (self.hi - self.lo) / 2)
+                }
+            }
+        }
+    }
+
+    /// Feeds back the empirical verdict for the value
+    /// [`Bisection::next_probe`] returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probe` is not the pending probe.
+    pub fn report(&mut self, probe: u64, broken: bool) {
+        assert_eq!(
+            Some(probe),
+            self.next_probe(),
+            "report must answer the pending probe"
+        );
+        self.probes += 1;
+        match (self.lo_broken, self.hi_broken) {
+            (None, _) => self.lo_broken = Some(broken),
+            (Some(false), None) => self.hi_broken = Some(broken),
+            _ => {
+                if broken {
+                    self.hi = probe;
+                } else {
+                    self.lo = probe;
+                }
+            }
+        }
+    }
+
+    /// The settled outcome, or `None` while probes are still pending.
+    pub fn outcome(&self) -> Option<BisectOutcome> {
+        if self.next_probe().is_some() {
+            return None;
+        }
+        Some(match (self.lo_broken, self.hi_broken) {
+            (Some(true), _) => BisectOutcome::BrokenAtMin,
+            (Some(false), Some(false)) => BisectOutcome::ContainedThroughout,
+            (Some(false), Some(true)) => BisectOutcome::Bracket {
+                contained_at: self.lo,
+                broken_at: self.hi,
+            },
+            // budget ≥ 2 always settles both ends before exhausting.
+            _ => unreachable!("outcome requested before both interval ends were probed"),
+        })
+    }
+}
+
+/// The analytical side of one cell, in the units of `frontier.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyticalDoc {
+    /// Benign precision bound Π used in the derivation.
+    pub pi_ns: i64,
+    /// Clock reading error γ used in the derivation.
+    pub gamma_ns: i64,
+    /// Whether the aggregation can form a quorum at all.
+    pub quorum: bool,
+    /// Values surviving the trim.
+    pub kept: usize,
+    /// Faulty values surviving into the average.
+    pub steered: usize,
+    /// Magnitudes strictly below this cannot break containment.
+    pub contained_below_ns: Option<i64>,
+    /// Analytical point estimate of the frontier.
+    pub break_point_ns: Option<i64>,
+    /// Magnitudes at or above this are guaranteed to break containment.
+    pub broken_above_ns: Option<i64>,
+}
+
+/// The empirical side of one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmpiricalDoc {
+    /// How the search settled (`None` when every probe of the cell
+    /// failed before the endpoints settled — see
+    /// [`FrontierReport::failed`]).
+    pub outcome: Option<BisectOutcome>,
+    /// Probes evaluated.
+    pub probes: usize,
+    /// Simulated runs the probes required (probes × seeds).
+    pub runs: usize,
+}
+
+/// One cell of a frontier document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDoc {
+    /// The discrete cell.
+    pub cell: FrontierCell,
+    /// Trim degree actually in effect (cell override or preset).
+    pub effective_f: usize,
+    /// Analytical bound (only for the magnitude axis).
+    pub analytical: Option<AnalyticalDoc>,
+    /// Empirical search result.
+    pub empirical: EmpiricalDoc,
+    /// Artifact hash of a run witnessing containment at the bracket's
+    /// contained end.
+    pub witness_contained: Option<String>,
+    /// Artifact hash of a run witnessing the break at the bracket's
+    /// broken end.
+    pub witness_broken: Option<String>,
+    /// Empirical boundary consistent with the analytical bound: no
+    /// break observed below `contained_below_ns`, and analytically
+    /// unbreakable cells observed contained throughout.
+    pub consistent: bool,
+}
+
+/// The complete frontier document — what `frontier.json` serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierDoc {
+    /// The spec that produced the document.
+    pub spec: FrontierSpec,
+    /// Fixed reference grid run count ([`GRID_REFERENCE_RUNS`]).
+    pub grid_runs: usize,
+    /// Reference grid spacing along the axis, ns.
+    pub grid_spacing: u64,
+    /// Simulated runs the search required in total (deterministic:
+    /// resume does not change it).
+    pub total_runs: usize,
+    /// Per-cell results, in spec order.
+    pub cells: Vec<CellDoc>,
+}
+
+impl FrontierDoc {
+    /// `true` when every cell's empirical boundary is consistent with
+    /// its analytical bound.
+    pub fn consistent(&self) -> bool {
+        self.cells.iter().all(|c| c.consistent)
+    }
+
+    /// Widest empirical bracket across cells that produced one, ns.
+    pub fn worst_bracket_width(&self) -> Option<u64> {
+        self.cells
+            .iter()
+            .filter_map(|c| match c.empirical.outcome {
+                Some(BisectOutcome::Bracket {
+                    contained_at,
+                    broken_at,
+                }) => Some(broken_at - contained_at),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// The canonical JSON form of `frontier.json`.
+    pub fn to_json(&self) -> Json {
+        let opt_ns = |v: Option<i64>| v.map_or(Json::Null, Json::Int);
+        let opt_hash = |v: &Option<String>| v.as_ref().map_or(Json::Null, |h| Json::Str(h.clone()));
+        Json::object(vec![
+            ("schema", Json::UInt(FRONTIER_SCHEMA)),
+            ("spec", self.spec.to_json()),
+            (
+                "grid",
+                Json::object(vec![
+                    ("runs", Json::UInt(self.grid_runs as u64)),
+                    ("spacing_ns", Json::UInt(self.grid_spacing)),
+                ]),
+            ),
+            ("total_runs", Json::UInt(self.total_runs as u64)),
+            (
+                "cells",
+                Json::Array(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            let analytical = match &c.analytical {
+                                None => Json::Null,
+                                Some(a) => Json::object(vec![
+                                    ("pi_ns", Json::Int(a.pi_ns)),
+                                    ("gamma_ns", Json::Int(a.gamma_ns)),
+                                    ("quorum", Json::Bool(a.quorum)),
+                                    ("kept", Json::UInt(a.kept as u64)),
+                                    ("steered", Json::UInt(a.steered as u64)),
+                                    ("contained_below_ns", opt_ns(a.contained_below_ns)),
+                                    ("break_point_ns", opt_ns(a.break_point_ns)),
+                                    ("broken_above_ns", opt_ns(a.broken_above_ns)),
+                                ]),
+                            };
+                            let (outcome, contained_at, broken_at) = match c.empirical.outcome {
+                                None => ("failed", Json::Null, Json::Null),
+                                Some(BisectOutcome::BrokenAtMin) => {
+                                    ("broken_at_min", Json::Null, Json::UInt(self.spec.axis.min))
+                                }
+                                Some(BisectOutcome::ContainedThroughout) => (
+                                    "contained_throughout",
+                                    Json::UInt(self.spec.axis.max),
+                                    Json::Null,
+                                ),
+                                Some(BisectOutcome::Bracket {
+                                    contained_at,
+                                    broken_at,
+                                }) => ("bracket", Json::UInt(contained_at), Json::UInt(broken_at)),
+                            };
+                            Json::object(vec![
+                                ("strategy", Json::Str(c.cell.strategy.clone())),
+                                ("compromised", Json::UInt(c.cell.compromised as u64)),
+                                ("f", Json::UInt(c.effective_f as u64)),
+                                ("analytical", analytical),
+                                (
+                                    "empirical",
+                                    Json::object(vec![
+                                        ("outcome", Json::Str(outcome.to_string())),
+                                        ("contained_at", contained_at),
+                                        ("broken_at", broken_at),
+                                        ("probes", Json::UInt(c.empirical.probes as u64)),
+                                        ("runs", Json::UInt(c.empirical.runs as u64)),
+                                    ]),
+                                ),
+                                (
+                                    "witness",
+                                    Json::object(vec![
+                                        ("contained", opt_hash(&c.witness_contained)),
+                                        ("broken", opt_hash(&c.witness_broken)),
+                                    ]),
+                                ),
+                                ("consistent", Json::Bool(c.consistent)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("consistent", Json::Bool(self.consistent())),
+        ])
+    }
+
+    /// Renders the canonical `frontier.json` text (trailing newline).
+    pub fn render(&self) -> String {
+        format!("{}\n", self.to_json().render())
+    }
+
+    /// Parses a `frontier.json` document.
+    pub fn parse(text: &str) -> Result<FrontierDoc, SpecError> {
+        let v = Json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SpecError::Field("schema".to_string()))?;
+        if schema != FRONTIER_SCHEMA {
+            return Err(SpecError::Invalid(format!(
+                "unsupported frontier schema {schema} (expected {FRONTIER_SCHEMA})"
+            )));
+        }
+        let spec = FrontierSpec::from_json(
+            v.get("spec")
+                .ok_or_else(|| SpecError::Field("spec".to_string()))?,
+        )?;
+        let grid = v
+            .get("grid")
+            .ok_or_else(|| SpecError::Field("grid".to_string()))?;
+        let grid_runs =
+            grid.get("runs")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SpecError::Field("grid.runs".to_string()))? as usize;
+        let grid_spacing = grid
+            .get("spacing_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SpecError::Field("grid.spacing_ns".to_string()))?;
+        let total_runs =
+            v.get("total_runs")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SpecError::Field("total_runs".to_string()))? as usize;
+        let cells = v
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or_else(|| SpecError::Field("cells".to_string()))?
+            .iter()
+            .map(|c| parse_cell(c, &spec))
+            .collect::<Result<Vec<CellDoc>, SpecError>>()?;
+        Ok(FrontierDoc {
+            spec,
+            grid_runs,
+            grid_spacing,
+            total_runs,
+            cells,
+        })
+    }
+
+    /// Renders the human-readable frontier report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let axis = &self.spec.axis;
+        out.push_str(&format!(
+            "resilience frontier `{}`: axis {} in [{}, {}] ns, resolution {} ns, {} seed(s)\n",
+            self.spec.name,
+            axis.name,
+            axis.min,
+            axis.max,
+            axis.resolution,
+            self.spec.seeds.len(),
+        ));
+        for c in &self.cells {
+            let label = format!(
+                "{} c={} f={}",
+                c.cell.strategy, c.cell.compromised, c.effective_f
+            );
+            let analytical = match &c.analytical {
+                None => "-".to_string(),
+                Some(a) => match (a.contained_below_ns, a.broken_above_ns) {
+                    (Some(lo), Some(hi)) => {
+                        let pt = a.break_point_ns.map_or("-".to_string(), |p| p.to_string());
+                        format!("contained<{lo} break~{pt} broken>={hi}")
+                    }
+                    _ => "unbreakable".to_string(),
+                },
+            };
+            let empirical = match c.empirical.outcome {
+                None => "failed".to_string(),
+                Some(BisectOutcome::BrokenAtMin) => format!("broken at min {}", self.spec.axis.min),
+                Some(BisectOutcome::ContainedThroughout) => {
+                    format!("contained through max {}", self.spec.axis.max)
+                }
+                Some(BisectOutcome::Bracket {
+                    contained_at,
+                    broken_at,
+                }) => format!(
+                    "boundary in ({contained_at}, {broken_at}] (width {})",
+                    broken_at - contained_at
+                ),
+            };
+            out.push_str(&format!(
+                "  {label:<24} analytical: {analytical:<42} empirical: {empirical} \
+                 [{} probe(s), {} run(s), {}]\n",
+                c.empirical.probes,
+                c.empirical.runs,
+                if c.consistent {
+                    "consistent"
+                } else {
+                    "INCONSISTENT"
+                },
+            ));
+        }
+        out.push_str(&format!(
+            "frontier: {} simulated run(s) total vs {} for a fixed grid at {} ns spacing",
+            self.total_runs, self.grid_runs, self.grid_spacing
+        ));
+        match self.worst_bracket_width() {
+            Some(w) if w > 0 => out.push_str(&format!(
+                " ({:.1}x tighter)\n",
+                self.grid_spacing as f64 / w as f64
+            )),
+            _ => out.push('\n'),
+        }
+        out
+    }
+}
+
+fn parse_cell(c: &Json, spec: &FrontierSpec) -> Result<CellDoc, SpecError> {
+    let strategy = c
+        .get("strategy")
+        .and_then(Json::as_str)
+        .ok_or_else(|| SpecError::Field("cells[].strategy".to_string()))?
+        .to_string();
+    let compromised =
+        c.get("compromised")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SpecError::Field("cells[].compromised".to_string()))? as usize;
+    let effective_f = c
+        .get("f")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| SpecError::Field("cells[].f".to_string()))? as usize;
+    let analytical = match c.get("analytical") {
+        None | Some(Json::Null) => None,
+        Some(a) => Some(AnalyticalDoc {
+            pi_ns: a
+                .get("pi_ns")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| SpecError::Field("analytical.pi_ns".to_string()))?,
+            gamma_ns: a
+                .get("gamma_ns")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| SpecError::Field("analytical.gamma_ns".to_string()))?,
+            quorum: a
+                .get("quorum")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| SpecError::Field("analytical.quorum".to_string()))?,
+            kept: a
+                .get("kept")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SpecError::Field("analytical.kept".to_string()))?
+                as usize,
+            steered: a
+                .get("steered")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SpecError::Field("analytical.steered".to_string()))?
+                as usize,
+            contained_below_ns: a.get("contained_below_ns").and_then(Json::as_i64),
+            break_point_ns: a.get("break_point_ns").and_then(Json::as_i64),
+            broken_above_ns: a.get("broken_above_ns").and_then(Json::as_i64),
+        }),
+    };
+    let e = c
+        .get("empirical")
+        .ok_or_else(|| SpecError::Field("cells[].empirical".to_string()))?;
+    let outcome = match e
+        .get("outcome")
+        .and_then(Json::as_str)
+        .ok_or_else(|| SpecError::Field("empirical.outcome".to_string()))?
+    {
+        "failed" => None,
+        "broken_at_min" => Some(BisectOutcome::BrokenAtMin),
+        "contained_throughout" => Some(BisectOutcome::ContainedThroughout),
+        "bracket" => Some(BisectOutcome::Bracket {
+            contained_at: e
+                .get("contained_at")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SpecError::Field("empirical.contained_at".to_string()))?,
+            broken_at: e
+                .get("broken_at")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SpecError::Field("empirical.broken_at".to_string()))?,
+        }),
+        other => {
+            return Err(SpecError::Value(
+                "empirical.outcome".to_string(),
+                other.to_string(),
+            ))
+        }
+    };
+    let _ = spec; // spec-scoped context only needed for endpoint outcomes
+    let empirical = EmpiricalDoc {
+        outcome,
+        probes: e
+            .get("probes")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SpecError::Field("empirical.probes".to_string()))?
+            as usize,
+        runs: e
+            .get("runs")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SpecError::Field("empirical.runs".to_string()))? as usize,
+    };
+    let w = c
+        .get("witness")
+        .ok_or_else(|| SpecError::Field("cells[].witness".to_string()))?;
+    let hash_of = |v: Option<&Json>| v.and_then(Json::as_str).map(|s| s.to_string());
+    Ok(CellDoc {
+        cell: FrontierCell {
+            strategy,
+            compromised,
+            f: Some(effective_f),
+        },
+        effective_f,
+        analytical,
+        empirical,
+        witness_contained: hash_of(w.get("contained")),
+        witness_broken: hash_of(w.get("broken")),
+        consistent: c
+            .get("consistent")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| SpecError::Field("cells[].consistent".to_string()))?,
+    })
+}
+
+/// What one frontier exploration did.
+#[derive(Debug)]
+pub struct FrontierReport {
+    /// The complete document (also written to `frontier.json`).
+    pub doc: FrontierDoc,
+    /// Runs simulated by this invocation (0 when fully resumed).
+    pub executed: usize,
+    /// Runs resumed from existing artifacts.
+    pub skipped: usize,
+    /// Warm-prefix groups forked across all refinement rounds.
+    pub forked_groups: usize,
+    /// Prefix simulations executed.
+    pub prefix_runs: usize,
+    /// Events not re-simulated thanks to cross-round forking.
+    pub prefix_events_skipped: u64,
+    /// Oracle violations across all probes (only with `check`).
+    pub violations: Vec<RunViolation>,
+    /// Isolated per-run failures across all probes.
+    pub failed: Vec<FailedRun>,
+}
+
+/// Explores the frontier spec into `opts.dir`.
+///
+/// Writes `frontier-spec.json`, one `runs/run-<hash>.jsonl` per probe
+/// run (content-addressed exactly like a plain campaign, so re-running
+/// resumes), and the `frontier.json` document. One [`SnapshotCache`]
+/// spans every refinement round, so later rounds fork the warm prefixes
+/// the first round simulated.
+pub fn execute(spec: &FrontierSpec, opts: &RunnerOptions) -> io::Result<FrontierReport> {
+    spec.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("invalid spec: {e}")))?;
+    std::fs::create_dir_all(&opts.dir)?;
+    runner::write_atomic(&opts.dir.join("frontier-spec.json"), &spec.render())?;
+
+    // Per-seed defaults the cells inherit from the base configuration.
+    let base_cfg = spec.base.materialize(spec.seeds[0]);
+    let domains = base_cfg.aggregation.domains;
+    let preset_f = match base_cfg.aggregation.method {
+        AggregationMethod::FaultTolerantAverage { f }
+        | AggregationMethod::FaultTolerantMidpoint { f } => f,
+        _ => 0,
+    };
+
+    struct CellState {
+        bisect: Bisection,
+        // (probe value, per-seed (artifact hash, fraction within bound)).
+        probed: Vec<(u64, Vec<(String, f64)>)>,
+        // Π/γ from the first probed record (config-derived, identical
+        // across a cell's probes on the magnitude axis).
+        bounds: Option<(i64, i64)>,
+        failed: bool,
+    }
+    let mut states: Vec<CellState> = spec
+        .cells
+        .iter()
+        .map(|_| CellState {
+            bisect: Bisection::new(
+                spec.axis.min,
+                spec.axis.max,
+                spec.axis.resolution,
+                spec.budget_per_cell,
+            ),
+            probed: Vec::new(),
+            bounds: None,
+            failed: false,
+        })
+        .collect();
+
+    let inner_opts = RunnerOptions {
+        dir: opts.dir.clone(),
+        threads: opts.threads,
+        quiet: true,
+        fork: opts.fork,
+        check: opts.check,
+        trace: None,
+        panic_label: opts.panic_label.clone(),
+    };
+    let mut cache = SnapshotCache::new();
+    let mut executed = 0usize;
+    let mut skipped = 0usize;
+    let mut forked_groups = 0usize;
+    let mut prefix_runs = 0usize;
+    let mut prefix_events_skipped = 0u64;
+    let mut violations: Vec<RunViolation> = Vec::new();
+    let mut failed: Vec<FailedRun> = Vec::new();
+    let mut round = 0usize;
+    loop {
+        let active: Vec<(usize, u64)> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.failed)
+            .filter_map(|(i, s)| s.bisect.next_probe().map(|p| (i, p)))
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        round += 1;
+        if !opts.quiet {
+            eprintln!(
+                "frontier: round {round}: probing {} cell(s): {}",
+                active.len(),
+                active
+                    .iter()
+                    .map(|&(i, p)| format!("{}@{p}", spec.cells[i].label(preset_f)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        for (i, probe) in active {
+            let probe_spec = spec.probe_spec(&spec.cells[i], probe);
+            let report = runner::execute_with(&probe_spec, &inner_opts, &mut cache, false)?;
+            executed += report.executed;
+            skipped += report.skipped;
+            forked_groups += report.forked_groups;
+            prefix_runs += report.prefix_runs;
+            prefix_events_skipped += report.prefix_events_skipped;
+            violations.extend(report.violations);
+            if !report.failed.is_empty() {
+                // A panicking probe leaves the cell unsettled; freeze it
+                // (outcome "failed") and keep exploring the other cells.
+                failed.extend(report.failed);
+                states[i].failed = true;
+                continue;
+            }
+            let broken = report.records.iter().any(|r| r.fraction_within_bound < 1.0);
+            if states[i].bounds.is_none() {
+                let b = &report.records[0].bounds;
+                states[i].bounds = Some((b.pi_ns, b.gamma_ns));
+            }
+            states[i].probed.push((
+                probe,
+                report
+                    .records
+                    .iter()
+                    .map(|r| (r.hash.clone(), r.fraction_within_bound))
+                    .collect(),
+            ));
+            states[i].bisect.report(probe, broken);
+        }
+    }
+
+    // Assemble the document.
+    let mut cells = Vec::with_capacity(spec.cells.len());
+    for (cell, state) in spec.cells.iter().zip(&states) {
+        let effective_f = cell.f.unwrap_or(preset_f);
+        let analytical = if spec.axis.name == "adv_offset_ns" {
+            state.bounds.map(|(pi_ns, gamma_ns)| {
+                let bound = containment_bound(&ResilienceParams {
+                    domains,
+                    f: effective_f,
+                    compromised: cell.compromised,
+                    partitioned: 0,
+                    pi: Nanos::from_nanos(pi_ns),
+                    gamma: Nanos::from_nanos(gamma_ns),
+                });
+                AnalyticalDoc {
+                    pi_ns,
+                    gamma_ns,
+                    quorum: bound.quorum,
+                    kept: bound.kept,
+                    steered: bound.steered,
+                    contained_below_ns: bound.contained_below.map(Nanos::as_nanos),
+                    break_point_ns: bound.break_point.map(Nanos::as_nanos),
+                    broken_above_ns: bound.broken_above.map(Nanos::as_nanos),
+                }
+            })
+        } else {
+            None
+        };
+        let outcome = if state.failed {
+            None
+        } else {
+            state.bisect.outcome()
+        };
+        let witness_at = |probe: u64, want_broken: bool| -> Option<String> {
+            state
+                .probed
+                .iter()
+                .find(|(p, _)| *p == probe)
+                .and_then(|(_, runs)| {
+                    runs.iter()
+                        .find(|(_, frac)| (*frac < 1.0) == want_broken)
+                        .map(|(hash, _)| hash.clone())
+                })
+        };
+        let (witness_contained, witness_broken) = match outcome {
+            None => (None, None),
+            Some(BisectOutcome::BrokenAtMin) => (None, witness_at(spec.axis.min, true)),
+            Some(BisectOutcome::ContainedThroughout) => (witness_at(spec.axis.max, false), None),
+            Some(BisectOutcome::Bracket {
+                contained_at,
+                broken_at,
+            }) => (witness_at(contained_at, false), witness_at(broken_at, true)),
+        };
+        let consistent = consistent_with(analytical.as_ref(), outcome, &spec.axis);
+        cells.push(CellDoc {
+            cell: cell.clone(),
+            effective_f,
+            analytical,
+            empirical: EmpiricalDoc {
+                outcome,
+                probes: state.bisect.probes(),
+                runs: state.bisect.probes() * spec.seeds.len(),
+            },
+            witness_contained,
+            witness_broken,
+            consistent,
+        });
+    }
+    let doc = FrontierDoc {
+        spec: spec.clone(),
+        grid_runs: GRID_REFERENCE_RUNS,
+        grid_spacing: spec.grid_spacing(),
+        total_runs: cells.iter().map(|c| c.empirical.runs).sum(),
+        cells,
+    };
+    runner::write_atomic(&opts.dir.join("frontier.json"), &doc.render())?;
+    if !opts.quiet {
+        eprintln!(
+            "frontier: {} simulated run(s) required ({} executed now, {} resumed) vs {} for \
+             the fixed grid; artifact {}",
+            doc.total_runs,
+            executed,
+            skipped,
+            doc.grid_runs,
+            opts.dir.join("frontier.json").display()
+        );
+    }
+    Ok(FrontierReport {
+        doc,
+        executed,
+        skipped,
+        forked_groups,
+        prefix_runs,
+        prefix_events_skipped,
+        violations,
+        failed,
+    })
+}
+
+/// "Bound violated ⇒ containment actually observed broken": the
+/// analytical guarantees that must hold empirically. Below
+/// `contained_below` no magnitude may break containment, and a cell the
+/// model calls unbreakable must be observed contained throughout. (The
+/// converse — breaking at or above `broken_above` — is guaranteed only
+/// for the model's ideal adversary, so a weaker preset staying
+/// contained longer is not an inconsistency.)
+fn consistent_with(
+    analytical: Option<&AnalyticalDoc>,
+    outcome: Option<BisectOutcome>,
+    axis: &FrontierAxis,
+) -> bool {
+    let Some(a) = analytical else { return true };
+    let Some(outcome) = outcome else { return true };
+    if !a.quorum {
+        return true; // degraded regardless of the adversary
+    }
+    match a.contained_below_ns {
+        None => outcome == BisectOutcome::ContainedThroughout, // unbreakable
+        Some(contained_below) => {
+            let broken_at = match outcome {
+                BisectOutcome::BrokenAtMin => Some(axis.min),
+                BisectOutcome::ContainedThroughout => None,
+                BisectOutcome::Bracket { broken_at, .. } => Some(broken_at),
+            };
+            broken_at.is_none_or(|b| b as i64 >= contained_below)
+        }
+    }
+}
+
+/// Compares two frontier documents cell-by-cell.
+///
+/// `INCOMPARABLE` when specs disagree on axis or cells; `REGRESSION`
+/// when any cell's outcome kind changed, a bracket end moved by more
+/// than `tol_ns`, or consistency was lost; `OK` otherwise. The returned
+/// lines explain every verdict-relevant difference.
+pub fn diff(
+    base: &FrontierDoc,
+    cand: &FrontierDoc,
+    tol_ns: u64,
+) -> (crate::summary::DiffVerdict, Vec<String>) {
+    use crate::summary::DiffVerdict;
+    let mut lines = Vec::new();
+    if base.spec.axis != cand.spec.axis {
+        lines.push(format!(
+            "axis differs: {:?} vs {:?}",
+            base.spec.axis, cand.spec.axis
+        ));
+        return (DiffVerdict::Incomparable, lines);
+    }
+    if base.cells.len() != cand.cells.len()
+        || base.cells.iter().zip(&cand.cells).any(|(b, c)| {
+            b.cell.strategy != c.cell.strategy
+                || b.cell.compromised != c.cell.compromised
+                || b.effective_f != c.effective_f
+        })
+    {
+        lines.push("cell sets differ".to_string());
+        return (DiffVerdict::Incomparable, lines);
+    }
+    let mut verdict = DiffVerdict::Parity;
+    for (b, c) in base.cells.iter().zip(&cand.cells) {
+        let label = format!(
+            "{} c={} f={}",
+            b.cell.strategy, b.cell.compromised, b.effective_f
+        );
+        match (b.empirical.outcome, c.empirical.outcome) {
+            (
+                Some(BisectOutcome::Bracket {
+                    contained_at: b_lo,
+                    broken_at: b_hi,
+                }),
+                Some(BisectOutcome::Bracket {
+                    contained_at: c_lo,
+                    broken_at: c_hi,
+                }),
+            ) => {
+                let moved = b_lo.abs_diff(c_lo).max(b_hi.abs_diff(c_hi));
+                if moved > tol_ns {
+                    verdict = DiffVerdict::Regression;
+                    lines.push(format!(
+                        "{label}: bracket moved {moved} ns (({b_lo}, {b_hi}] -> ({c_lo}, {c_hi}], tol {tol_ns})"
+                    ));
+                } else {
+                    lines.push(format!("{label}: bracket within {tol_ns} ns"));
+                }
+            }
+            (b_out, c_out) if b_out == c_out => {
+                lines.push(format!("{label}: outcome unchanged"));
+            }
+            (b_out, c_out) => {
+                verdict = DiffVerdict::Regression;
+                lines.push(format!("{label}: outcome changed {b_out:?} -> {c_out:?}"));
+            }
+        }
+        if b.consistent && !c.consistent {
+            verdict = DiffVerdict::Regression;
+            lines.push(format!("{label}: lost analytical consistency"));
+        }
+    }
+    (verdict, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisection_brackets_a_monotone_threshold() {
+        // broken(x) ⇔ x ≥ 37 500; span 63 000 at resolution 684 needs
+        // 2 endpoint probes + 7 halvings.
+        let mut b = Bisection::new(1_000, 64_000, 684, 16);
+        while let Some(p) = b.next_probe() {
+            b.report(p, p >= 37_500);
+        }
+        assert_eq!(b.probes(), 9);
+        match b.outcome().unwrap() {
+            BisectOutcome::Bracket {
+                contained_at,
+                broken_at,
+            } => {
+                assert!(contained_at < 37_500 && 37_500 <= broken_at);
+                assert!(broken_at - contained_at <= 684);
+            }
+            other => panic!("expected bracket, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bisection_settles_endpoints_without_refining() {
+        let mut b = Bisection::new(10, 100, 5, 8);
+        b.report(10, true);
+        assert_eq!(b.outcome(), Some(BisectOutcome::BrokenAtMin));
+        assert_eq!(b.probes(), 1);
+
+        let mut b = Bisection::new(10, 100, 5, 8);
+        b.report(10, false);
+        b.report(100, false);
+        assert_eq!(b.outcome(), Some(BisectOutcome::ContainedThroughout));
+    }
+
+    #[test]
+    fn bisection_respects_budget() {
+        let mut b = Bisection::new(0, 1 << 20, 1, 4);
+        while let Some(p) = b.next_probe() {
+            b.report(p, p >= 1000);
+        }
+        assert_eq!(b.probes(), 4);
+        // Budget-exhausted searches still report the bracket they have.
+        assert!(matches!(b.outcome(), Some(BisectOutcome::Bracket { .. })));
+    }
+
+    #[test]
+    fn builtin_roundtrips_and_validates() {
+        for name in FrontierSpec::BUILTINS {
+            let spec = FrontierSpec::builtin(name).unwrap();
+            spec.validate().unwrap();
+            let back = FrontierSpec::parse(&spec.render()).unwrap();
+            assert_eq!(back, spec, "{name} did not roundtrip");
+        }
+        assert!(FrontierSpec::builtin("nope").is_none());
+    }
+
+    #[test]
+    fn builtin_beats_the_grid_on_paper() {
+        // The frontier-sweep must be able to reach a bracket ≥ 4×
+        // tighter than the 48-run grid within its probe budget.
+        let spec = FrontierSpec::builtin("frontier-sweep").unwrap();
+        let spacing = spec.grid_spacing();
+        assert_eq!(spacing, 2_739); // 63 000 ns / 23 intervals
+        assert!(spec.axis.resolution * 4 <= spacing);
+        let span = spec.axis.max - spec.axis.min;
+        let halvings = (64 - u64::leading_zeros(span / spec.axis.resolution) as usize) + 1;
+        assert!(2 + halvings <= spec.budget_per_cell);
+    }
+
+    #[test]
+    fn validate_rejects_broken_axes_and_cells() {
+        let mut spec = FrontierSpec::builtin("frontier-sweep").unwrap();
+        spec.axis.min = spec.axis.max;
+        assert!(spec.validate().is_err());
+
+        let mut spec = FrontierSpec::builtin("frontier-sweep").unwrap();
+        spec.axis.name = "voltage".to_string();
+        assert!(matches!(spec.validate(), Err(SpecError::Value(..))));
+
+        let mut spec = FrontierSpec::builtin("frontier-sweep").unwrap();
+        spec.cells[0].strategy = "trim-edge".to_string();
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+
+        let mut spec = FrontierSpec::builtin("frontier-sweep").unwrap();
+        spec.budget_per_cell = 1;
+        assert!(spec.validate().is_err());
+
+        // Magnitude 0 is rejected through the probe-spec validation.
+        let mut spec = FrontierSpec::builtin("frontier-sweep").unwrap();
+        spec.axis.min = 0;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn consistency_requires_breaks_above_the_guarantee() {
+        let axis = FrontierAxis {
+            name: "adv_offset_ns".to_string(),
+            min: 1_000,
+            max: 64_000,
+            resolution: 500,
+        };
+        let breakable = AnalyticalDoc {
+            pi_ns: 12_000,
+            gamma_ns: 1_500,
+            quorum: true,
+            kept: 2,
+            steered: 1,
+            contained_below_ns: Some(3_000),
+            break_point_ns: Some(27_000),
+            broken_above_ns: Some(51_000),
+        };
+        let bracket = |lo, hi| {
+            Some(BisectOutcome::Bracket {
+                contained_at: lo,
+                broken_at: hi,
+            })
+        };
+        assert!(consistent_with(
+            Some(&breakable),
+            bracket(26_000, 26_500),
+            &axis
+        ));
+        // A break below the analytical floor is a real anomaly.
+        assert!(!consistent_with(
+            Some(&breakable),
+            bracket(2_000, 2_500),
+            &axis
+        ));
+        assert!(!consistent_with(
+            Some(&breakable),
+            Some(BisectOutcome::BrokenAtMin),
+            &axis
+        ));
+        // Unbreakable cells must be observed contained.
+        let unbreakable = AnalyticalDoc {
+            steered: 0,
+            contained_below_ns: None,
+            break_point_ns: None,
+            broken_above_ns: None,
+            ..breakable
+        };
+        assert!(consistent_with(
+            Some(&unbreakable),
+            Some(BisectOutcome::ContainedThroughout),
+            &axis
+        ));
+        assert!(!consistent_with(
+            Some(&unbreakable),
+            bracket(26_000, 26_500),
+            &axis
+        ));
+        // No analytical model: nothing to contradict.
+        assert!(consistent_with(
+            None,
+            Some(BisectOutcome::BrokenAtMin),
+            &axis
+        ));
+    }
+
+    fn doc_with_bracket(lo: u64, hi: u64) -> FrontierDoc {
+        let spec = FrontierSpec::builtin("frontier-sweep").unwrap();
+        let cell = CellDoc {
+            cell: spec.cells[0].clone(),
+            effective_f: 1,
+            analytical: None,
+            empirical: EmpiricalDoc {
+                outcome: Some(BisectOutcome::Bracket {
+                    contained_at: lo,
+                    broken_at: hi,
+                }),
+                probes: 9,
+                runs: 18,
+            },
+            witness_contained: Some("aaaa".to_string()),
+            witness_broken: Some("bbbb".to_string()),
+            consistent: true,
+        };
+        FrontierDoc {
+            grid_runs: GRID_REFERENCE_RUNS,
+            grid_spacing: spec.grid_spacing(),
+            total_runs: 18,
+            cells: vec![cell],
+            spec,
+        }
+    }
+
+    #[test]
+    fn doc_roundtrips_through_json() {
+        let doc = doc_with_bracket(31_000, 31_400);
+        let back = FrontierDoc::parse(&doc.render()).unwrap();
+        assert_eq!(back.total_runs, doc.total_runs);
+        assert_eq!(back.cells[0].empirical, doc.cells[0].empirical);
+        assert_eq!(back.cells[0].witness_broken, doc.cells[0].witness_broken);
+        assert!(back.consistent());
+        // The text report renders without panicking and names the cell.
+        assert!(doc.render_text().contains("colluding c=2"));
+    }
+
+    #[test]
+    fn diff_flags_moved_brackets() {
+        use crate::summary::DiffVerdict;
+        let base = doc_with_bracket(31_000, 31_400);
+        let same = doc_with_bracket(31_100, 31_500);
+        let (verdict, _) = diff(&base, &same, 500);
+        assert_eq!(verdict, DiffVerdict::Parity);
+        let moved = doc_with_bracket(40_000, 40_400);
+        let (verdict, lines) = diff(&base, &moved, 500);
+        assert_eq!(verdict, DiffVerdict::Regression);
+        assert!(lines.iter().any(|l| l.contains("bracket moved")));
+        let mut incomparable = doc_with_bracket(31_000, 31_400);
+        incomparable.spec.axis.max = 128_000;
+        let (verdict, _) = diff(&base, &incomparable, 500);
+        assert_eq!(verdict, DiffVerdict::Incomparable);
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod frontier;
 pub mod json;
 pub mod matrix;
 pub mod profile;
@@ -41,8 +42,9 @@ pub mod spec;
 pub mod summary;
 
 pub use artifact::RunRecord;
+pub use frontier::{BisectOutcome, Bisection, FrontierDoc, FrontierReport, FrontierSpec};
 pub use matrix::{expand, Coord, RunPlan};
 pub use profile::{ProfileEntry, ScenarioProfile};
-pub use runner::{CampaignReport, RunViolation, RunnerOptions};
+pub use runner::{CampaignReport, FailedRun, RunViolation, RunnerOptions, SnapshotCache};
 pub use spec::{BaseSpec, CampaignSpec, Grid, KernelChoice, Preset};
 pub use summary::{DiffTolerance, DiffVerdict, GroupSummary};

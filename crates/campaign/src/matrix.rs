@@ -72,6 +72,16 @@ pub struct Coord {
     /// into the gPTP correction field, `false` exposes the raw
     /// end-to-end queuing error. Activates the fabric.
     pub tc_mode: Option<bool>,
+    /// Fabric topology name ([`crate::spec::TOPOLOGY_NAMES`] spelling,
+    /// interned via [`crate::spec::topology_static`]), if the axis is
+    /// active (activates the fabric).
+    pub topology: Option<&'static str>,
+    /// Adversary shift magnitude in nanoseconds, if the axis is active:
+    /// replaces the strategy preset's dominant waveform parameter
+    /// ([`ByzantineStrategy::with_magnitude`]; activates the attack).
+    pub adv_offset_ns: Option<u64>,
+    /// Aggregation trim degree `f` override, if the axis is active.
+    pub fta_f: Option<usize>,
 }
 
 impl Coord {
@@ -124,19 +134,31 @@ impl Coord {
         if let Some(t) = self.tc_mode {
             label.push_str(&format!("/tc={t}"));
         }
+        if let Some(t) = self.topology {
+            label.push_str(&format!("/topo={t}"));
+        }
+        // Frontier segments (PR 9), same label-conditional rule.
+        if let Some(a) = self.adv_offset_ns {
+            label.push_str(&format!("/adv_ns={a}"));
+        }
+        if let Some(f) = self.fta_f {
+            label.push_str(&format!("/fta_f={f}"));
+        }
         label
     }
 
     /// Whether this coordinate runs behind the multi-hop switch fabric:
     /// any active fabric axis (`hops`, `cross_traffic_pct`,
-    /// `asymmetry_ns`, `tc_mode`) activates it, with the others
-    /// defaulted ([`tsn_fabric::FabricConfig::line`] of 1 hop, no
-    /// cross-traffic, symmetric links, end-to-end mode).
+    /// `asymmetry_ns`, `tc_mode`, `topology`) activates it, with the
+    /// others defaulted ([`tsn_fabric::FabricConfig::line`] of 1 hop,
+    /// no cross-traffic, symmetric links, end-to-end mode, line
+    /// topology).
     pub fn fabric_active(&self) -> bool {
         self.hops.is_some()
             || self.cross_traffic_pct.is_some()
             || self.asymmetry_ns.is_some()
             || self.tc_mode.is_some()
+            || self.topology.is_some()
     }
 
     /// Whether this coordinate runs with the dynamic election: an
@@ -153,10 +175,12 @@ impl Coord {
 
     /// The coordinates that shape a run's warm prefix: the grid seed and
     /// the axes that alter the world before any intervention can act
-    /// (topology size, sync interval, clock discipline). Scenario,
-    /// kernel assignment, injector rate, adversary strategy, compromised
-    /// count, link loss, and partitions only influence post-warmup
-    /// behavior and are deliberately excluded.
+    /// (topology size, sync interval, clock discipline, trim degree).
+    /// Scenario, kernel assignment, injector rate, adversary strategy,
+    /// compromised count, adversary magnitude, link loss, and partitions
+    /// only influence post-warmup behavior and are deliberately
+    /// excluded — the frontier's magnitude probes in particular all
+    /// share one warm prefix per cell.
     pub fn prefix_label(&self) -> String {
         fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
             v.map_or_else(|| "-".to_string(), |v| v.to_string())
@@ -168,6 +192,12 @@ impl Coord {
             opt(self.sync_interval_ms),
             opt(self.discipline.map(crate::spec::discipline_name)),
         );
+        // The trim degree reshapes every aggregation from t = 0, so it is
+        // prefix-relevant — but only when the axis is active, keeping
+        // derived seeds of pre-existing campaigns unchanged.
+        if let Some(f) = self.fta_f {
+            label.push_str(&format!("/fta_f={f}"));
+        }
         // The election's Announce traffic runs during the warm-up, so
         // its *effective* activation and interval shape the prefix; the
         // GM kill and rogue strikes fire strictly after it and stay
@@ -188,6 +218,12 @@ impl Coord {
                 self.asymmetry_ns.unwrap_or(0),
                 self.tc_mode.unwrap_or(false),
             ));
+            // Label-conditional, NOT defaulted: rendering `/topo=line`
+            // for every fabric run would silently change the derived
+            // seeds (and artifact bytes) of pre-topology campaigns.
+            if let Some(t) = self.topology {
+                label.push_str(&format!("/topo={t}"));
+            }
         }
         label
     }
@@ -244,6 +280,15 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
                 .ok_or_else(|| SpecError::Value("grid.strategies[]".to_string(), s.clone()))
         })
         .collect::<Result<_, _>>()?;
+    let topologies: Vec<&'static str> = spec
+        .grid
+        .topology
+        .iter()
+        .map(|t| {
+            crate::spec::topology_static(t)
+                .ok_or_else(|| SpecError::Value("grid.topology[]".to_string(), t.clone()))
+        })
+        .collect::<Result<_, _>>()?;
     for &scenario in &spec.scenarios {
         for &domains in &axis(&spec.grid.domains) {
             for &sync_ms in &axis(&spec.grid.sync_interval_ms) {
@@ -286,7 +331,11 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
                                                                     cross_traffic_pct: None,
                                                                     asymmetry_ns: None,
                                                                     tc_mode: None,
+                                                                    topology: None,
+                                                                    adv_offset_ns: None,
+                                                                    fta_f: None,
                                                                 },
+                                                                &topologies,
                                                                 &mut plans,
                                                             )?;
                                                         }
@@ -314,22 +363,37 @@ fn expand_fabric(
     spec: &CampaignSpec,
     base_fingerprint: &str,
     partial: Coord,
+    topologies: &[&'static str],
     plans: &mut Vec<RunPlan>,
 ) -> Result<(), SpecError> {
     for &hops in &axis(&spec.grid.hops) {
         for &cross_traffic_pct in &axis(&spec.grid.cross_traffic_pct) {
             for &asymmetry_ns in &axis(&spec.grid.asymmetry_ns) {
                 for &tc_mode in &axis(&spec.grid.tc_mode) {
-                    for &seed in &spec.grid.seeds {
-                        let coord = Coord {
-                            seed,
-                            hops,
-                            cross_traffic_pct,
-                            asymmetry_ns,
-                            tc_mode,
-                            ..partial
-                        };
-                        plans.push(plan(&spec.base, base_fingerprint, coord, plans.len())?);
+                    for &topology in &axis(topologies) {
+                        for &adv_offset_ns in &axis(&spec.grid.adv_offset_ns) {
+                            for &fta_f in &axis(&spec.grid.fta_f) {
+                                for &seed in &spec.grid.seeds {
+                                    let coord = Coord {
+                                        seed,
+                                        hops,
+                                        cross_traffic_pct,
+                                        asymmetry_ns,
+                                        tc_mode,
+                                        topology,
+                                        adv_offset_ns,
+                                        fta_f,
+                                        ..partial
+                                    };
+                                    plans.push(plan(
+                                        &spec.base,
+                                        base_fingerprint,
+                                        coord,
+                                        plans.len(),
+                                    )?);
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -398,6 +462,17 @@ pub fn materialize(
         cfg.sync_clock_discipline = d;
     }
     coord.scenario.apply(&mut cfg);
+    // Trim-degree axis: keep the configured method family, swap its f.
+    // Mean/median baselines have no trim step, so the axis restores the
+    // paper's FTA (the axis exists to move f, not to pick the baseline).
+    if let Some(f) = coord.fta_f {
+        cfg.aggregation.method = match cfg.aggregation.method {
+            tsn_fta::AggregationMethod::FaultTolerantMidpoint { .. } => {
+                tsn_fta::AggregationMethod::FaultTolerantMidpoint { f }
+            }
+            _ => tsn_fta::AggregationMethod::FaultTolerantAverage { f },
+        };
+    }
     if let Some(k) = coord.kernel {
         cfg.kernels = match k {
             KernelChoice::Identical => KernelAssignment::identical(cfg.nodes),
@@ -417,12 +492,17 @@ pub fn materialize(
         cfg.fault_injection = Some(fi);
     }
     // Adversary axes: `compromised` GMs (highest node indices, like the
-    // paper's node-3 strike) all run the same strategy from +2 s. Either
-    // axis alone activates the attack with the other defaulted.
-    if coord.strategy.is_some() || coord.compromised.is_some() {
+    // paper's node-3 strike) all run the same strategy from +2 s. Any
+    // of the three axes alone activates the attack with the others
+    // defaulted; an active magnitude axis rescales the preset's
+    // dominant waveform parameter (the frontier's probe axis).
+    if coord.strategy.is_some() || coord.compromised.is_some() || coord.adv_offset_ns.is_some() {
         let name = coord.strategy.unwrap_or("constant");
-        let strategy = ByzantineStrategy::named(name)
-            .ok_or_else(|| SpecError::Value("grid.strategies[]".to_string(), name.to_string()))?;
+        let strategy = match coord.adv_offset_ns {
+            Some(m) => ByzantineStrategy::with_magnitude(name, Nanos::from_nanos(m as i64)),
+            None => ByzantineStrategy::named(name),
+        }
+        .ok_or_else(|| SpecError::Value("grid.strategies[]".to_string(), name.to_string()))?;
         let byz = coord.compromised.unwrap_or(1).min(cfg.nodes - 1);
         let strikes = (0..byz)
             .map(|k| Strike {
@@ -474,10 +554,15 @@ pub fn materialize(
         }
     }
     // Fabric axes: any of them routes inter-node gPTP traffic through a
-    // line of TSN switches, with unset axes at their neutral defaults
-    // (1 hop, no cross-traffic, symmetric links, end-to-end mode).
+    // fabric of TSN switches, with unset axes at their neutral defaults
+    // (line topology, 1 hop, no cross-traffic, symmetric links,
+    // end-to-end mode).
     if coord.fabric_active() {
         let mut fabric = clocksync::fabric::FabricConfig::line(coord.hops.unwrap_or(1));
+        if let Some(t) = coord.topology {
+            fabric.topology = crate::spec::parse_topology(t)
+                .ok_or_else(|| SpecError::Value("grid.topology[]".to_string(), t.to_string()))?;
+        }
         if let Some(pct) = coord.cross_traffic_pct {
             fabric.cross_traffic_load = f64::from(pct) / 100.0;
         }
@@ -615,6 +700,9 @@ mod tests {
             cross_traffic_pct: None,
             asymmetry_ns: None,
             tc_mode: None,
+            topology: None,
+            adv_offset_ns: None,
+            fta_f: None,
         };
         let err = materialize(&base, coord, 7).expect_err("unknown strategy is an error");
         assert!(matches!(err, SpecError::Value(ref f, ref v)
@@ -646,6 +734,9 @@ mod tests {
             cross_traffic_pct: None,
             asymmetry_ns: None,
             tc_mode: None,
+            topology: None,
+            adv_offset_ns: None,
+            fta_f: None,
         };
         // Any election axis activates the election implicitly.
         assert!(coord.election_active());
@@ -705,6 +796,9 @@ mod tests {
             cross_traffic_pct: Some(30),
             asymmetry_ns: None,
             tc_mode: Some(true),
+            topology: None,
+            adv_offset_ns: None,
+            fta_f: None,
         };
         assert!(coord.fabric_active());
         let cfg = materialize(&base, coord, 7).expect("valid coord");
@@ -741,6 +835,90 @@ mod tests {
     }
 
     #[test]
+    fn frontier_axes_materialize_and_stay_label_conditional() {
+        let base = BaseSpec::quick(20);
+        let mut coord = Coord {
+            scenario: ScenarioKind::Baseline,
+            seed: 1,
+            domains: None,
+            sync_interval_ms: None,
+            kernel: None,
+            fault_rate_per_hour: None,
+            discipline: None,
+            strategy: None,
+            compromised: None,
+            loss_permille: None,
+            partition_s: None,
+            election: None,
+            announce_interval_ms: None,
+            gm_failure_at_s: None,
+            rogue_master: None,
+            hops: None,
+            cross_traffic_pct: None,
+            asymmetry_ns: None,
+            tc_mode: None,
+            topology: None,
+            adv_offset_ns: Some(20_000),
+            fta_f: None,
+        };
+        // The magnitude axis alone activates the attack (constant preset
+        // rescaled to the probe value).
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        let strikes = cfg.attack.strikes();
+        assert_eq!(strikes.len(), 1);
+        assert!(matches!(
+            strikes[0].strategy,
+            Some(ByzantineStrategy::ConstantOffset { offset })
+                if offset == Nanos::from_nanos(-20_000)
+        ));
+        // With a strategy name it rescales that preset instead.
+        coord.strategy = Some("colluding");
+        coord.compromised = Some(2);
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        for strike in cfg.attack.strikes() {
+            assert!(matches!(
+                strike.strategy,
+                Some(ByzantineStrategy::Colluding { target })
+                    if target == Nanos::from_nanos(20_000)
+            ));
+        }
+        // The trim-degree axis swaps f inside the configured family.
+        coord.fta_f = Some(0);
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        assert!(matches!(
+            cfg.aggregation.method,
+            tsn_fta::AggregationMethod::FaultTolerantAverage { f: 0 }
+        ));
+        // The topology axis activates the fabric with the named shape.
+        coord.topology = Some("ring");
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        let fabric = cfg.fabric.expect("fabric on");
+        assert_eq!(fabric.topology, clocksync::fabric::FabricTopology::Ring);
+        assert_eq!(fabric.hops, 1);
+        // Labels: all three segments render; the magnitude is
+        // intervention-only (shared warm prefix per cell) while the trim
+        // degree and topology are prefix-relevant.
+        assert!(coord.label().ends_with("/topo=ring/adv_ns=20000/fta_f=0"));
+        let prefix = coord.prefix_label();
+        assert!(prefix.contains("/fta_f=0"));
+        assert!(prefix.ends_with("/topo=ring"));
+        assert!(!prefix.contains("adv_ns"));
+        // Label-conditional: clearing the axes restores the pre-frontier
+        // label and prefix, so existing campaign hashes and derived
+        // seeds are unchanged.
+        coord.strategy = None;
+        coord.compromised = None;
+        coord.topology = None;
+        coord.adv_offset_ns = None;
+        coord.fta_f = None;
+        assert!(!coord.label().contains("adv_ns"));
+        assert!(!coord.label().contains("fta_f"));
+        assert!(!coord.label().contains("topo"));
+        assert!(!coord.prefix_label().contains("fta_f"));
+        assert!(!coord.prefix_label().contains("topo"));
+    }
+
+    #[test]
     fn partition_axis_uses_shared_window_schedule() {
         let base = BaseSpec::quick(10);
         let coord = Coord {
@@ -763,6 +941,9 @@ mod tests {
             cross_traffic_pct: None,
             asymmetry_ns: None,
             tc_mode: None,
+            topology: None,
+            adv_offset_ns: None,
+            fta_f: None,
         };
         let cfg = materialize(&base, coord, 7).expect("valid coord");
         assert_eq!(cfg.partition, Some(crate::spec::partition_window(3)));

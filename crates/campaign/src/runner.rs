@@ -20,6 +20,7 @@ use crate::profile::ProfileEntry;
 use crate::spec::CampaignSpec;
 use clocksync::snapshot::{checkpoint_time, warm_prefix_config, warm_prefix_fingerprint};
 use clocksync::{World, WorldSnapshot};
+use std::collections::HashMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,6 +59,10 @@ pub struct RunnerOptions {
     /// [`RunnerOptions::fork`]. Resumed runs are not re-executed and
     /// leave no trace.
     pub trace: Option<PathBuf>,
+    /// Test-injection hook: the run whose coordinate label equals this
+    /// string panics instead of simulating, exercising the per-run panic
+    /// isolation path (the campaign must finish, siblings unperturbed).
+    pub panic_label: Option<String>,
 }
 
 impl RunnerOptions {
@@ -71,6 +76,7 @@ impl RunnerOptions {
             fork: false,
             check: false,
             trace: None,
+            panic_label: None,
         }
     }
 
@@ -110,6 +116,58 @@ pub struct CampaignReport {
     /// executed by this invocation are checked — resumed artifacts carry
     /// no oracle state.
     pub violations: Vec<RunViolation>,
+    /// Runs that panicked, in canonical matrix order. A panicking run is
+    /// isolated — the campaign finishes, sibling artifacts are written
+    /// normally — and leaves no artifact, so a later resume retries it.
+    pub failed: Vec<FailedRun>,
+    /// Pre-existing artifacts that were unreadable (truncated or
+    /// corrupt) and were moved to `runs/corrupt/` before re-running.
+    pub quarantined: usize,
+}
+
+/// One isolated per-run failure (the worker caught a panic).
+#[derive(Debug, Clone)]
+pub struct FailedRun {
+    /// Position in the canonical enumeration order.
+    pub index: usize,
+    /// Canonical coordinate label of the failed run.
+    pub label: String,
+    /// Content hash the run would have written.
+    pub hash: String,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for FailedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: panicked: {}", self.label, self.message)
+    }
+}
+
+/// Warm-prefix snapshots keyed by [`warm_prefix_fingerprint`], reusable
+/// across [`execute_with`] invocations. The frontier explorer threads
+/// one cache through its refinement rounds so a round probing a single
+/// new magnitude per cell still forks the prefix simulated in round 1.
+#[derive(Debug, Default)]
+pub struct SnapshotCache {
+    snapshots: HashMap<u64, WorldSnapshot>,
+}
+
+impl SnapshotCache {
+    /// An empty cache.
+    pub fn new() -> SnapshotCache {
+        SnapshotCache::default()
+    }
+
+    /// Cached warm prefixes.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` when no prefix has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
 }
 
 /// One oracle violation attributed to the run that produced it.
@@ -133,6 +191,24 @@ impl std::fmt::Display for RunViolation {
 /// Writes `manifest.json` and one `runs/run-<hash>.jsonl` per run, then
 /// returns every record in canonical order.
 pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<CampaignReport> {
+    execute_with(spec, opts, &mut SnapshotCache::new(), true)
+}
+
+/// [`execute`] with an external warm-prefix snapshot cache and control
+/// over the manifest write.
+///
+/// The cache outlives the invocation: prefixes simulated here are
+/// inserted, and pending runs whose fingerprint is already cached fork
+/// from it even when they are the only member of their group. The
+/// frontier explorer calls this once per refinement round with
+/// `write_manifest = false` (it writes its own `frontier.json` instead)
+/// so every round shares the prefixes of the first.
+pub fn execute_with(
+    spec: &CampaignSpec,
+    opts: &RunnerOptions,
+    cache: &mut SnapshotCache,
+    write_manifest: bool,
+) -> io::Result<CampaignReport> {
     let plans = expand(spec)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("invalid spec: {e}")))?;
     let runs_dir = opts.dir.join("runs");
@@ -140,31 +216,49 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
     if let Some(trace_dir) = &opts.trace {
         std::fs::create_dir_all(trace_dir)?;
     }
-    write_atomic(
-        &opts.dir.join("manifest.json"),
-        &manifest(spec, &plans).render(),
-    )?;
+    if write_manifest {
+        write_atomic(
+            &opts.dir.join("manifest.json"),
+            &manifest(spec, &plans).render(),
+        )?;
+    }
 
-    // Partition into resumable and pending runs.
+    // Partition into resumable and pending runs. An artifact that exists
+    // but does not decode (truncated write, bit rot, stale schema) is
+    // quarantined to `runs/corrupt/` and its run re-executed — a damaged
+    // file must never abort or poison a resume.
     let mut records: Vec<Option<RunRecord>> = Vec::with_capacity(plans.len());
     let mut pending: Vec<&RunPlan> = Vec::new();
+    let mut quarantined = 0usize;
     for plan in &plans {
         match resume_record(&runs_dir, plan) {
             Some(record) => records.push(Some(record)),
             None => {
+                if artifact_path(&runs_dir, plan).exists() {
+                    quarantine(&runs_dir, plan)?;
+                    quarantined += 1;
+                }
                 records.push(None);
                 pending.push(plan);
             }
         }
     }
+    if quarantined > 0 && !opts.quiet {
+        eprintln!(
+            "resume: quarantined {quarantined} corrupt artifact(s) to {}, re-running",
+            runs_dir.join("corrupt").display()
+        );
+    }
     let skipped = plans.len() - pending.len();
     let threads = opts.effective_threads(pending.len());
 
     // Fork mode: group pending runs whose configurations project to the
-    // same warm prefix. A group of two or more simulates the prefix once
-    // (phase 1) and every member forks its continuation from that
-    // checkpoint (phase 2). Singleton groups gain nothing and run cold.
+    // same warm prefix. A group forks when it has two or more members
+    // (the prefix is simulated once, phase 1) or when the cache already
+    // holds its prefix from an earlier invocation; other singleton
+    // groups gain nothing and run cold.
     let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_fp: Vec<u64> = Vec::new();
     let mut group_of: Vec<Option<usize>> = vec![None; pending.len()];
     let cold = opts.check || opts.trace.is_some();
     if opts.fork && cold && !opts.quiet && !pending.is_empty() {
@@ -175,16 +269,15 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
         }
     }
     if opts.fork && !cold {
-        let mut by_fp: Vec<(u64, usize)> = Vec::new();
         for (i, plan) in pending.iter().enumerate() {
             if checkpoint_time(&plan.config).is_none() {
                 continue; // no warm-up, nothing to share
             }
             let fp = warm_prefix_fingerprint(&plan.config);
-            let g = match by_fp.iter().find(|(f, _)| *f == fp) {
-                Some(&(_, g)) => g,
+            let g = match group_fp.iter().position(|&f| f == fp) {
+                Some(g) => g,
                 None => {
-                    by_fp.push((fp, groups.len()));
+                    group_fp.push(fp);
                     groups.push(Vec::new());
                     groups.len() - 1
                 }
@@ -192,8 +285,8 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
             groups[g].push(i);
             group_of[i] = Some(g);
         }
-        for group in &mut groups {
-            if group.len() < 2 {
+        for (g, group) in groups.iter_mut().enumerate() {
+            if group.len() < 2 && !cache.snapshots.contains_key(&group_fp[g]) {
                 for &i in group.iter() {
                     group_of[i] = None;
                 }
@@ -201,30 +294,28 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
             }
         }
     }
-    let forkable: Vec<usize> = (0..groups.len())
-        .filter(|&g| groups[g].len() >= 2)
+    // Fresh prefixes to simulate vs. groups served from the cache.
+    let to_simulate: Vec<usize> = (0..groups.len())
+        .filter(|&g| !groups[g].is_empty() && !cache.snapshots.contains_key(&group_fp[g]))
         .collect();
-    let forked_groups = forkable.len();
-    let prefix_runs = forkable.len();
+    let forked_groups = (0..groups.len()).filter(|&g| !groups[g].is_empty()).count();
+    let prefix_runs = to_simulate.len();
     let mut prefix_events_skipped = 0u64;
 
-    // Phase 1: one shared-prefix simulation per forkable group.
-    let mut snapshots: Vec<Option<WorldSnapshot>> = (0..groups.len()).map(|_| None).collect();
-    if !forkable.is_empty() {
+    // Phase 1: one shared-prefix simulation per uncached forkable group.
+    if !to_simulate.is_empty() {
         if !opts.quiet {
-            let members: usize = forkable.iter().map(|&g| groups[g].len()).sum();
-            eprintln!(
-                "fork: simulating {forked_groups} shared warm prefix(es) for {members} run(s)"
-            );
+            let members: usize = to_simulate.iter().map(|&g| groups[g].len()).sum();
+            eprintln!("fork: simulating {prefix_runs} shared warm prefix(es) for {members} run(s)");
         }
         let next = AtomicUsize::new(0);
         let made: Mutex<Vec<(usize, WorldSnapshot)>> =
-            Mutex::new(Vec::with_capacity(forkable.len()));
+            Mutex::new(Vec::with_capacity(to_simulate.len()));
         std::thread::scope(|scope| {
-            for _ in 0..threads.min(forkable.len()) {
+            for _ in 0..threads.min(to_simulate.len()) {
                 scope.spawn(|| loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&g) = forkable.get(j) else { break };
+                    let Some(&g) = to_simulate.get(j) else { break };
                     let cfg = &pending[groups[g][0]].config;
                     let at = checkpoint_time(cfg).expect("forkable groups have a warm-up");
                     let mut world = World::new(warm_prefix_config(cfg));
@@ -237,19 +328,35 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
         });
         for (g, snap) in made.into_inner().expect("prefix lock") {
             prefix_events_skipped += (groups[g].len() as u64 - 1) * snap.events_processed;
-            snapshots[g] = Some(snap);
+            cache.snapshots.insert(group_fp[g], snap);
+        }
+    }
+    // Groups served entirely from the cache skip the prefix for every
+    // member (the simulation happened in an earlier invocation).
+    for &g in (0..groups.len())
+        .filter(|&g| !groups[g].is_empty() && !to_simulate.contains(&g))
+        .collect::<Vec<_>>()
+        .iter()
+    {
+        if let Some(snap) = cache.snapshots.get(&group_fp[g]) {
+            prefix_events_skipped += groups[g].len() as u64 * snap.events_processed;
         }
     }
 
     // Phase 2: every pending run — forked members restore the group's
     // checkpoint and continue; the rest run cold from t = 0. Either way
-    // the artifact bytes are identical (checked by tests/fork.rs).
+    // the artifact bytes are identical (checked by tests/fork.rs). A
+    // panicking run is caught, recorded as failed, and its worker moves
+    // on — one diverging simulation must not poison the pool.
+    let cache = &*cache; // immutable from here: workers only read snapshots
     let mut violations: Vec<RunViolation> = Vec::new();
+    let mut failed: Vec<FailedRun> = Vec::new();
     if !pending.is_empty() {
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let fresh: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::with_capacity(pending.len()));
         let found: Mutex<Vec<(usize, RunViolation)>> = Mutex::new(Vec::new());
+        let panicked: Mutex<Vec<FailedRun>> = Mutex::new(Vec::new());
         let profiles: Mutex<Vec<(usize, ProfileEntry)>> = Mutex::new(Vec::new());
         let io_error: Mutex<Option<io::Error>> = Mutex::new(None);
         let progress = Progress::new(pending.len(), skipped, opts.quiet);
@@ -258,17 +365,38 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(plan) = pending.get(i) else { break };
-                    let snap = group_of[i].and_then(|g| snapshots[g].as_ref());
+                    let snap = group_of[i].and_then(|g| cache.snapshots.get(&group_fp[g]));
                     let started = Instant::now();
-                    let (record, run_violations, trace_report) =
-                        match run_one(spec, plan, snap, opts.check, opts.trace.is_some()) {
-                            Ok(out) => out,
-                            Err(e) => {
-                                let mut slot = io_error.lock().expect("io_error lock");
-                                slot.get_or_insert(e);
-                                break;
-                            }
-                        };
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if opts.panic_label.as_deref() == Some(plan.coord.label().as_str()) {
+                            panic!("injected test panic");
+                        }
+                        run_one(spec, plan, snap, opts.check, opts.trace.is_some())
+                    }));
+                    let (record, run_violations, trace_report) = match outcome {
+                        Ok(Ok(out)) => out,
+                        Ok(Err(e)) => {
+                            let mut slot = io_error.lock().expect("io_error lock");
+                            slot.get_or_insert(e);
+                            break;
+                        }
+                        Err(payload) => {
+                            let message = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string());
+                            panicked.lock().expect("failed lock").push(FailedRun {
+                                index: plan.index,
+                                label: plan.coord.label(),
+                                hash: plan.hash.clone(),
+                                message,
+                            });
+                            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            progress.report(completed);
+                            continue;
+                        }
+                    };
                     let wall_s = started.elapsed().as_secs_f64();
                     if let Err(e) = write_atomic(&artifact_path(&runs_dir, plan), &record.encode())
                     {
@@ -328,6 +456,8 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
         let mut found = found.into_inner().expect("violations lock");
         found.sort_by_key(|(index, _)| *index); // stable: keeps per-run order
         violations = found.into_iter().map(|(_, v)| v).collect();
+        failed = panicked.into_inner().expect("failed lock");
+        failed.sort_by_key(|f| f.index);
         if let Some(trace_dir) = &opts.trace {
             let mut profiles = profiles.into_inner().expect("profiles lock");
             profiles.sort_by_key(|(index, _)| *index);
@@ -340,10 +470,13 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
         }
     }
 
-    let executed = pending.len();
+    let executed = pending.len() - failed.len();
+    // Failed runs have no record (and no artifact, so resume retries
+    // them); any other hole is an internal error.
     let records = plans
         .iter()
         .zip(records)
+        .filter(|(plan, record)| record.is_some() || !failed.iter().any(|f| f.index == plan.index))
         .map(|(plan, record)| {
             record.ok_or_else(|| {
                 io::Error::other(format!(
@@ -363,6 +496,8 @@ pub fn execute(spec: &CampaignSpec, opts: &RunnerOptions) -> io::Result<Campaign
         prefix_runs,
         prefix_events_skipped,
         violations,
+        failed,
+        quarantined,
     })
 }
 
@@ -443,9 +578,18 @@ fn resume_record(runs_dir: &Path, plan: &RunPlan) -> Option<RunRecord> {
     (record.hash == plan.hash).then_some(record)
 }
 
+/// Moves an unreadable artifact to `runs/corrupt/` (same filename) so
+/// the evidence survives while resume re-executes the run.
+fn quarantine(runs_dir: &Path, plan: &RunPlan) -> io::Result<()> {
+    let corrupt_dir = runs_dir.join("corrupt");
+    std::fs::create_dir_all(&corrupt_dir)?;
+    let name = format!("run-{}.jsonl", plan.hash);
+    std::fs::rename(runs_dir.join(&name), corrupt_dir.join(&name))
+}
+
 /// Writes a file atomically (temp file + rename) so a crashed run never
 /// leaves a half-written artifact that resume would trust.
-fn write_atomic(path: &Path, content: &str) -> io::Result<()> {
+pub(crate) fn write_atomic(path: &Path, content: &str) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, content)?;
     std::fs::rename(&tmp, path)

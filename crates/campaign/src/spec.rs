@@ -82,7 +82,7 @@ impl BaseSpec {
         cfg
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         let mut pairs = vec![("preset", Json::Str(self.preset.name().to_string()))];
         if let Some(s) = self.duration_s {
             pairs.push(("duration_s", Json::Int(s)));
@@ -93,7 +93,7 @@ impl BaseSpec {
         Json::object(pairs)
     }
 
-    fn from_json(v: &Json) -> Result<BaseSpec, SpecError> {
+    pub(crate) fn from_json(v: &Json) -> Result<BaseSpec, SpecError> {
         let preset = v
             .get("preset")
             .and_then(Json::as_str)
@@ -192,6 +192,27 @@ pub fn strategy_static(name: &str) -> Option<&'static str> {
         .find(|n| *n == name)
 }
 
+/// Fabric topology axis values, in a stable order (the spellings of
+/// [`clocksync::fabric::FabricTopology`]'s variants).
+pub const TOPOLOGY_NAMES: [&str; 3] = ["line", "ring", "tree"];
+
+/// The canonical `&'static` name behind a topology-axis value (same
+/// interning contract as [`strategy_static`]).
+pub fn topology_static(name: &str) -> Option<&'static str> {
+    TOPOLOGY_NAMES.iter().copied().find(|n| *n == name)
+}
+
+/// Parses a topology-axis value into the fabric's enum.
+pub fn parse_topology(name: &str) -> Option<clocksync::fabric::FabricTopology> {
+    use clocksync::fabric::FabricTopology;
+    match name {
+        "line" => Some(FabricTopology::Line),
+        "ring" => Some(FabricTopology::Ring),
+        "tree" => Some(FabricTopology::Tree),
+        _ => None,
+    }
+}
+
 /// The parameter grid. Every axis except `seeds` may be empty, meaning
 /// "keep the base/scenario value"; the run matrix is the cross product
 /// of all non-empty axes.
@@ -252,6 +273,19 @@ pub struct Grid {
     /// into the gPTP correction field, `false` leaves the raw
     /// end-to-end queuing error (activates the fabric).
     pub tc_mode: Vec<bool>,
+    /// Fabric topologies ([`TOPOLOGY_NAMES`] spellings; activates the
+    /// fabric). Omitted, fabric runs use a line of switches.
+    pub topology: Vec<String>,
+    /// Adversary shift magnitudes in nanoseconds: each value replaces
+    /// the active strategy preset's dominant waveform parameter via
+    /// [`ByzantineStrategy::with_magnitude`] (activates the attack with
+    /// the strategy/compromised axes defaulted). This is the continuous
+    /// axis `campaign frontier` bisects.
+    pub adv_offset_ns: Vec<u64>,
+    /// Aggregation trim degrees `f`: each value replaces the preset's
+    /// `f` in the configured fault-tolerant method (FTA or midpoint).
+    /// Acts from t = 0, so it is prefix-relevant.
+    pub fta_f: Vec<usize>,
 }
 
 impl Grid {
@@ -278,6 +312,9 @@ impl Grid {
             * axis(self.cross_traffic_pct.len())
             * axis(self.asymmetry_ns.len())
             * axis(self.tc_mode.len())
+            * axis(self.topology.len())
+            * axis(self.adv_offset_ns.len())
+            * axis(self.fta_f.len())
     }
 
     fn to_json(&self) -> Json {
@@ -414,6 +451,18 @@ impl Grid {
                 "tc_mode",
                 Json::Array(self.tc_mode.iter().map(|&t| Json::Bool(t)).collect()),
             ),
+            (
+                "topology",
+                Json::Array(self.topology.iter().map(|t| Json::Str(t.clone())).collect()),
+            ),
+            (
+                "adv_offset_ns",
+                Json::Array(self.adv_offset_ns.iter().map(|&a| Json::UInt(a)).collect()),
+            ),
+            (
+                "fta_f",
+                Json::Array(self.fta_f.iter().map(|&f| Json::UInt(f as u64)).collect()),
+            ),
         ])
     }
 
@@ -460,6 +509,9 @@ impl Grid {
             })?,
             asymmetry_ns: list(v, "asymmetry_ns", Json::as_u64)?,
             tc_mode: list(v, "tc_mode", Json::as_bool)?,
+            topology: list(v, "topology", |x| x.as_str().map(str::to_string))?,
+            adv_offset_ns: list(v, "adv_offset_ns", Json::as_u64)?,
+            fta_f: list(v, "fta_f", |x| x.as_u64().map(|f| f as usize))?,
         })
     }
 }
@@ -585,13 +637,46 @@ impl CampaignSpec {
             )));
         }
         if self.grid.rogue_master.iter().any(|&n| n > 0)
-            && (!self.grid.strategies.is_empty() || !self.grid.compromised.is_empty())
+            && (!self.grid.strategies.is_empty()
+                || !self.grid.compromised.is_empty()
+                || !self.grid.adv_offset_ns.is_empty())
         {
             return Err(SpecError::Invalid(
-                "rogue_master cannot combine with the strategies/compromised axes \
-                 (both materialize strikes on the highest node indices)"
+                "rogue_master cannot combine with the strategies/compromised/adv_offset_ns \
+                 axes (both materialize strikes on the highest node indices)"
                     .to_string(),
             ));
+        }
+        if let Some(&a) = self
+            .grid
+            .adv_offset_ns
+            .iter()
+            .find(|&&a| a == 0 || a > 10_000_000)
+        {
+            return Err(SpecError::Invalid(format!(
+                "adv_offset_ns axis value {a} outside the supported 1..=10000000 \
+                 (a zero magnitude is the honest cell; 10 ms dwarfs every bound)"
+            )));
+        }
+        if !self.grid.fta_f.is_empty() {
+            let min_domains = self.grid.domains.iter().copied().min().unwrap_or(4);
+            if let Some(&f) = self
+                .grid
+                .fta_f
+                .iter()
+                .find(|&&f| f == 0 || 2 * f + 1 > min_domains)
+            {
+                return Err(SpecError::Invalid(format!(
+                    "fta_f axis value {f} needs 2f+1 = {} domains but the smallest domain \
+                     count is {min_domains}",
+                    2 * f + 1
+                )));
+            }
+        }
+        for t in &self.grid.topology {
+            if topology_static(t).is_none() {
+                return Err(SpecError::Value("grid.topology[]".to_string(), t.clone()));
+            }
         }
         if let Some(&h) = self.grid.hops.iter().find(|&&h| !(1..=64).contains(&h)) {
             return Err(SpecError::Invalid(format!(
@@ -739,10 +824,10 @@ impl CampaignSpec {
     /// * `election-sweep` — dynamic BMCA election with a scheduled kill
     ///   of node 0's GM at +10 s × rogue masters ∈ {0, 1} × 2 seeds
     ///   (4 runs; `specs/election_sweep.json` is its file form);
-    /// * `fabric-sweep` — the network depth sweep: hops ∈ {1, 3, 6}
-    ///   through the TSN switch fabric × 30 % cross-traffic ×
-    ///   transparent clocks {off, on} × 2 seeds (12 runs;
-    ///   `specs/fabric_sweep.json` is its file form).
+    /// * `fabric-sweep` — the network depth sweep: topology ∈ {line,
+    ///   ring, tree} × hops ∈ {1, 3, 6} through the TSN switch fabric ×
+    ///   30 % cross-traffic × transparent clocks {off, on} × 2 seeds
+    ///   (36 runs; `specs/fabric_sweep.json` is its file form).
     pub fn builtin(name: &str) -> Option<CampaignSpec> {
         let spec = match name {
             "quick-baseline" => CampaignSpec {
@@ -840,6 +925,7 @@ impl CampaignSpec {
                     hops: vec![1, 3, 6],
                     cross_traffic_pct: vec![30],
                     tc_mode: vec![false, true],
+                    topology: TOPOLOGY_NAMES.iter().map(|t| t.to_string()).collect(),
                     ..Grid::default()
                 },
             },

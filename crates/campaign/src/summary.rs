@@ -54,6 +54,12 @@ pub struct GroupKey {
     pub asymmetry_ns: Option<u64>,
     /// Transparent-clock mode, if swept.
     pub tc_mode: Option<bool>,
+    /// Fabric topology, if swept.
+    pub topology: Option<&'static str>,
+    /// Adversary shift magnitude in ns, if swept.
+    pub adv_offset_ns: Option<u64>,
+    /// Aggregation trim degree, if swept.
+    pub fta_f: Option<usize>,
 }
 
 impl GroupKey {
@@ -78,6 +84,9 @@ impl GroupKey {
             cross_traffic_pct: coord.cross_traffic_pct,
             asymmetry_ns: coord.asymmetry_ns,
             tc_mode: coord.tc_mode,
+            topology: coord.topology,
+            adv_offset_ns: coord.adv_offset_ns,
+            fta_f: coord.fta_f,
         }
     }
 
@@ -134,6 +143,15 @@ impl GroupKey {
         }
         if let Some(t) = self.tc_mode {
             parts.push(format!("tc={}", if t { "on" } else { "off" }));
+        }
+        if let Some(t) = self.topology {
+            parts.push(format!("topo={t}"));
+        }
+        if let Some(a) = self.adv_offset_ns {
+            parts.push(format!("adv_ns={a}"));
+        }
+        if let Some(f) = self.fta_f {
+            parts.push(format!("f={f}"));
         }
         parts.join(" ")
     }
@@ -597,6 +615,9 @@ mod tests {
                 cross_traffic_pct: None,
                 asymmetry_ns: None,
                 tc_mode: None,
+                topology: None,
+                adv_offset_ns: None,
+                fta_f: None,
             },
             seed: seed * 1000,
             counters: RunCounters::default(),

@@ -52,18 +52,22 @@ fn opts(dir: &Path, threads: usize) -> RunnerOptions {
         fork: false,
         check: false,
         trace: None,
+        panic_label: None,
     }
 }
 
 fn artifact_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
     let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir.join("runs"))
         .expect("runs dir exists")
-        .map(|e| {
+        .filter_map(|e| {
             let e = e.unwrap();
-            (
-                e.file_name().to_string_lossy().into_owned(),
-                std::fs::read(e.path()).unwrap(),
-            )
+            // Skip `runs/corrupt/`, where damaged artifacts are quarantined.
+            e.path().is_file().then(|| {
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
         })
         .collect();
     files.sort();

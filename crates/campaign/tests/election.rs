@@ -76,6 +76,7 @@ fn election_failover_is_in_artifacts_and_oracles_stay_silent() {
         fork: false,
         check: true,
         trace: Some(trace_dir.clone()),
+        panic_label: None,
     };
     let report = runner::execute(&spec, &opts).expect("campaign runs");
     assert_eq!(report.executed, 2);
@@ -155,6 +156,7 @@ fn election_runs_fork_byte_identically() {
         fork,
         check: false,
         trace: None,
+        panic_label: None,
     };
 
     let cold = runner::execute(&spec, &opts(&cold_dir, false)).expect("cold campaign");

@@ -1,0 +1,231 @@
+//! Acceptance of the resilience-frontier explorer (ROADMAP item 5 /
+//! PR 9 tentpole):
+//!
+//! * the adaptive search localizes the containment boundary at least
+//!   4× tighter than the fixed 48-run reference grid while simulating
+//!   **fewer** total runs;
+//! * every cell's empirical boundary is consistent with the analytical
+//!   Kopetz–Ochsenreiter bound — no break below `contained_below`, and
+//!   analytically unbreakable cells stay contained through the axis
+//!   maximum;
+//! * `frontier.json` is byte-identical across fresh directories, across
+//!   forked and cold execution, and across a resume into a completed
+//!   directory.
+
+use std::path::{Path, PathBuf};
+use tsn_campaign::{
+    frontier::{self, FrontierAxis, FrontierCell},
+    BaseSpec, BisectOutcome, FrontierSpec, RunnerOptions,
+};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tsn-campaign-frontier-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One breakable cell (colluding c = f + 1) and one analytically
+/// unbreakable cell (colluding c = f), one seed, short horizon: the
+/// boundary bracket converges in 10 probes and the unbreakable cell
+/// settles after its two endpoint probes.
+fn accept_spec() -> FrontierSpec {
+    FrontierSpec {
+        name: "frontier-accept".to_string(),
+        base: BaseSpec {
+            preset: tsn_campaign::Preset::Quick,
+            duration_s: Some(12),
+            warmup_s: Some(4),
+        },
+        seeds: vec![21],
+        cells: vec![
+            FrontierCell {
+                strategy: "colluding".to_string(),
+                compromised: 2,
+                f: None,
+            },
+            FrontierCell {
+                strategy: "colluding".to_string(),
+                compromised: 1,
+                f: None,
+            },
+        ],
+        axis: FrontierAxis {
+            name: "adv_offset_ns".to_string(),
+            min: 1_000,
+            max: 64_000,
+            resolution: 300,
+        },
+        budget_per_cell: 12,
+    }
+}
+
+fn opts(dir: &Path, fork: bool) -> RunnerOptions {
+    RunnerOptions {
+        dir: dir.to_path_buf(),
+        threads: 2,
+        quiet: true,
+        fork,
+        check: false,
+        trace: None,
+        panic_label: None,
+    }
+}
+
+#[test]
+fn frontier_localizes_tighter_than_the_grid_with_fewer_runs() {
+    let spec = accept_spec();
+    let dir = scratch("accept");
+    let report = frontier::execute(&spec, &opts(&dir, true)).expect("frontier runs");
+    assert!(
+        report.failed.is_empty(),
+        "probes failed: {:?}",
+        report.failed
+    );
+    assert!(report.violations.is_empty());
+
+    let doc = &report.doc;
+    assert!(doc.consistent(), "empirical boundary violates the bound");
+    assert!(
+        doc.total_runs < doc.grid_runs,
+        "adaptive search used {} runs, the fixed grid only {}",
+        doc.total_runs,
+        doc.grid_runs
+    );
+
+    // The breakable cell produced a bracket no wider than the requested
+    // resolution, and ≥4× tighter than the grid could localize.
+    let breakable = &doc.cells[0];
+    let Some(BisectOutcome::Bracket {
+        contained_at,
+        broken_at,
+    }) = breakable.empirical.outcome
+    else {
+        panic!(
+            "colluding c=2 produced no bracket: {:?}",
+            breakable.empirical.outcome
+        );
+    };
+    let width = broken_at - contained_at;
+    assert!(
+        width <= spec.axis.resolution,
+        "bracket wider than resolution"
+    );
+    assert!(
+        width * 4 <= doc.grid_spacing,
+        "bracket {width} ns is not 4x tighter than the grid's {} ns spacing",
+        doc.grid_spacing
+    );
+    assert!(breakable.empirical.probes <= spec.budget_per_cell);
+
+    // Both bracket ends are witnessed by real on-disk artifacts.
+    for hash in [&breakable.witness_contained, &breakable.witness_broken] {
+        let hash = hash.as_ref().expect("bracket ends are witnessed");
+        assert!(
+            dir.join("runs").join(format!("run-{hash}.jsonl")).is_file(),
+            "witness artifact run-{hash}.jsonl missing"
+        );
+    }
+
+    // The break sits at or above the analytical containment guarantee.
+    let analytical = breakable.analytical.as_ref().expect("magnitude axis");
+    let contained_below = analytical
+        .contained_below_ns
+        .expect("c > f cells are breakable");
+    assert!(
+        broken_at as i64 >= contained_below,
+        "containment broke at {broken_at} ns, below the {contained_below} ns guarantee"
+    );
+
+    // c = f keeps the adversary below quorum: analytically unbreakable,
+    // and the search settles it with just the two endpoint probes.
+    let unbreakable = &doc.cells[1];
+    let a = unbreakable.analytical.as_ref().expect("magnitude axis");
+    assert_eq!(a.steered, 0);
+    assert_eq!(a.contained_below_ns, None);
+    assert_eq!(
+        unbreakable.empirical.outcome,
+        Some(BisectOutcome::ContainedThroughout)
+    );
+    assert_eq!(unbreakable.empirical.probes, 2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn frontier_artifact_is_byte_identical_across_dirs_fork_and_resume() {
+    let spec = accept_spec();
+    let dir_a = scratch("det-a");
+    let dir_b = scratch("det-b");
+    let dir_cold = scratch("det-cold");
+
+    let first = frontier::execute(&spec, &opts(&dir_a, true)).expect("first run");
+    assert!(first.executed > 0);
+    frontier::execute(&spec, &opts(&dir_b, true)).expect("second run");
+    let cold = frontier::execute(&spec, &opts(&dir_cold, false)).expect("cold run");
+    assert_eq!(cold.forked_groups, 0);
+
+    let artifact = |dir: &Path| std::fs::read(dir.join("frontier.json")).expect("frontier.json");
+    assert_eq!(
+        artifact(&dir_a),
+        artifact(&dir_b),
+        "fresh directories disagree"
+    );
+    assert_eq!(
+        artifact(&dir_a),
+        artifact(&dir_cold),
+        "forked and cold execution disagree"
+    );
+
+    // Every probe artifact is also byte-identical between fork and cold.
+    let runs = |dir: &Path| -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<_> = std::fs::read_dir(dir.join("runs"))
+            .expect("runs dir")
+            .filter_map(|e| {
+                let e = e.unwrap();
+                e.path().is_file().then(|| {
+                    (
+                        e.file_name().to_string_lossy().into_owned(),
+                        std::fs::read(e.path()).unwrap(),
+                    )
+                })
+            })
+            .collect();
+        files.sort();
+        files
+    };
+    assert_eq!(runs(&dir_a), runs(&dir_cold), "probe artifacts differ");
+
+    // Resuming a completed directory re-executes nothing and leaves the
+    // document bytes untouched (total_runs is spec-derived, not
+    // invocation-derived).
+    let before = artifact(&dir_a);
+    let resumed = frontier::execute(&spec, &opts(&dir_a, true)).expect("resume");
+    assert_eq!(resumed.executed, 0, "resume re-executed probes");
+    assert_eq!(resumed.skipped, first.executed + first.skipped);
+    assert_eq!(resumed.doc, first.doc);
+    assert_eq!(artifact(&dir_a), before, "resume rewrote frontier.json");
+
+    // The parsed document round-trips to the exact same bytes.
+    let parsed = tsn_campaign::FrontierDoc::parse(&String::from_utf8(before.clone()).unwrap())
+        .expect("frontier.json parses");
+    assert_eq!(parsed.render().into_bytes(), before);
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let _ = std::fs::remove_dir_all(&dir_cold);
+}
+
+#[test]
+fn frontier_spec_file_matches_builtin() {
+    // `specs/frontier_sweep.json` is the file form of the builtin; the
+    // two must never drift apart.
+    let builtin = FrontierSpec::builtin("frontier-sweep").expect("builtin exists");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/frontier_sweep.json");
+    let text = std::fs::read_to_string(&path).expect("specs/frontier_sweep.json exists");
+    let from_file = FrontierSpec::parse(&text).expect("spec file parses");
+    assert_eq!(from_file, builtin, "specs/frontier_sweep.json drifted");
+    assert_eq!(text, builtin.render(), "spec file bytes drifted");
+}

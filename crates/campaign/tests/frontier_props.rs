@@ -1,0 +1,132 @@
+//! Property tests for the frontier bisection engine.
+//!
+//! The bisection is the load-bearing search primitive of `campaign
+//! frontier`: its bracket must only ever shrink, it must never exceed
+//! its probe budget, and — because the frontier artifact is
+//! byte-reproducible — identical verdict sequences must yield identical
+//! probe sequences. The properties drive it with arbitrary intervals,
+//! budgets, and both arbitrary and threshold-shaped verdicts.
+
+use proptest::prelude::*;
+use proptest::rand::rngs::StdRng;
+use proptest::rand::Rng;
+use tsn_campaign::{BisectOutcome, Bisection};
+
+/// An arbitrary valid search problem: interval, resolution, budget, and
+/// a verdict stream (one pre-drawn bool per potential probe).
+#[derive(Debug, Clone)]
+struct Problem {
+    min: u64,
+    max: u64,
+    resolution: u64,
+    budget: usize,
+    verdicts: Vec<bool>,
+}
+
+struct ArbProblem;
+
+impl proptest::strategy::Strategy for ArbProblem {
+    type Value = Problem;
+    fn generate(&self, rng: &mut StdRng) -> Problem {
+        let min = rng.gen_range(0..1_000_000u64);
+        let max = min + rng.gen_range(1..2_000_000u64);
+        let resolution = rng.gen_range(1..=(max - min));
+        let budget = rng.gen_range(2..40usize);
+        let verdicts = (0..budget).map(|_| rng.gen()).collect();
+        Problem {
+            min,
+            max,
+            resolution,
+            budget,
+            verdicts,
+        }
+    }
+}
+
+/// Drives a bisection to completion with the problem's verdict stream;
+/// returns the probe values in order.
+fn drive(p: &Problem) -> (Bisection, Vec<u64>) {
+    let mut b = Bisection::new(p.min, p.max, p.resolution, p.budget);
+    let mut probes = Vec::new();
+    while let Some(probe) = b.next_probe() {
+        let broken = p.verdicts[probes.len()];
+        probes.push(probe);
+        b.report(probe, broken);
+    }
+    (b, probes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The bracket never widens, every probe lies inside the current
+    /// bracket, and the search never exceeds its budget.
+    #[test]
+    fn brackets_shrink_monotonically_within_budget(p in ArbProblem) {
+        let mut b = Bisection::new(p.min, p.max, p.resolution, p.budget);
+        let mut probed = 0usize;
+        let (mut lo, mut hi) = b.bracket();
+        prop_assert_eq!((lo, hi), (p.min, p.max));
+        while let Some(probe) = b.next_probe() {
+            prop_assert!(probe >= lo && probe <= hi, "probe {probe} outside [{lo}, {hi}]");
+            b.report(probe, p.verdicts[probed]);
+            probed += 1;
+            let (nlo, nhi) = b.bracket();
+            prop_assert!(nlo >= lo && nhi <= hi, "bracket widened: [{lo}, {hi}] -> [{nlo}, {nhi}]");
+            prop_assert!(nlo < nhi, "bracket collapsed");
+            (lo, hi) = (nlo, nhi);
+            prop_assert!(probed <= p.budget, "budget exceeded");
+        }
+        prop_assert_eq!(b.probes(), probed);
+        // A settled search has an outcome; endpoint shortcuts aside, a
+        // bracket outcome is at most `resolution` wide unless the
+        // budget ran out first.
+        match b.outcome() {
+            Some(BisectOutcome::Bracket { contained_at, broken_at }) => {
+                prop_assert!(contained_at < broken_at);
+                prop_assert!(
+                    broken_at - contained_at <= p.resolution || probed == p.budget,
+                    "unconverged bracket with budget to spare"
+                );
+            }
+            Some(_) => {}
+            None => prop_assert!(false, "driven search has no outcome"),
+        }
+    }
+
+    /// Identical verdict sequences produce identical probe sequences
+    /// and outcomes — the determinism the byte-reproducible artifact
+    /// rests on.
+    #[test]
+    fn identical_verdicts_give_identical_searches(p in ArbProblem) {
+        let (a, probes_a) = drive(&p);
+        let (b, probes_b) = drive(&p);
+        prop_assert_eq!(probes_a, probes_b);
+        prop_assert_eq!(a.outcome(), b.outcome());
+        prop_assert_eq!(a.bracket(), b.bracket());
+    }
+
+    /// Against a monotone threshold adversary (broken ⇔ probe ≥ t with
+    /// t inside the interval), the search brackets t whenever the
+    /// budget suffices — and the bracket genuinely contains t.
+    #[test]
+    fn threshold_adversary_is_bracketed(p in ArbProblem, frac in 0.0f64..1.0) {
+        // Place the threshold strictly inside (min, max].
+        let span = p.max - p.min;
+        let t = p.min + 1 + ((span - 1) as f64 * frac) as u64;
+        let mut b = Bisection::new(p.min, p.max, p.resolution, 64);
+        while let Some(probe) = b.next_probe() {
+            b.report(probe, probe >= t);
+        }
+        match b.outcome() {
+            Some(BisectOutcome::Bracket { contained_at, broken_at }) => {
+                prop_assert!(
+                    contained_at < t && t <= broken_at,
+                    "threshold {t} outside bracket ({contained_at}, {broken_at}]"
+                );
+                prop_assert!(broken_at - contained_at <= p.resolution);
+            }
+            other => prop_assert!(false, "threshold inside the interval, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Fault tolerance of the campaign runner itself:
+//!
+//! * a run that panics is isolated — the campaign finishes, sibling
+//!   artifacts are byte-identical to a clean campaign, the failed run
+//!   leaves no artifact, and a later resume retries it;
+//! * a bytewise-truncated artifact is quarantined to `runs/corrupt/`
+//!   and its run re-executed instead of aborting the resume;
+//! * the ring and tree fabric topologies run clean under `--check` and
+//!   fork byte-identically to cold execution.
+
+use clocksync::scenario::ScenarioKind;
+use std::path::{Path, PathBuf};
+use tsn_campaign::{runner, BaseSpec, CampaignSpec, Grid, RunnerOptions};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tsn-campaign-robustness-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_spec(name: &str) -> CampaignSpec {
+    CampaignSpec {
+        name: name.to_string(),
+        base: BaseSpec {
+            preset: tsn_campaign::Preset::Quick,
+            duration_s: Some(6),
+            warmup_s: Some(3),
+        },
+        scenarios: vec![ScenarioKind::Baseline, ScenarioKind::CyberIdenticalKernels],
+        grid: Grid {
+            seeds: vec![1, 2],
+            ..Grid::default()
+        },
+    }
+}
+
+fn opts(dir: &Path) -> RunnerOptions {
+    RunnerOptions {
+        dir: dir.to_path_buf(),
+        threads: 2,
+        quiet: true,
+        fork: false,
+        check: false,
+        trace: None,
+        panic_label: None,
+    }
+}
+
+fn artifact_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir.join("runs"))
+        .expect("runs dir exists")
+        .filter_map(|e| {
+            let e = e.unwrap();
+            e.path().is_file().then(|| {
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn panicking_run_is_isolated_and_perturbs_nothing() {
+    let spec = tiny_spec("panic-isolation");
+    let clean_dir = scratch("panic-clean");
+    let clean = runner::execute(&spec, &opts(&clean_dir)).expect("clean campaign");
+    assert_eq!(clean.executed, 4);
+
+    // Same campaign, with the worker for one victim run instructed to
+    // panic mid-execution.
+    let victim = tsn_campaign::expand(&spec).expect("valid spec")[1].clone();
+    let dir = scratch("panic");
+    let report = runner::execute(
+        &spec,
+        &RunnerOptions {
+            panic_label: Some(victim.coord.label()),
+            ..opts(&dir)
+        },
+    )
+    .expect("campaign must finish despite the panic");
+
+    // Exactly the victim failed; everything else ran to completion.
+    assert_eq!(report.failed.len(), 1);
+    let failed = &report.failed[0];
+    assert_eq!(failed.label, victim.coord.label());
+    assert_eq!(failed.hash, victim.hash);
+    assert_eq!(failed.index, victim.index);
+    assert!(
+        failed.to_string().contains("panicked"),
+        "failure does not say it panicked: {failed}"
+    );
+    assert_eq!(report.executed, 3);
+
+    // The failed run left no artifact — not even a partial one.
+    let victim_file = format!("run-{}.jsonl", victim.hash);
+    assert!(
+        !dir.join("runs").join(&victim_file).exists(),
+        "failed run left an artifact"
+    );
+
+    // Sibling artifacts are byte-identical to the clean campaign's.
+    let clean_bytes = artifact_bytes(&clean_dir);
+    let with_panic = artifact_bytes(&dir);
+    assert_eq!(with_panic.len(), 3);
+    for pair in &with_panic {
+        assert!(
+            clean_bytes.contains(pair),
+            "sibling artifact {} perturbed by the panic",
+            pair.0
+        );
+    }
+
+    // A plain resume retries exactly the failed run and completes the
+    // campaign to the clean campaign's bytes.
+    let resumed = runner::execute(&spec, &opts(&dir)).expect("resume");
+    assert_eq!(resumed.executed, 1);
+    assert_eq!(resumed.skipped, 3);
+    assert!(resumed.failed.is_empty());
+    assert_eq!(artifact_bytes(&dir), clean_bytes);
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_artifact_is_quarantined_and_rerun() {
+    let spec = tiny_spec("quarantine");
+    let dir = scratch("quarantine");
+    let first = runner::execute(&spec, &opts(&dir)).expect("first invocation");
+    assert_eq!(first.executed, 4);
+    assert_eq!(first.quarantined, 0);
+    let before = artifact_bytes(&dir);
+
+    // Bytewise-truncate one artifact — the torn-write failure mode.
+    let (victim_name, victim_bytes) = &before[0];
+    let victim = dir.join("runs").join(victim_name);
+    std::fs::write(&victim, &victim_bytes[..victim_bytes.len() / 2]).unwrap();
+
+    let second = runner::execute(&spec, &opts(&dir)).expect("resume over corruption");
+    assert_eq!(second.quarantined, 1, "truncated artifact not quarantined");
+    assert_eq!(second.executed, 1);
+    assert_eq!(second.skipped, 3);
+    assert_eq!(second.records, first.records);
+
+    // The damaged bytes were preserved for forensics, not destroyed...
+    let quarantined = dir.join("runs").join("corrupt").join(victim_name);
+    assert_eq!(
+        std::fs::read(&quarantined).expect("quarantined copy exists"),
+        &victim_bytes[..victim_bytes.len() / 2]
+    );
+    // ...and the re-executed artifact matches the original bytes.
+    assert_eq!(artifact_bytes(&dir), before);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ring_and_tree_fabrics_run_clean_and_fork_identically() {
+    // Two topologies × two scenarios on one seed: the cyber scenario is
+    // intervention-only, so each topology forms one warm-prefix group
+    // of {baseline, cyber} (topology itself is prefix-relevant and
+    // never forks across).
+    let spec = CampaignSpec {
+        name: "fabric-topo".to_string(),
+        base: BaseSpec {
+            preset: tsn_campaign::Preset::Quick,
+            duration_s: Some(6),
+            warmup_s: Some(3),
+        },
+        scenarios: vec![ScenarioKind::Baseline, ScenarioKind::CyberIdenticalKernels],
+        grid: Grid {
+            seeds: vec![7],
+            topology: vec!["ring".to_string(), "tree".to_string()],
+            hops: vec![2],
+            ..Grid::default()
+        },
+    };
+
+    // Checked cold execution: the invariant oracle watches every run.
+    let check_dir = scratch("topo-check");
+    let checked = runner::execute(
+        &spec,
+        &RunnerOptions {
+            check: true,
+            ..opts(&check_dir)
+        },
+    )
+    .expect("checked campaign");
+    assert_eq!(checked.executed, 4);
+    assert!(
+        checked.violations.is_empty(),
+        "ring/tree fabrics violated invariants: {:?}",
+        checked.violations
+    );
+    assert!(checked.failed.is_empty());
+
+    // Forked execution produces byte-identical artifacts.
+    let fork_dir = scratch("topo-fork");
+    let forked = runner::execute(
+        &spec,
+        &RunnerOptions {
+            fork: true,
+            ..opts(&fork_dir)
+        },
+    )
+    .expect("forked campaign");
+    assert!(forked.forked_groups > 0, "no warm-prefix group formed");
+    assert!(forked.prefix_events_skipped > 0);
+    assert_eq!(
+        artifact_bytes(&check_dir),
+        artifact_bytes(&fork_dir),
+        "forked ring/tree artifacts differ from cold artifacts"
+    );
+
+    // Both topologies are actually present in the artifacts.
+    let records = runner::load(&spec, &check_dir).expect("artifacts load");
+    for topo in ["ring", "tree"] {
+        assert!(
+            records.iter().any(|r| r.coord.topology == Some(topo)),
+            "no {topo} run in artifacts"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&check_dir);
+    let _ = std::fs::remove_dir_all(&fork_dir);
+}

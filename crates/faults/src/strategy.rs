@@ -135,6 +135,47 @@ impl ByzantineStrategy {
         })
     }
 
+    /// The named preset with its dominant magnitude parameter replaced:
+    /// the peak POT shift the adversary commands, as a positive
+    /// distance-from-truth. This is the knob the resilience-frontier
+    /// search bisects — each strategy maps the magnitude onto its own
+    /// waveform parameter, keeping the preset's shape (period, duty
+    /// cycle, sign convention) fixed:
+    ///
+    /// * `constant` / `intermittent` / `rogue-master` — `offset = −m`
+    ///   (the paper's shift is negative);
+    /// * `ramp` — `slope_per_s = m` (shift after 1 s of compromise);
+    /// * `oscillating` — `amplitude = m` (preset 10 s period);
+    /// * `colluding` — `target = m` (the colluders' shared timescale);
+    /// * `trim-edge` — `margin = m` (distance kept *below* the validity
+    ///   threshold, so larger magnitudes are *weaker* attacks — the only
+    ///   inverted axis, noted because a frontier search must still
+    ///   bracket it deterministically).
+    ///
+    /// Returns `None` for an unknown name, mirroring
+    /// [`ByzantineStrategy::named`].
+    pub fn with_magnitude(name: &str, magnitude: Nanos) -> Option<Self> {
+        Some(match name {
+            "constant" => ByzantineStrategy::ConstantOffset { offset: -magnitude },
+            "ramp" => ByzantineStrategy::LinearRamp {
+                slope_per_s: magnitude,
+            },
+            "oscillating" => ByzantineStrategy::Oscillating {
+                amplitude: magnitude,
+                period: Nanos::from_secs(10),
+            },
+            "intermittent" => ByzantineStrategy::Intermittent {
+                offset: -magnitude,
+                on: Nanos::from_secs(5),
+                off: Nanos::from_secs(5),
+            },
+            "trim-edge" => ByzantineStrategy::TrimEdge { margin: magnitude },
+            "colluding" => ByzantineStrategy::Colluding { target: magnitude },
+            "rogue-master" => ByzantineStrategy::RogueMaster { offset: -magnitude },
+            _ => return None,
+        })
+    }
+
     /// Names accepted by [`ByzantineStrategy::named`], in a stable order.
     pub const NAMES: [&'static str; 7] = [
         "constant",
@@ -357,6 +398,33 @@ mod tests {
         seen.dedup();
         assert_eq!(seen.len(), 7, "each name maps to a distinct variant");
         assert_eq!(ByzantineStrategy::named("nope"), None);
+    }
+
+    #[test]
+    fn with_magnitude_covers_all_variants_and_scales_the_shift() {
+        let m = Nanos::from_micros(30);
+        for n in ByzantineStrategy::NAMES {
+            let s = ByzantineStrategy::with_magnitude(n, m).expect("known name");
+            assert_eq!(s.name(), n, "magnitude override changed the variant");
+        }
+        assert_eq!(ByzantineStrategy::with_magnitude("nope", m), None);
+
+        // The commanded peak shift equals the magnitude for the
+        // offset-like strategies (sign per preset convention).
+        let c = ByzantineStrategy::with_magnitude("constant", m).unwrap();
+        assert_eq!(c.offset_at(Nanos::from_secs(3), VALIDITY), -m);
+        let col = ByzantineStrategy::with_magnitude("colluding", m).unwrap();
+        assert_eq!(col.offset_at(Nanos::from_secs(3), VALIDITY), m);
+        let r = ByzantineStrategy::with_magnitude("ramp", m).unwrap();
+        assert_eq!(r.offset_at(Nanos::from_secs(1), VALIDITY), m);
+        let o = ByzantineStrategy::with_magnitude("oscillating", m).unwrap();
+        assert_eq!(o.offset_at(Nanos::from_millis(2_500), VALIDITY), m);
+        // trim-edge is the inverted axis: magnitude is the safety margin.
+        let t = ByzantineStrategy::with_magnitude("trim-edge", Nanos::from_micros(2)).unwrap();
+        assert_eq!(
+            t.offset_at(Nanos::from_secs(3), VALIDITY),
+            Nanos::from_micros(13)
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 mod aggregator;
 mod algorithm;
+pub mod resilience;
 mod shmem;
 
 pub use aggregator::{
@@ -48,4 +49,5 @@ pub use algorithm::{
     fault_tolerant_average, fault_tolerant_midpoint, mean, median, trimmed_indices, validity_flags,
     AggregationMethod,
 };
+pub use resilience::{containment_bound, ResilienceBound, ResilienceParams};
 pub use shmem::{shared, FtShmem, OffsetSlot, SharedFtShmem};
