@@ -40,7 +40,18 @@ use tsn_time::SyncState;
 ///
 /// 6: coordinates gained the fabric topology axis (`topology`) and the
 /// frontier axes (`adv_offset_ns`, `fta_f`).
-pub const ARTIFACT_SCHEMA: u64 = 6;
+///
+/// 7: coordinates gained the fleet axes (`fleet_nodes`,
+/// `fleet_topology`). Unlike earlier bumps this one is
+/// *decode-compatible*: schema-6 records (which cannot carry fleet
+/// axes) still decode, with both fleet fields `None`, so committed
+/// fixtures and long-lived campaign directories keep resuming without
+/// re-execution. New records are always written as schema 7.
+pub const ARTIFACT_SCHEMA: u64 = 7;
+
+/// Oldest schema [`RunRecord::decode`] still accepts (see the version
+/// history above).
+pub const ARTIFACT_SCHEMA_COMPAT: u64 = 6;
 
 /// One sync-state transition of one aggregator, as recorded in the run's
 /// event log (times are absolute simulation nanoseconds).
@@ -180,6 +191,22 @@ impl RunRecord {
 
     /// Encodes the record as one JSONL line (with trailing newline).
     pub fn encode(&self) -> String {
+        let mut line = self.to_json().render();
+        line.push('\n');
+        line
+    }
+
+    /// Streams the JSONL line (with trailing newline) into `out`,
+    /// byte-identical to [`RunRecord::encode`]. The runner writes
+    /// artifacts through this via a bounded `BufWriter`.
+    pub fn encode_to<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        self.to_json().render_to(out)?;
+        out.write_all(b"\n")
+    }
+
+    /// The record as a JSON document (the single source of truth for
+    /// both encoders).
+    fn to_json(&self) -> Json {
         let coord = Json::object(vec![
             (
                 "scenario",
@@ -247,6 +274,13 @@ impl RunRecord {
             ),
             ("adv_offset_ns", opt_uint(self.coord.adv_offset_ns)),
             ("fta_f", opt_uint(self.coord.fta_f.map(|f| f as u64))),
+            ("fleet_nodes", opt_uint(self.coord.fleet_nodes.map(u64::from))),
+            (
+                "fleet_topology",
+                self.coord
+                    .fleet_topology
+                    .map_or(Json::Null, |t| Json::Str(t.to_string())),
+            ),
         ]);
         let c = &self.counters;
         let counters = Json::object(vec![
@@ -314,7 +348,7 @@ impl RunRecord {
                 })
                 .collect(),
         );
-        let record = Json::object(vec![
+        Json::object(vec![
             ("schema", Json::UInt(ARTIFACT_SCHEMA)),
             ("campaign", Json::Str(self.campaign.clone())),
             ("hash", Json::Str(self.hash.clone())),
@@ -328,10 +362,7 @@ impl RunRecord {
                 Json::Float(self.fraction_within_bound),
             ),
             ("transitions", transitions),
-        ]);
-        let mut line = record.render();
-        line.push('\n');
-        line
+        ])
     }
 
     /// Decodes a record from its JSONL line. Returns `None` on any
@@ -339,7 +370,8 @@ impl RunRecord {
     /// not-yet-completed and re-executes it).
     pub fn decode(line: &str) -> Option<RunRecord> {
         let v = Json::parse(line.trim_end()).ok()?;
-        if v.get("schema")?.as_u64()? != ARTIFACT_SCHEMA {
+        let schema = v.get("schema")?.as_u64()?;
+        if !(ARTIFACT_SCHEMA_COMPAT..=ARTIFACT_SCHEMA).contains(&schema) {
             return None;
         }
         let coord_v = v.get("coord")?;
@@ -382,6 +414,12 @@ impl RunRecord {
             })?,
             adv_offset_ns: opt_field(coord_v, "adv_offset_ns", Json::as_u64)?,
             fta_f: opt_field(coord_v, "fta_f", |x| x.as_u64().map(|f| f as usize))?,
+            fleet_nodes: compat_field(coord_v, "fleet_nodes", |x| {
+                x.as_u64().and_then(|n| u32::try_from(n).ok())
+            })?,
+            fleet_topology: compat_field(coord_v, "fleet_topology", |x| {
+                x.as_str().and_then(crate::spec::fleet_topology_static)
+            })?,
         };
         let c = v.get("counters")?;
         let counters = RunCounters {
@@ -494,6 +532,16 @@ fn opt_field<T>(obj: &Json, key: &str, f: impl Fn(&Json) -> Option<T>) -> Option
     }
 }
 
+/// Like [`opt_field`], but tolerates an *absent* key: coordinate axes
+/// added after [`ARTIFACT_SCHEMA_COMPAT`] are missing from older
+/// records, and decode as `None` rather than failing the record.
+fn compat_field<T>(obj: &Json, key: &str, f: impl Fn(&Json) -> Option<T>) -> Option<Option<T>> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Some(None),
+        Some(v) => f(v).map(Some),
+    }
+}
+
 fn quantile_ns(result: &RunResult, q: f64) -> i64 {
     result.series.quantile(q).map(|n| n.as_nanos()).unwrap_or(0)
 }
@@ -530,6 +578,8 @@ mod tests {
                 topology: Some("ring"),
                 adv_offset_ns: Some(20_000),
                 fta_f: Some(2),
+                fleet_nodes: Some(256),
+                fleet_topology: Some("fat-tree"),
             },
             seed: u64::MAX - 3,
             counters: RunCounters::default(),
@@ -590,10 +640,35 @@ mod tests {
 
     #[test]
     fn decode_rejects_other_schemas_and_garbage() {
-        let line = record().encode().replace("\"schema\":6", "\"schema\":5");
+        let line = record().encode().replace("\"schema\":7", "\"schema\":5");
+        assert!(RunRecord::decode(&line).is_none());
+        let line = record().encode().replace("\"schema\":7", "\"schema\":8");
         assert!(RunRecord::decode(&line).is_none());
         assert!(RunRecord::decode("not json").is_none());
         assert!(RunRecord::decode("{}").is_none());
+    }
+
+    #[test]
+    fn decode_accepts_schema_6_records_without_fleet_fields() {
+        // A schema-6 artifact (as committed in the golden fixture) has
+        // neither fleet key in its coord object; it must keep decoding,
+        // with both fleet axes read back as `None`.
+        let line = record()
+            .encode()
+            .replace("\"schema\":7", "\"schema\":6")
+            .replace(",\"fleet_nodes\":256,\"fleet_topology\":\"fat-tree\"", "");
+        assert!(!line.contains("fleet_"), "fleet keys stripped");
+        let back = RunRecord::decode(&line).expect("schema-6 record decodes");
+        assert_eq!(back.coord.fleet_nodes, None);
+        assert_eq!(back.coord.fleet_topology, None);
+    }
+
+    #[test]
+    fn encode_to_matches_encode() {
+        let r = record();
+        let mut buf = Vec::new();
+        r.encode_to(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), r.encode());
     }
 
     #[test]

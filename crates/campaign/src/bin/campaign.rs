@@ -2,8 +2,8 @@
 //! campaigns.
 //!
 //! ```text
-//! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
-//! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
+//! campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR] [--trace-cap N]
+//! campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR] [--trace-cap N]
 //! campaign frontier  (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--check] [--no-fork]
 //! campaign summarize --dir DIR [--json]
 //! campaign profile   --trace DIR [--json]
@@ -52,8 +52,8 @@ use tsn_campaign::{
 };
 
 const USAGE: &str = "usage:
-  campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
-  campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR]
+  campaign run       (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR] [--trace-cap N]
+  campaign resume    (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--fork] [--check] [--trace DIR] [--trace-cap N]
   campaign frontier  (--builtin NAME | --spec FILE) [--dir DIR] [--threads N] [--quiet] [--check] [--no-fork]
   campaign summarize --dir DIR [--json]
   campaign profile   --trace DIR [--json]
@@ -63,7 +63,7 @@ const USAGE: &str = "usage:
   campaign spec      --builtin NAME
   campaign list
 
-built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval, adversary-sweep, election-sweep, fabric-sweep
+built-in specs: quick-baseline, repro-all, abl2-domains, abl3-sync-interval, adversary-sweep, election-sweep, fabric-sweep, fleet-sweep
 built-in frontier specs: frontier-sweep
 exit codes (diff): 0 parity, 1 regression, 2 error
 exit codes (run --check): 0 clean, 1 invariant violation(s) or failed run(s), 2 error
@@ -184,7 +184,14 @@ fn load_spec(flags: &Flags) -> Result<CampaignSpec, String> {
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(
         args,
-        &["--builtin", "--spec", "--dir", "--threads", "--trace"],
+        &[
+            "--builtin",
+            "--spec",
+            "--dir",
+            "--threads",
+            "--trace",
+            "--trace-cap",
+        ],
         &["--quiet", "--fork", "--check"],
     )?;
     let spec = load_spec(&flags)?;
@@ -199,8 +206,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         fork: flags.has("--fork"),
         check: flags.has("--check"),
         trace: flags.get("--trace").map(PathBuf::from),
+        trace_max_events: flags.get_parsed::<usize>("--trace-cap")?,
         panic_label: None,
     };
+    if opts.trace_max_events.is_some() && opts.trace.is_none() {
+        return Err("--trace-cap needs --trace DIR".to_string());
+    }
     let report = runner::execute(&spec, &opts).map_err(|e| e.to_string())?;
     println!(
         "campaign {}: {} run(s) total, {} executed, {} resumed, {} thread(s), artifacts in {}",
@@ -235,6 +246,16 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     let mut failing = false;
+    if report.trace_dropped_events > 0 {
+        eprintln!(
+            "trace: {} event(s) dropped past the per-run cap — the trace is truncated \
+             (raise --trace-cap; `campaign profile` shows per-scenario drop counts)",
+            report.trace_dropped_events
+        );
+        if opts.check {
+            failing = true;
+        }
+    }
     if !report.failed.is_empty() {
         eprintln!(
             "failed: {} run(s) panicked (campaign finished; resume retries them):",
@@ -290,6 +311,7 @@ fn cmd_frontier(args: &[String]) -> Result<ExitCode, String> {
         fork: !flags.has("--no-fork"),
         check: flags.has("--check"),
         trace: None,
+        trace_max_events: None,
         panic_label: None,
     };
     let report = frontier::execute(&spec, &opts).map_err(|e| e.to_string())?;
@@ -355,14 +377,20 @@ fn spec_of_dir(dir: &Path) -> Result<CampaignSpec, String> {
 
 fn load_summaries(dir: &Path) -> Result<Vec<summary::GroupSummary>, String> {
     let spec = spec_of_dir(dir)?;
-    let records = runner::load(&spec, dir).map_err(|e| e.to_string())?;
-    if records.is_empty() {
+    // Stream records through the bounded summarizer — one record in
+    // memory at a time, so fleet-scale campaigns summarize in O(groups).
+    let reader = runner::RunRecordReader::open(&spec, dir).map_err(|e| e.to_string())?;
+    if reader.is_empty() {
         return Err(format!(
             "campaign at {} has no completed runs to summarize (run it first)",
             dir.display()
         ));
     }
-    Ok(summary::summarize(&records))
+    let mut summarizer = summary::StreamSummarizer::new();
+    for record in reader {
+        summarizer.push(&record.map_err(|e| e.to_string())?);
+    }
+    Ok(summarizer.finish())
 }
 
 /// Reads a frontier directory's `frontier.json`, when present.

@@ -1004,6 +1004,7 @@ pub fn execute(spec: &FrontierSpec, opts: &RunnerOptions) -> io::Result<Frontier
         fork: opts.fork,
         check: opts.check,
         trace: None,
+        trace_max_events: None,
         panic_label: opts.panic_label.clone(),
     };
     let mut cache = SnapshotCache::new();

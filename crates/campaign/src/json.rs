@@ -152,6 +152,57 @@ impl Json {
         }
     }
 
+    /// Streams the canonical one-line rendering into an [`std::io::Write`]
+    /// sink, byte-identical to [`Json::render`] but without
+    /// materializing the whole document as one `String`. The artifact
+    /// writer uses this through a bounded `BufWriter` so encoding cost
+    /// stays flat as records grow.
+    pub fn render_to<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        match self {
+            Json::Null => out.write_all(b"null"),
+            Json::Bool(true) => out.write_all(b"true"),
+            Json::Bool(false) => out.write_all(b"false"),
+            Json::Int(v) => write!(out, "{v}"),
+            Json::UInt(v) => write!(out, "{v}"),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    write!(out, "{v:?}")
+                } else {
+                    out.write_all(b"null")
+                }
+            }
+            Json::Str(s) => {
+                let mut escaped = String::with_capacity(s.len() + 2);
+                write_escaped(s, &mut escaped);
+                out.write_all(escaped.as_bytes())
+            }
+            Json::Array(items) => {
+                out.write_all(b"[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_all(b",")?;
+                    }
+                    item.render_to(out)?;
+                }
+                out.write_all(b"]")
+            }
+            Json::Object(pairs) => {
+                out.write_all(b"{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.write_all(b",")?;
+                    }
+                    let mut escaped = String::with_capacity(k.len() + 2);
+                    write_escaped(k, &mut escaped);
+                    out.write_all(escaped.as_bytes())?;
+                    out.write_all(b":")?;
+                    v.render_to(out)?;
+                }
+                out.write_all(b"}")
+            }
+        }
+    }
+
     /// Parses one JSON document (trailing whitespace allowed, nothing
     /// else).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
@@ -482,6 +533,25 @@ mod tests {
         // A comfortably nested document still parses.
         let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
         assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn render_to_matches_render_byte_for_byte() {
+        let v = Json::object(vec![
+            ("seed", Json::UInt(u64::MAX)),
+            ("neg", Json::Int(-42)),
+            ("pi", Json::Float(3.25)),
+            ("bad", Json::Float(f64::NAN)),
+            ("s", Json::Str("a\"b\\c\nd\u{1}".to_string())),
+            (
+                "arr",
+                Json::Array(vec![Json::Null, Json::Bool(true), Json::Bool(false)]),
+            ),
+            ("empty", Json::object(vec![])),
+        ]);
+        let mut streamed = Vec::new();
+        v.render_to(&mut streamed).unwrap();
+        assert_eq!(streamed, v.render().into_bytes());
     }
 
     #[test]

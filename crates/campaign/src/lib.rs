@@ -45,6 +45,8 @@ pub use artifact::RunRecord;
 pub use frontier::{BisectOutcome, Bisection, FrontierDoc, FrontierReport, FrontierSpec};
 pub use matrix::{expand, Coord, RunPlan};
 pub use profile::{ProfileEntry, ScenarioProfile};
-pub use runner::{CampaignReport, FailedRun, RunViolation, RunnerOptions, SnapshotCache};
+pub use runner::{
+    CampaignReport, FailedRun, RunRecordReader, RunViolation, RunnerOptions, SnapshotCache,
+};
 pub use spec::{BaseSpec, CampaignSpec, Grid, KernelChoice, Preset};
-pub use summary::{DiffTolerance, DiffVerdict, GroupSummary};
+pub use summary::{DiffTolerance, DiffVerdict, GroupSummary, StreamSummarizer};

@@ -82,6 +82,14 @@ pub struct Coord {
     pub adv_offset_ns: Option<u64>,
     /// Aggregation trim degree `f` override, if the axis is active.
     pub fta_f: Option<usize>,
+    /// Fleet size (ECDs attached to the generated switch fleet), if the
+    /// axis is active (activates the fleet — see
+    /// [`Coord::fleet_active`] — and thereby the fabric).
+    pub fleet_nodes: Option<u32>,
+    /// Fleet topology name ([`crate::spec::FLEET_TOPOLOGY_NAMES`]
+    /// spelling, interned via [`crate::spec::fleet_topology_static`]),
+    /// if the axis is active (activates the fleet).
+    pub fleet_topology: Option<&'static str>,
 }
 
 impl Coord {
@@ -144,6 +152,13 @@ impl Coord {
         if let Some(f) = self.fta_f {
             label.push_str(&format!("/fta_f={f}"));
         }
+        // Fleet segments (PR 10), same label-conditional rule.
+        if let Some(n) = self.fleet_nodes {
+            label.push_str(&format!("/fleet_n={n}"));
+        }
+        if let Some(t) = self.fleet_topology {
+            label.push_str(&format!("/fleet_topo={t}"));
+        }
         label
     }
 
@@ -152,13 +167,25 @@ impl Coord {
     /// `asymmetry_ns`, `tc_mode`, `topology`) activates it, with the
     /// others defaulted ([`tsn_fabric::FabricConfig::line`] of 1 hop,
     /// no cross-traffic, symmetric links, end-to-end mode, line
-    /// topology).
+    /// topology). An active fleet ([`Coord::fleet_active`]) also
+    /// activates the fabric: the generated switch fleet condenses into
+    /// the fabric configuration.
     pub fn fabric_active(&self) -> bool {
         self.hops.is_some()
             || self.cross_traffic_pct.is_some()
             || self.asymmetry_ns.is_some()
             || self.tc_mode.is_some()
             || self.topology.is_some()
+            || self.fleet_active()
+    }
+
+    /// Whether this coordinate runs behind a *generated* switch fleet:
+    /// either fleet axis (`fleet_nodes`, `fleet_topology`) activates it
+    /// with the other defaulted (256 nodes, line shape). The fleet's
+    /// structural axes (`hops`, `topology`) are mutually exclusive with
+    /// the fleet axes — the generator owns depth and shape.
+    pub fn fleet_active(&self) -> bool {
+        self.fleet_nodes.is_some() || self.fleet_topology.is_some()
     }
 
     /// Whether this coordinate runs with the dynamic election: an
@@ -225,7 +252,30 @@ impl Coord {
                 label.push_str(&format!("/topo={t}"));
             }
         }
+        // A generated fleet replaces the fabric's structural knobs from
+        // t = 0, so its effective size and shape are prefix-relevant.
+        // (No pre-fleet campaign carries these axes, so rendering the
+        // defaults here cannot move an existing derived seed.)
+        if self.fleet_active() {
+            label.push_str(&format!(
+                "/fleet=on/n={}/topo={}",
+                self.fleet_nodes.unwrap_or(crate::spec::DEFAULT_FLEET_NODES),
+                self.fleet_topology.unwrap_or("line"),
+            ));
+        }
         label
+    }
+
+    /// The seed of the fleet-topology generator: split from the *grid*
+    /// seed and the effective fleet axes only, so generation is a pure
+    /// function of `(spec, seed)` — independent of enumeration order,
+    /// thread count, and every non-fleet axis.
+    pub fn fleet_seed(&self) -> u64 {
+        SeedSplitter::new(self.seed).seed(&format!(
+            "fleet/n={}/topo={}",
+            self.fleet_nodes.unwrap_or(crate::spec::DEFAULT_FLEET_NODES),
+            self.fleet_topology.unwrap_or("line"),
+        ))
     }
 
     /// The run's derived seed: splittable hash of the grid seed and the
@@ -289,6 +339,15 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
                 .ok_or_else(|| SpecError::Value("grid.topology[]".to_string(), t.clone()))
         })
         .collect::<Result<_, _>>()?;
+    let fleet_topologies: Vec<&'static str> = spec
+        .grid
+        .fleet_topology
+        .iter()
+        .map(|t| {
+            crate::spec::fleet_topology_static(t)
+                .ok_or_else(|| SpecError::Value("grid.fleet_topology[]".to_string(), t.clone()))
+        })
+        .collect::<Result<_, _>>()?;
     for &scenario in &spec.scenarios {
         for &domains in &axis(&spec.grid.domains) {
             for &sync_ms in &axis(&spec.grid.sync_interval_ms) {
@@ -334,8 +393,11 @@ pub fn expand(spec: &CampaignSpec) -> Result<Vec<RunPlan>, SpecError> {
                                                                     topology: None,
                                                                     adv_offset_ns: None,
                                                                     fta_f: None,
+                                                                    fleet_nodes: None,
+                                                                    fleet_topology: None,
                                                                 },
                                                                 &topologies,
+                                                                &fleet_topologies,
                                                                 &mut plans,
                                                             )?;
                                                         }
@@ -364,6 +426,7 @@ fn expand_fabric(
     base_fingerprint: &str,
     partial: Coord,
     topologies: &[&'static str],
+    fleet_topologies: &[&'static str],
     plans: &mut Vec<RunPlan>,
 ) -> Result<(), SpecError> {
     for &hops in &axis(&spec.grid.hops) {
@@ -373,24 +436,30 @@ fn expand_fabric(
                     for &topology in &axis(topologies) {
                         for &adv_offset_ns in &axis(&spec.grid.adv_offset_ns) {
                             for &fta_f in &axis(&spec.grid.fta_f) {
-                                for &seed in &spec.grid.seeds {
-                                    let coord = Coord {
-                                        seed,
-                                        hops,
-                                        cross_traffic_pct,
-                                        asymmetry_ns,
-                                        tc_mode,
-                                        topology,
-                                        adv_offset_ns,
-                                        fta_f,
-                                        ..partial
-                                    };
-                                    plans.push(plan(
-                                        &spec.base,
-                                        base_fingerprint,
-                                        coord,
-                                        plans.len(),
-                                    )?);
+                                for &fleet_nodes in &axis(&spec.grid.fleet_nodes) {
+                                    for &fleet_topology in &axis(fleet_topologies) {
+                                        for &seed in &spec.grid.seeds {
+                                            let coord = Coord {
+                                                seed,
+                                                hops,
+                                                cross_traffic_pct,
+                                                asymmetry_ns,
+                                                tc_mode,
+                                                topology,
+                                                adv_offset_ns,
+                                                fta_f,
+                                                fleet_nodes,
+                                                fleet_topology,
+                                                ..partial
+                                            };
+                                            plans.push(plan(
+                                                &spec.base,
+                                                base_fingerprint,
+                                                coord,
+                                                plans.len(),
+                                            )?);
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -556,13 +625,36 @@ pub fn materialize(
     // Fabric axes: any of them routes inter-node gPTP traffic through a
     // fabric of TSN switches, with unset axes at their neutral defaults
     // (line topology, 1 hop, no cross-traffic, symmetric links,
-    // end-to-end mode).
+    // end-to-end mode). An active fleet generates the switch fleet
+    // instead and condenses it into the fabric configuration — its
+    // structural knobs (depth, shape, residence spread) come from the
+    // generated topology, so the explicit `hops`/`topology` axes are
+    // rejected alongside it ([`CampaignSpec::validate`] enforces this
+    // for specs; a hand-built coordinate gets the same error here).
     if coord.fabric_active() {
-        let mut fabric = clocksync::fabric::FabricConfig::line(coord.hops.unwrap_or(1));
-        if let Some(t) = coord.topology {
-            fabric.topology = crate::spec::parse_topology(t)
-                .ok_or_else(|| SpecError::Value("grid.topology[]".to_string(), t.to_string()))?;
-        }
+        let mut fabric = if coord.fleet_active() {
+            if coord.hops.is_some() || coord.topology.is_some() {
+                return Err(SpecError::Value(
+                    "grid.fleet_nodes/fleet_topology".to_string(),
+                    "mutually exclusive with grid.hops and grid.topology".to_string(),
+                ));
+            }
+            let shape_name = coord.fleet_topology.unwrap_or("line");
+            let shape = clocksync::fabric::FleetShape::parse(shape_name).ok_or_else(|| {
+                SpecError::Value("grid.fleet_topology[]".to_string(), shape_name.to_string())
+            })?;
+            let nodes = coord.fleet_nodes.unwrap_or(crate::spec::DEFAULT_FLEET_NODES);
+            let fleet = clocksync::fabric::FleetTopology::generate(nodes, shape, coord.fleet_seed());
+            fleet.condense(&clocksync::fabric::FabricConfig::default())
+        } else {
+            let mut fabric = clocksync::fabric::FabricConfig::line(coord.hops.unwrap_or(1));
+            if let Some(t) = coord.topology {
+                fabric.topology = crate::spec::parse_topology(t).ok_or_else(|| {
+                    SpecError::Value("grid.topology[]".to_string(), t.to_string())
+                })?;
+            }
+            fabric
+        };
         if let Some(pct) = coord.cross_traffic_pct {
             fabric.cross_traffic_load = f64::from(pct) / 100.0;
         }
@@ -703,6 +795,8 @@ mod tests {
             topology: None,
             adv_offset_ns: None,
             fta_f: None,
+            fleet_nodes: None,
+            fleet_topology: None,
         };
         let err = materialize(&base, coord, 7).expect_err("unknown strategy is an error");
         assert!(matches!(err, SpecError::Value(ref f, ref v)
@@ -737,6 +831,8 @@ mod tests {
             topology: None,
             adv_offset_ns: None,
             fta_f: None,
+            fleet_nodes: None,
+            fleet_topology: None,
         };
         // Any election axis activates the election implicitly.
         assert!(coord.election_active());
@@ -799,6 +895,8 @@ mod tests {
             topology: None,
             adv_offset_ns: None,
             fta_f: None,
+            fleet_nodes: None,
+            fleet_topology: None,
         };
         assert!(coord.fabric_active());
         let cfg = materialize(&base, coord, 7).expect("valid coord");
@@ -835,6 +933,85 @@ mod tests {
     }
 
     #[test]
+    fn fleet_axes_materialize_and_stay_label_conditional() {
+        let base = BaseSpec::quick(20);
+        let mut coord = Coord {
+            scenario: ScenarioKind::Baseline,
+            seed: 1,
+            domains: None,
+            sync_interval_ms: None,
+            kernel: None,
+            fault_rate_per_hour: None,
+            discipline: None,
+            strategy: None,
+            compromised: None,
+            loss_permille: None,
+            partition_s: None,
+            election: None,
+            announce_interval_ms: None,
+            gm_failure_at_s: None,
+            rogue_master: None,
+            hops: None,
+            cross_traffic_pct: None,
+            asymmetry_ns: None,
+            tc_mode: None,
+            topology: None,
+            adv_offset_ns: None,
+            fta_f: None,
+            fleet_nodes: Some(256),
+            fleet_topology: Some("fat-tree"),
+        };
+        // Fleet axes activate the fabric with a condensed generated
+        // topology: shape maps into the fabric's coarse topology enum,
+        // depth is the fleet diameter, residences come from the drawn
+        // per-switch values.
+        assert!(coord.fleet_active() && coord.fabric_active());
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        let fabric = cfg.fabric.expect("fabric on");
+        assert_eq!(fabric.topology, clocksync::fabric::FabricTopology::Tree);
+        assert!((1..=64).contains(&fabric.hops));
+        // Other fabric axes still compose with the condensed config.
+        coord.cross_traffic_pct = Some(40);
+        coord.tc_mode = Some(true);
+        let cfg = materialize(&base, coord, 7).expect("valid coord");
+        let fabric = cfg.fabric.expect("fabric on");
+        assert!((fabric.cross_traffic_load - 0.40).abs() < 1e-12);
+        assert!(fabric.transparent_clock);
+        // Explicit depth/shape axes conflict with the generator.
+        coord.hops = Some(3);
+        let err = materialize(&base, coord, 7).expect_err("fleet+hops conflict");
+        assert!(matches!(err, SpecError::Value(ref f, _)
+            if f == "grid.fleet_nodes/fleet_topology"));
+        coord.hops = None;
+        coord.cross_traffic_pct = None;
+        coord.tc_mode = None;
+        // The fleet topology is a pure function of the coordinate: the
+        // same coordinate always derives the same fleet seed, and the
+        // seed moves with the fleet axes.
+        let a = coord.fleet_seed();
+        assert_eq!(a, coord.fleet_seed());
+        let mut bigger = coord;
+        bigger.fleet_nodes = Some(1024);
+        assert_ne!(a, bigger.fleet_seed());
+        // Labels are conditional: without fleet axes nothing renders
+        // (hashes of pre-fleet campaigns are unchanged); with them both
+        // label and prefix carry the effective values.
+        assert!(coord.label().ends_with("/fleet_n=256/fleet_topo=fat-tree"));
+        assert!(coord
+            .prefix_label()
+            .ends_with("/fleet=on/n=256/topo=fat-tree"));
+        coord.fleet_nodes = None;
+        coord.fleet_topology = None;
+        assert!(!coord.fleet_active());
+        assert!(!coord.label().contains("fleet"));
+        assert!(!coord.prefix_label().contains("fleet"));
+        assert!(materialize(&base, coord, 7)
+            .expect("valid coord")
+            .fabric
+            .is_none());
+    }
+
+    #[test]
     fn frontier_axes_materialize_and_stay_label_conditional() {
         let base = BaseSpec::quick(20);
         let mut coord = Coord {
@@ -860,6 +1037,8 @@ mod tests {
             topology: None,
             adv_offset_ns: Some(20_000),
             fta_f: None,
+            fleet_nodes: None,
+            fleet_topology: None,
         };
         // The magnitude axis alone activates the attack (constant preset
         // rescaled to the probe value).
@@ -944,6 +1123,8 @@ mod tests {
             topology: None,
             adv_offset_ns: None,
             fta_f: None,
+            fleet_nodes: None,
+            fleet_topology: None,
         };
         let cfg = materialize(&base, coord, 7).expect("valid coord");
         assert_eq!(cfg.partition, Some(crate::spec::partition_window(3)));

@@ -23,7 +23,7 @@ use clocksync::{World, WorldSnapshot};
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -59,6 +59,12 @@ pub struct RunnerOptions {
     /// [`RunnerOptions::fork`]. Resumed runs are not re-executed and
     /// leave no trace.
     pub trace: Option<PathBuf>,
+    /// Override the tracer's bounded-sink event cap (default 2^20).
+    /// Events past the cap are dropped and counted; the per-run drop
+    /// count flows into the profile stream and
+    /// [`CampaignReport::trace_dropped_events`], and a truncated trace
+    /// fails a `--check` campaign.
+    pub trace_max_events: Option<usize>,
     /// Test-injection hook: the run whose coordinate label equals this
     /// string panics instead of simulating, exercising the per-run panic
     /// isolation path (the campaign must finish, siblings unperturbed).
@@ -76,6 +82,7 @@ impl RunnerOptions {
             fork: false,
             check: false,
             trace: None,
+            trace_max_events: None,
             panic_label: None,
         }
     }
@@ -123,6 +130,12 @@ pub struct CampaignReport {
     /// Pre-existing artifacts that were unreadable (truncated or
     /// corrupt) and were moved to `runs/corrupt/` before re-running.
     pub quarantined: usize,
+    /// Trace events dropped at the bounded sink's cap, summed over the
+    /// runs this invocation executed with tracing armed (0 without
+    /// [`RunnerOptions::trace`]). Non-zero means at least one trace
+    /// file is incomplete; `campaign run --check --trace` treats that
+    /// as a failure.
+    pub trace_dropped_events: u64,
 }
 
 /// One isolated per-run failure (the worker caught a panic).
@@ -351,6 +364,7 @@ pub fn execute_with(
     let cache = &*cache; // immutable from here: workers only read snapshots
     let mut violations: Vec<RunViolation> = Vec::new();
     let mut failed: Vec<FailedRun> = Vec::new();
+    let trace_dropped = AtomicU64::new(0);
     if !pending.is_empty() {
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
@@ -371,7 +385,14 @@ pub fn execute_with(
                         if opts.panic_label.as_deref() == Some(plan.coord.label().as_str()) {
                             panic!("injected test panic");
                         }
-                        run_one(spec, plan, snap, opts.check, opts.trace.is_some())
+                        run_one(
+                            spec,
+                            plan,
+                            snap,
+                            opts.check,
+                            opts.trace.is_some(),
+                            opts.trace_max_events,
+                        )
                     }));
                     let (record, run_violations, trace_report) = match outcome {
                         Ok(Ok(out)) => out,
@@ -398,13 +419,15 @@ pub fn execute_with(
                         }
                     };
                     let wall_s = started.elapsed().as_secs_f64();
-                    if let Err(e) = write_atomic(&artifact_path(&runs_dir, plan), &record.encode())
-                    {
+                    if let Err(e) = write_record_atomic(&artifact_path(&runs_dir, plan), &record) {
                         let mut slot = io_error.lock().expect("io_error lock");
                         slot.get_or_insert(e);
                         break;
                     }
                     if let (Some(trace_dir), Some(report)) = (&opts.trace, trace_report) {
+                        if report.dropped > 0 {
+                            trace_dropped.fetch_add(report.dropped, Ordering::Relaxed);
+                        }
                         let path = trace_dir.join(format!("trace-{}.json", plan.hash));
                         if let Err(e) = write_atomic(&path, &report.to_chrome_json()) {
                             let mut slot = io_error.lock().expect("io_error lock");
@@ -498,6 +521,7 @@ pub fn execute_with(
         violations,
         failed,
         quarantined,
+        trace_dropped_events: trace_dropped.into_inner(),
     })
 }
 
@@ -512,6 +536,7 @@ fn run_one(
     snap: Option<&WorldSnapshot>,
     check: bool,
     trace: bool,
+    trace_max_events: Option<usize>,
 ) -> io::Result<(
     RunRecord,
     Vec<tsn_metrics::ViolationRecord>,
@@ -535,7 +560,10 @@ fn run_one(
                 world.enable_oracle();
             }
             if trace {
-                world.enable_trace();
+                match trace_max_events {
+                    Some(cap) => world.enable_trace_capped(cap),
+                    None => world.enable_trace(),
+                }
             }
             world.run()
         }
@@ -544,28 +572,69 @@ fn run_one(
     Ok((record, result.violations, result.trace))
 }
 
-/// Loads every artifact of a previously executed campaign directory, in
-/// canonical order. Fails if any run is missing (the campaign must be
-/// `run` to completion first).
-pub fn load(spec: &CampaignSpec, dir: &Path) -> io::Result<Vec<RunRecord>> {
-    let plans = expand(spec)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("invalid spec: {e}")))?;
-    let runs_dir = dir.join("runs");
-    plans
-        .iter()
-        .map(|plan| {
-            resume_record(&runs_dir, plan).ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::NotFound,
-                    format!(
-                        "missing or unreadable artifact for {} (expected {})",
-                        plan.coord.label(),
-                        artifact_path(&runs_dir, plan).display()
-                    ),
-                )
-            })
+/// Streaming reader over a previously executed campaign's artifacts, in
+/// canonical matrix order. Decodes one record per `next()` call, so
+/// consumers that fold records as they arrive (summaries, diffs, the
+/// frontier) hold a single record in memory regardless of campaign
+/// size. Yields an error for a missing or unreadable artifact (the
+/// campaign must be `run` to completion first).
+pub struct RunRecordReader {
+    plans: std::vec::IntoIter<RunPlan>,
+    runs_dir: PathBuf,
+}
+
+impl RunRecordReader {
+    /// Opens a campaign directory for streaming reads. Fails only on an
+    /// invalid spec; per-record problems surface from the iterator.
+    pub fn open(spec: &CampaignSpec, dir: &Path) -> io::Result<RunRecordReader> {
+        let plans = expand(spec).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("invalid spec: {e}"))
+        })?;
+        Ok(RunRecordReader {
+            plans: plans.into_iter(),
+            runs_dir: dir.join("runs"),
         })
-        .collect()
+    }
+
+    /// Records remaining to be yielded.
+    pub fn len(&self) -> usize {
+        self.plans.as_slice().len()
+    }
+
+    /// `true` when the reader is exhausted (or the campaign is empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Iterator for RunRecordReader {
+    type Item = io::Result<RunRecord>;
+
+    fn next(&mut self) -> Option<io::Result<RunRecord>> {
+        let plan = self.plans.next()?;
+        Some(resume_record(&self.runs_dir, &plan).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "missing or unreadable artifact for {} (expected {})",
+                    plan.coord.label(),
+                    artifact_path(&self.runs_dir, &plan).display()
+                ),
+            )
+        }))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+/// Loads every artifact of a previously executed campaign directory, in
+/// canonical order, into memory. Prefer iterating [`RunRecordReader`]
+/// for anything that can fold records incrementally.
+pub fn load(spec: &CampaignSpec, dir: &Path) -> io::Result<Vec<RunRecord>> {
+    RunRecordReader::open(spec, dir)?.collect()
 }
 
 fn artifact_path(runs_dir: &Path, plan: &RunPlan) -> PathBuf {
@@ -592,6 +661,19 @@ fn quarantine(runs_dir: &Path, plan: &RunPlan) -> io::Result<()> {
 pub(crate) fn write_atomic(path: &Path, content: &str) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// [`write_atomic`] for a run record, streamed through a [`io::BufWriter`]
+/// via [`RunRecord::encode_to`] — the encoded JSONL line (which can be
+/// large for fleet runs) is never materialized as one in-memory string.
+fn write_record_atomic(path: &Path, record: &RunRecord) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        record.encode_to(&mut w)?;
+        w.flush()?;
+    }
     std::fs::rename(&tmp, path)
 }
 

@@ -213,6 +213,19 @@ pub fn parse_topology(name: &str) -> Option<clocksync::fabric::FabricTopology> {
     }
 }
 
+/// Fleet topology axis values, in a stable order (the spellings of
+/// [`clocksync::fabric::FleetShape`]'s variants).
+pub const FLEET_TOPOLOGY_NAMES: [&str; 4] = ["line", "ring", "tree", "fat-tree"];
+
+/// The default fleet size when only the `fleet_topology` axis is active.
+pub const DEFAULT_FLEET_NODES: u32 = 256;
+
+/// The canonical `&'static` name behind a fleet-topology axis value
+/// (same interning contract as [`strategy_static`]).
+pub fn fleet_topology_static(name: &str) -> Option<&'static str> {
+    FLEET_TOPOLOGY_NAMES.iter().copied().find(|n| *n == name)
+}
+
 /// The parameter grid. Every axis except `seeds` may be empty, meaning
 /// "keep the base/scenario value"; the run matrix is the cross product
 /// of all non-empty axes.
@@ -286,6 +299,15 @@ pub struct Grid {
     /// `f` in the configured fault-tolerant method (FTA or midpoint).
     /// Acts from t = 0, so it is prefix-relevant.
     pub fta_f: Vec<usize>,
+    /// Fleet sizes: number of ECDs attached to a *generated* switch
+    /// fleet (activates the fleet; default 256). Mutually exclusive
+    /// with the explicit `hops`/`topology` axes — the generator owns
+    /// the fabric's depth and shape.
+    pub fleet_nodes: Vec<u32>,
+    /// Fleet topology shapes ([`FLEET_TOPOLOGY_NAMES`] spellings;
+    /// activates the fleet). Omitted, fleet runs use a line of
+    /// switches.
+    pub fleet_topology: Vec<String>,
 }
 
 impl Grid {
@@ -315,6 +337,8 @@ impl Grid {
             * axis(self.topology.len())
             * axis(self.adv_offset_ns.len())
             * axis(self.fta_f.len())
+            * axis(self.fleet_nodes.len())
+            * axis(self.fleet_topology.len())
     }
 
     fn to_json(&self) -> Json {
@@ -463,6 +487,24 @@ impl Grid {
                 "fta_f",
                 Json::Array(self.fta_f.iter().map(|&f| Json::UInt(f as u64)).collect()),
             ),
+            (
+                "fleet_nodes",
+                Json::Array(
+                    self.fleet_nodes
+                        .iter()
+                        .map(|&n| Json::UInt(u64::from(n)))
+                        .collect(),
+                ),
+            ),
+            (
+                "fleet_topology",
+                Json::Array(
+                    self.fleet_topology
+                        .iter()
+                        .map(|t| Json::Str(t.clone()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -512,6 +554,10 @@ impl Grid {
             topology: list(v, "topology", |x| x.as_str().map(str::to_string))?,
             adv_offset_ns: list(v, "adv_offset_ns", Json::as_u64)?,
             fta_f: list(v, "fta_f", |x| x.as_u64().map(|f| f as usize))?,
+            fleet_nodes: list(v, "fleet_nodes", |x| {
+                x.as_u64().and_then(|n| u32::try_from(n).ok())
+            })?,
+            fleet_topology: list(v, "fleet_topology", |x| x.as_str().map(str::to_string))?,
         })
     }
 }
@@ -693,6 +739,33 @@ impl CampaignSpec {
                 "asymmetry_ns axis value {a} exceeds 1 ms per hop (not a plausible link)"
             )));
         }
+        for t in &self.grid.fleet_topology {
+            if fleet_topology_static(t).is_none() {
+                return Err(SpecError::Value(
+                    "grid.fleet_topology[]".to_string(),
+                    t.clone(),
+                ));
+            }
+        }
+        if let Some(&n) = self
+            .grid
+            .fleet_nodes
+            .iter()
+            .find(|&&n| !(2..=65_536).contains(&n))
+        {
+            return Err(SpecError::Invalid(format!(
+                "fleet_nodes axis value {n} outside the supported 2..=65536"
+            )));
+        }
+        if (!self.grid.fleet_nodes.is_empty() || !self.grid.fleet_topology.is_empty())
+            && (!self.grid.hops.is_empty() || !self.grid.topology.is_empty())
+        {
+            return Err(SpecError::Invalid(
+                "fleet_nodes/fleet_topology cannot combine with the hops/topology axes \
+                 (the fleet generator owns the fabric's depth and shape)"
+                    .to_string(),
+            ));
+        }
         if !self.grid.gm_failure_at_s.is_empty() {
             let Some(duration) = self.base.duration_s else {
                 return Err(SpecError::Invalid(
@@ -798,7 +871,7 @@ impl CampaignSpec {
     }
 
     /// Names of the built-in specs (see [`CampaignSpec::builtin`]).
-    pub const BUILTINS: [&'static str; 7] = [
+    pub const BUILTINS: [&'static str; 8] = [
         "quick-baseline",
         "repro-all",
         "abl2-domains",
@@ -806,6 +879,7 @@ impl CampaignSpec {
         "adversary-sweep",
         "election-sweep",
         "fabric-sweep",
+        "fleet-sweep",
     ];
 
     /// A built-in spec by name.
@@ -827,7 +901,12 @@ impl CampaignSpec {
     /// * `fabric-sweep` — the network depth sweep: topology ∈ {line,
     ///   ring, tree} × hops ∈ {1, 3, 6} through the TSN switch fabric ×
     ///   30 % cross-traffic × transparent clocks {off, on} × 2 seeds
-    ///   (36 runs; `specs/fabric_sweep.json` is its file form).
+    ///   (36 runs; `specs/fabric_sweep.json` is its file form);
+    /// * `fleet-sweep` — the fleet-scale sweep: generated switch fleets
+    ///   of {256, 1024} ECDs × all four [`FLEET_TOPOLOGY_NAMES`] shapes
+    ///   × 2 seeds (16 runs; `specs/fleet_sweep.json` is its file
+    ///   form). Exercises the streaming artifact pipeline at bounded
+    ///   memory.
     pub fn builtin(name: &str) -> Option<CampaignSpec> {
         let spec = match name {
             "quick-baseline" => CampaignSpec {
@@ -926,6 +1005,21 @@ impl CampaignSpec {
                     cross_traffic_pct: vec![30],
                     tc_mode: vec![false, true],
                     topology: TOPOLOGY_NAMES.iter().map(|t| t.to_string()).collect(),
+                    ..Grid::default()
+                },
+            },
+            "fleet-sweep" => CampaignSpec {
+                name: "fleet-sweep".to_string(),
+                base: BaseSpec {
+                    preset: Preset::Quick,
+                    duration_s: Some(15),
+                    warmup_s: Some(5),
+                },
+                scenarios: vec![ScenarioKind::Baseline],
+                grid: Grid {
+                    seeds: vec![3, 4],
+                    fleet_nodes: vec![256, 1024],
+                    fleet_topology: FLEET_TOPOLOGY_NAMES.iter().map(|t| t.to_string()).collect(),
                     ..Grid::default()
                 },
             },

@@ -13,7 +13,7 @@ use crate::matrix::Coord;
 use crate::spec::{discipline_name, KernelChoice};
 use clocksync::scenario::ScenarioKind;
 use tsn_hyp::SyncClockDiscipline;
-use tsn_metrics::SampleSummary;
+use tsn_metrics::{SampleSummary, StreamingSummary};
 
 /// A grid point minus the seed axis: the unit of cross-seed grouping.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +60,10 @@ pub struct GroupKey {
     pub adv_offset_ns: Option<u64>,
     /// Aggregation trim degree, if swept.
     pub fta_f: Option<usize>,
+    /// Fleet node count, if swept.
+    pub fleet_nodes: Option<u32>,
+    /// Fleet topology shape, if swept.
+    pub fleet_topology: Option<&'static str>,
 }
 
 impl GroupKey {
@@ -87,6 +91,8 @@ impl GroupKey {
             topology: coord.topology,
             adv_offset_ns: coord.adv_offset_ns,
             fta_f: coord.fta_f,
+            fleet_nodes: coord.fleet_nodes,
+            fleet_topology: coord.fleet_topology,
         }
     }
 
@@ -153,6 +159,12 @@ impl GroupKey {
         if let Some(f) = self.fta_f {
             parts.push(format!("f={f}"));
         }
+        if let Some(n) = self.fleet_nodes {
+            parts.push(format!("fleet_n={n}"));
+        }
+        if let Some(t) = self.fleet_topology {
+            parts.push(format!("fleet_topo={t}"));
+        }
         parts.join(" ")
     }
 }
@@ -207,83 +219,145 @@ pub struct GroupSummary {
     pub bound_ns_mean: f64,
 }
 
-/// Groups records by non-seed coordinates (in first-appearance order,
-/// i.e. canonical matrix order) and aggregates each group.
-pub fn summarize(records: &[RunRecord]) -> Vec<GroupSummary> {
-    let mut groups: Vec<(GroupKey, Vec<&RunRecord>)> = Vec::new();
-    for r in records {
-        let key = GroupKey::of(&r.coord);
-        match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, members)) => members.push(r),
-            None => groups.push((key, vec![r])),
+/// Number of per-run scalar metrics aggregated per group.
+const METRIC_COUNT: usize = 19;
+
+/// Extracts the per-run metric scalars, in the exact order of the
+/// [`GroupSummary`] statistic fields (`pi_star_mean` … `path_asymmetry_ns`).
+/// `None` slots (a run without a precision record) are simply not
+/// pushed, matching the old `filter_map` collection.
+fn metric_values(r: &RunRecord) -> [Option<f64>; METRIC_COUNT] {
+    [
+        r.precision_scalar(|p| p.mean_ns),
+        r.precision_scalar(|p| p.p50_ns as f64),
+        r.precision_scalar(|p| p.p95_ns as f64),
+        r.precision_scalar(|p| p.p99_ns as f64),
+        r.precision_scalar(|p| p.max_ns as f64),
+        Some(r.violation_rate()),
+        Some(r.counters.vm_failures as f64),
+        Some(r.counters.gm_failures as f64),
+        Some(r.counters.takeovers as f64),
+        Some(r.counters.sync_transitions as f64),
+        Some((r.counters.holdover_ns + r.counters.freerun_ns) as f64 / 1e6),
+        Some(r.counters.uncovered_failures as f64),
+        Some(r.counters.elected_gm_changes as f64),
+        Some(r.counters.reconvergence_ns as f64 / 1e6),
+        Some(r.counters.unhandled_frames as f64),
+        Some(r.counters.fabric_frames_forwarded as f64),
+        Some(r.counters.fabric_frames_dropped as f64),
+        Some(r.counters.max_residence_ns as f64),
+        Some(r.counters.path_asymmetry_ns as f64),
+    ]
+}
+
+/// Bounded-memory accumulator for one group.
+struct GroupAccum {
+    runs: usize,
+    bound_sum: f64,
+    metrics: [StreamingSummary; METRIC_COUNT],
+}
+
+impl GroupAccum {
+    fn new() -> GroupAccum {
+        GroupAccum {
+            runs: 0,
+            bound_sum: 0.0,
+            metrics: std::array::from_fn(|_| StreamingSummary::new()),
         }
     }
-    groups
-        .into_iter()
-        .map(|(key, members)| {
-            let bound_ns_mean = members
-                .iter()
-                .map(|r| r.bounds.pi_plus_gamma_ns as f64)
-                .sum::<f64>()
-                / members.len() as f64;
-            GroupSummary {
-                key,
-                runs: members.len(),
-                pi_star_mean: RunRecord::summarize(&members, |r| r.precision_scalar(|p| p.mean_ns)),
-                pi_star_p50: RunRecord::summarize(&members, |r| {
-                    r.precision_scalar(|p| p.p50_ns as f64)
-                }),
-                pi_star_p95: RunRecord::summarize(&members, |r| {
-                    r.precision_scalar(|p| p.p95_ns as f64)
-                }),
-                pi_star_p99: RunRecord::summarize(&members, |r| {
-                    r.precision_scalar(|p| p.p99_ns as f64)
-                }),
-                pi_star_max: RunRecord::summarize(&members, |r| {
-                    r.precision_scalar(|p| p.max_ns as f64)
-                }),
-                violation_rate: RunRecord::summarize(&members, |r| Some(r.violation_rate())),
-                vm_failures: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.vm_failures as f64)
-                }),
-                gm_failures: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.gm_failures as f64)
-                }),
-                takeovers: RunRecord::summarize(&members, |r| Some(r.counters.takeovers as f64)),
-                sync_transitions: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.sync_transitions as f64)
-                }),
-                degraded_dwell_ms: RunRecord::summarize(&members, |r| {
-                    Some((r.counters.holdover_ns + r.counters.freerun_ns) as f64 / 1e6)
-                }),
-                uncovered_failures: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.uncovered_failures as f64)
-                }),
-                elected_gm_changes: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.elected_gm_changes as f64)
-                }),
-                reconvergence_ms: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.reconvergence_ns as f64 / 1e6)
-                }),
-                unhandled_frames: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.unhandled_frames as f64)
-                }),
-                fabric_forwarded: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.fabric_frames_forwarded as f64)
-                }),
-                fabric_dropped: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.fabric_frames_dropped as f64)
-                }),
-                max_residence_ns: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.max_residence_ns as f64)
-                }),
-                path_asymmetry_ns: RunRecord::summarize(&members, |r| {
-                    Some(r.counters.path_asymmetry_ns as f64)
-                }),
-                bound_ns_mean,
+}
+
+/// Streaming cross-seed summarizer: accepts run records one at a time
+/// and holds memory proportional to the number of *groups* (grid points
+/// minus the seed axis), not the number of records. Each metric is
+/// tracked with [`StreamingSummary`], so groups small enough for the
+/// old in-memory path ([`StreamingSummary::EXACT_CAP`] runs) summarize
+/// byte-identically, and fleet-scale groups degrade to a bounded
+/// sketch.
+pub struct StreamSummarizer {
+    // Vec keyed by linear search: groups stay in first-appearance
+    // (canonical matrix) order, and campaigns have few groups.
+    groups: Vec<(GroupKey, GroupAccum)>,
+}
+
+impl Default for StreamSummarizer {
+    fn default() -> Self {
+        StreamSummarizer::new()
+    }
+}
+
+impl StreamSummarizer {
+    /// An empty summarizer.
+    pub fn new() -> StreamSummarizer {
+        StreamSummarizer { groups: Vec::new() }
+    }
+
+    /// Folds one run record into its group.
+    pub fn push(&mut self, r: &RunRecord) {
+        let key = GroupKey::of(&r.coord);
+        let idx = match self.groups.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                self.groups.push((key, GroupAccum::new()));
+                self.groups.len() - 1
             }
-        })
-        .collect()
+        };
+        let accum = &mut self.groups[idx].1;
+        accum.runs += 1;
+        accum.bound_sum += r.bounds.pi_plus_gamma_ns as f64;
+        for (slot, value) in accum.metrics.iter_mut().zip(metric_values(r)) {
+            if let Some(v) = value {
+                slot.push(v);
+            }
+        }
+    }
+
+    /// Finalizes every group, in first-appearance order.
+    pub fn finish(self) -> Vec<GroupSummary> {
+        self.groups
+            .into_iter()
+            .map(|(key, accum)| {
+                let f = |i: usize| accum.metrics[i].finalize();
+                GroupSummary {
+                    key,
+                    runs: accum.runs,
+                    pi_star_mean: f(0),
+                    pi_star_p50: f(1),
+                    pi_star_p95: f(2),
+                    pi_star_p99: f(3),
+                    pi_star_max: f(4),
+                    violation_rate: f(5),
+                    vm_failures: f(6),
+                    gm_failures: f(7),
+                    takeovers: f(8),
+                    sync_transitions: f(9),
+                    degraded_dwell_ms: f(10),
+                    uncovered_failures: f(11),
+                    elected_gm_changes: f(12),
+                    reconvergence_ms: f(13),
+                    unhandled_frames: f(14),
+                    fabric_forwarded: f(15),
+                    fabric_dropped: f(16),
+                    max_residence_ns: f(17),
+                    path_asymmetry_ns: f(18),
+                    bound_ns_mean: accum.bound_sum / accum.runs as f64,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Groups records by non-seed coordinates (in first-appearance order,
+/// i.e. canonical matrix order) and aggregates each group. Delegates to
+/// [`StreamSummarizer`]; callers with an artifact directory should
+/// stream records through the summarizer directly instead of collecting
+/// them first.
+pub fn summarize(records: &[RunRecord]) -> Vec<GroupSummary> {
+    let mut s = StreamSummarizer::new();
+    for r in records {
+        s.push(r);
+    }
+    s.finish()
 }
 
 /// Renders summaries as a readable text report.
@@ -618,6 +692,8 @@ mod tests {
                 topology: None,
                 adv_offset_ns: None,
                 fta_f: None,
+                fleet_nodes: None,
+                fleet_topology: None,
             },
             seed: seed * 1000,
             counters: RunCounters::default(),
@@ -758,6 +834,38 @@ mod tests {
         // Without fabric traffic the text line is suppressed.
         let plain = render(&summarize(&records(4000, 1.0)));
         assert!(!plain.contains("fabric/run"));
+    }
+
+    #[test]
+    fn fleet_axes_group_and_render() {
+        let mut recs = records(4000, 1.0);
+        for r in &mut recs {
+            r.coord.fleet_nodes = Some(1024);
+            r.coord.fleet_topology = Some("fat-tree");
+        }
+        let groups = summarize(&recs);
+        assert_eq!(groups.len(), 2, "fleet axes join the grouping key");
+        assert!(groups[0].key.label().contains("fleet_n=1024"));
+        assert!(groups[0].key.label().contains("fleet_topo=fat-tree"));
+    }
+
+    #[test]
+    fn streaming_summarizer_matches_the_batch_path() {
+        let recs = records(4000, 1.0);
+        let batch = summarize(&recs);
+        let mut s = StreamSummarizer::new();
+        for r in &recs {
+            s.push(r);
+        }
+        let streamed = s.finish();
+        assert_eq!(batch.len(), streamed.len());
+        for (b, c) in batch.iter().zip(&streamed) {
+            assert_eq!(b.key, c.key);
+            assert_eq!(b.runs, c.runs);
+            assert_eq!(b.bound_ns_mean, c.bound_ns_mean);
+            assert_eq!(b.pi_star_p95, c.pi_star_p95);
+            assert_eq!(b.violation_rate, c.violation_rate);
+        }
     }
 
     #[test]

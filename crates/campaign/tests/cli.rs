@@ -333,6 +333,91 @@ fn run_with_check_is_clean_and_leaves_artifacts_untouched() {
 }
 
 #[test]
+fn run_with_tiny_trace_cap_reports_truncation_and_fails_check() {
+    // A cap far below a real run's event count forces the bounded sink
+    // to drop events. Truncation must be loud: a stderr warning on a
+    // plain run, a per-run drop count in the profile stream and
+    // `campaign profile` output, and a nonzero exit under `--check`.
+    let dir = scratch("trace-cap");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("tiny.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"schema":1,"name":"tiny","base":{"preset":"quick","duration_s":6,"warmup_s":3},"scenarios":["baseline"],"grid":{"seeds":[1]}}"#,
+    )
+    .unwrap();
+    let spec = spec_path.to_str().unwrap().to_string();
+
+    // --trace-cap without --trace is a usage error.
+    let orphan = campaign(&[
+        "run",
+        "--spec",
+        &spec,
+        "--dir",
+        dir.join("orphan").to_str().unwrap(),
+        "--quiet",
+        "--trace-cap",
+        "10",
+    ]);
+    assert_eq!(orphan.status.code(), Some(2), "{orphan:?}");
+
+    let trace_dir = dir.join("traces");
+    let run_dir = dir.join("capped");
+    let capped = campaign(&[
+        "run",
+        "--spec",
+        &spec,
+        "--dir",
+        run_dir.to_str().unwrap(),
+        "--quiet",
+        "--trace",
+        trace_dir.to_str().unwrap(),
+        "--trace-cap",
+        "10",
+    ]);
+    // Without --check the campaign still succeeds, but warns.
+    assert_eq!(capped.status.code(), Some(0), "{capped:?}");
+    let stderr = String::from_utf8_lossy(&capped.stderr);
+    assert!(
+        stderr.contains("dropped") && stderr.contains("truncated"),
+        "no truncation warning: {stderr}"
+    );
+
+    // The profile surfaces the drop count, in text and JSON.
+    let profile = campaign(&["profile", "--trace", trace_dir.to_str().unwrap()]);
+    assert_eq!(profile.status.code(), Some(0), "{profile:?}");
+    let text = String::from_utf8_lossy(&profile.stdout);
+    assert!(text.contains("dropped"), "profile hides the drops: {text}");
+    let profile_json = campaign(&["profile", "--trace", trace_dir.to_str().unwrap(), "--json"]);
+    let json = String::from_utf8_lossy(&profile_json.stdout);
+    assert!(json.contains("\"dropped\""), "no dropped field: {json}");
+    assert!(!json.contains("\"dropped\":0"), "drop count lost: {json}");
+
+    // Under --check a truncated trace is a failure (fresh dir: the
+    // capped runs above would otherwise just resume).
+    let checked = campaign(&[
+        "run",
+        "--spec",
+        &spec,
+        "--dir",
+        dir.join("checked").to_str().unwrap(),
+        "--quiet",
+        "--check",
+        "--trace",
+        dir.join("traces-checked").to_str().unwrap(),
+        "--trace-cap",
+        "10",
+    ]);
+    assert_eq!(
+        checked.status.code(),
+        Some(1),
+        "truncated trace must fail --check: {checked:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn snapshot_save_info_restore_verify_round_trip() {
     let dir = scratch("snap");
     std::fs::create_dir_all(&dir).unwrap();

@@ -52,6 +52,7 @@ fn opts(dir: &Path, threads: usize) -> RunnerOptions {
         fork: false,
         check: false,
         trace: None,
+        trace_max_events: None,
         panic_label: None,
     }
 }

@@ -76,6 +76,7 @@ fn election_failover_is_in_artifacts_and_oracles_stay_silent() {
         fork: false,
         check: true,
         trace: Some(trace_dir.clone()),
+        trace_max_events: None,
         panic_label: None,
     };
     let report = runner::execute(&spec, &opts).expect("campaign runs");
@@ -156,6 +157,7 @@ fn election_runs_fork_byte_identically() {
         fork,
         check: false,
         trace: None,
+        trace_max_events: None,
         panic_label: None,
     };
 

@@ -70,6 +70,7 @@ fn opts(dir: &Path, fork: bool) -> RunnerOptions {
         fork,
         check: false,
         trace: None,
+        trace_max_events: None,
         panic_label: None,
     }
 }

@@ -36,6 +36,7 @@ fn opts(dir: &Path) -> RunnerOptions {
         fork: false,
         check: false,
         trace: None,
+        trace_max_events: None,
         panic_label: None,
     }
 }

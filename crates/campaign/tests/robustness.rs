@@ -45,6 +45,7 @@ fn opts(dir: &Path) -> RunnerOptions {
         fork: false,
         check: false,
         trace: None,
+        trace_max_events: None,
         panic_label: None,
     }
 }

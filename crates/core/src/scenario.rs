@@ -127,6 +127,11 @@ pub struct RunOptions {
     pub oracle: bool,
     /// Arm the structured execution tracer ([`World::enable_trace`]).
     pub trace: bool,
+    /// Override the tracer's bounded-sink event cap (`None` keeps the
+    /// [`tsn_trace::TraceConfig`] default of 2^20). Events past the cap
+    /// are dropped and counted, never silently lost: the drop count
+    /// surfaces in the [`tsn_trace::TraceReport`].
+    pub trace_max_events: Option<usize>,
 }
 
 /// The serde-run entry point: applies the named scenario to `config` and
@@ -197,7 +202,10 @@ pub fn run_with(config: TestbedConfig, opts: RunOptions) -> ScenarioOutcome {
         world.enable_oracle();
     }
     if opts.trace {
-        world.enable_trace();
+        match opts.trace_max_events {
+            Some(cap) => world.enable_trace_capped(cap),
+            None => world.enable_trace(),
+        }
     }
     let result = world.run();
     ScenarioOutcome { config, result }

@@ -863,6 +863,17 @@ impl World {
         self.tracer = Some(TraceSink::new(TraceConfig::default()));
     }
 
+    /// [`World::enable_trace`] with an explicit bounded-sink event cap
+    /// (the default is 2^20). Long fleet-scale runs overflow the
+    /// default cap; raising it trades memory for completeness, and the
+    /// sink's drop counter reports any truncation either way.
+    pub fn enable_trace_capped(&mut self, max_events: usize) {
+        self.tracer = Some(TraceSink::new(TraceConfig {
+            max_events,
+            ..TraceConfig::default()
+        }));
+    }
+
     /// `true` when [`World::enable_trace`] was called.
     pub fn trace_enabled(&self) -> bool {
         self.tracer.is_some()

@@ -36,6 +36,7 @@ mod events;
 mod histogram;
 mod precision;
 mod render;
+mod sketch;
 mod stability;
 mod summary;
 mod violations;
@@ -45,6 +46,7 @@ pub use events::{EventLog, ExperimentEvent, TransientKind};
 pub use histogram::Histogram;
 pub use precision::{precision_of, PrecisionSample, PrecisionSeries, SeriesStats, WindowStat};
 pub use render::{histogram_csv, render_histogram, render_series, series_csv};
+pub use sketch::StreamingSummary;
 pub use stability::TimeErrorSeries;
 pub use summary::{nearest_rank, SampleSummary};
 pub use violations::{ViolationLog, ViolationRecord};

@@ -67,9 +67,10 @@ impl SimTime {
     }
 
     /// Duration elapsed since `earlier`. Saturates at zero if `earlier`
-    /// is in the future.
+    /// is in the future, and at `i64::MAX` ns if the elapsed span does
+    /// not fit a signed duration (simulated horizons past ~292 years).
     pub fn saturating_since(self, earlier: SimTime) -> Nanos {
-        Nanos(self.0.saturating_sub(earlier.0) as i64)
+        Nanos(i64::try_from(self.0.saturating_sub(earlier.0)).unwrap_or(i64::MAX))
     }
 
     /// Checked addition of a signed duration; `None` on under/overflow.
@@ -108,8 +109,19 @@ impl Sub<Nanos> for SimTime {
 
 impl Sub<SimTime> for SimTime {
     type Output = Nanos;
+    /// Signed difference of two absolute times. Saturates at the
+    /// `Nanos` range ends instead of wrapping when either operand lies
+    /// beyond `i64::MAX` ns (`u64 as i64` would flip the sign there).
     fn sub(self, rhs: SimTime) -> Nanos {
-        Nanos(self.0 as i64 - rhs.0 as i64)
+        let diff = if self.0 >= rhs.0 {
+            i64::try_from(self.0 - rhs.0).unwrap_or(i64::MAX)
+        } else {
+            i64::try_from(rhs.0 - self.0)
+                .ok()
+                .and_then(i64::checked_neg)
+                .unwrap_or(i64::MIN)
+        };
+        Nanos(diff)
     }
 }
 
@@ -163,9 +175,17 @@ impl Nanos {
         Nanos(s * 1_000_000_000)
     }
 
-    /// Creates a duration from fractional seconds (rounds to nearest ns).
+    /// Creates a duration from fractional seconds (rounds to nearest
+    /// ns). Non-finite inputs map to zero; magnitudes beyond the `i64`
+    /// nanosecond range clamp to the nearest representable duration.
     pub fn from_secs_f64(s: f64) -> Self {
-        Nanos((s * 1e9).round() as i64)
+        let ns = (s * 1e9).round();
+        if ns.is_nan() {
+            return Nanos::ZERO;
+        }
+        // `f64 -> i64` casts saturate since Rust 1.45, but spell the
+        // clamp out so the boundary behaviour is explicit and testable.
+        Nanos(ns.clamp(i64::MIN as f64, i64::MAX as f64) as i64)
     }
 
     /// The raw signed nanosecond count.
@@ -418,6 +438,72 @@ mod tests {
         let b = SimTime::from_secs(2);
         assert_eq!(b.saturating_since(a), Nanos::from_secs(1));
         assert_eq!(a.saturating_since(b), Nanos::ZERO);
+    }
+
+    #[test]
+    fn simtime_saturating_since_saturates_at_i64_max_ns() {
+        // A span wider than i64::MAX ns (u64 arithmetic) must clamp to
+        // the largest representable duration, not wrap negative as the
+        // old `u64 as i64` cast did.
+        let huge = SimTime::from_nanos(u64::MAX);
+        assert_eq!(
+            huge.saturating_since(SimTime::ZERO),
+            Nanos::from_nanos(i64::MAX)
+        );
+        assert_eq!(
+            SimTime::from_nanos(i64::MAX as u64 + 1).saturating_since(SimTime::ZERO),
+            Nanos::from_nanos(i64::MAX)
+        );
+        // Exactly representable spans stay exact.
+        assert_eq!(
+            SimTime::from_nanos(i64::MAX as u64).saturating_since(SimTime::ZERO),
+            Nanos::from_nanos(i64::MAX)
+        );
+        assert_eq!(
+            huge.saturating_since(SimTime::from_nanos(u64::MAX - 5)),
+            Nanos::from_nanos(5)
+        );
+    }
+
+    #[test]
+    fn simtime_sub_saturates_instead_of_wrapping() {
+        let huge = SimTime::from_nanos(u64::MAX);
+        // Forward difference beyond the signed range clamps high ...
+        assert_eq!(huge - SimTime::ZERO, Nanos::from_nanos(i64::MAX));
+        // ... the reverse clamps low ...
+        assert_eq!(SimTime::ZERO - huge, Nanos::from_nanos(i64::MIN));
+        // ... and differences inside the range stay exact even when the
+        // operands themselves exceed i64::MAX ns.
+        assert_eq!(huge - SimTime::from_nanos(u64::MAX - 7), Nanos::from_nanos(7));
+        assert_eq!(SimTime::from_nanos(u64::MAX - 7) - huge, Nanos::from_nanos(-7));
+        assert_eq!(
+            SimTime::from_nanos(i64::MAX as u64) - SimTime::ZERO,
+            Nanos::from_nanos(i64::MAX)
+        );
+    }
+
+    #[test]
+    fn nanos_from_secs_f64_boundaries() {
+        // NaN maps to zero instead of an unspecified cast result.
+        assert_eq!(Nanos::from_secs_f64(f64::NAN), Nanos::ZERO);
+        // Infinities and out-of-range magnitudes clamp to the i64 ns
+        // range ends.
+        assert_eq!(
+            Nanos::from_secs_f64(f64::INFINITY),
+            Nanos::from_nanos(i64::MAX)
+        );
+        assert_eq!(
+            Nanos::from_secs_f64(f64::NEG_INFINITY),
+            Nanos::from_nanos(i64::MIN)
+        );
+        assert_eq!(Nanos::from_secs_f64(1e300), Nanos::from_nanos(i64::MAX));
+        assert_eq!(Nanos::from_secs_f64(-1e300), Nanos::from_nanos(i64::MIN));
+        // The largest exactly-representable boundary region: i64::MAX
+        // ns is ~9.22e18; the clamp keeps the result at the range end.
+        assert_eq!(
+            Nanos::from_secs_f64(i64::MAX as f64 / 1e9),
+            Nanos::from_nanos(i64::MAX)
+        );
     }
 
     #[test]

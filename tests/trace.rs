@@ -129,6 +129,7 @@ fn scenario_runner_arms_the_tracer_on_request() {
         RunOptions {
             oracle: false,
             trace: true,
+            ..RunOptions::default()
         },
     )
     .expect("known scenario");
